@@ -1,0 +1,31 @@
+//! Criterion bench for Figure 5a: back-end compile time on unoptimized IR,
+//! TPDE (x86-64 and AArch64) vs the LLVM-O0-like baseline vs copy-and-patch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpde_core::codegen::CompileOptions;
+use tpde_llvm::workloads::{build_workload, spec_workloads, IrStyle};
+use tpde_llvm::{compile_a64, compile_baseline, compile_copy_patch, compile_x64};
+
+fn bench_compile_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5a_compile_time_o0_ir");
+    group.sample_size(20);
+    for w in spec_workloads().iter().take(3) {
+        let module = build_workload(w, IrStyle::O0);
+        group.bench_with_input(BenchmarkId::new("tpde_x64", w.name), &module, |b, m| {
+            b.iter(|| compile_x64(m, &CompileOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("tpde_a64", w.name), &module, |b, m| {
+            b.iter(|| compile_a64(m, &CompileOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("llvm_o0_like", w.name), &module, |b, m| {
+            b.iter(|| compile_baseline(m, 0).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("copy_patch", w.name), &module, |b, m| {
+            b.iter(|| compile_copy_patch(m).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Criterion bench for Figure 8a: back-end compile time on optimized (-O1
+//! style) IR, TPDE vs the LLVM-O1-like baseline configuration.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use tpde_core::codegen::CompileOptions;
+use tpde_llvm::workloads::{build_workload, spec_workloads, IrStyle};
+use tpde_llvm::{compile_baseline, compile_x64};
+
+fn bench_compile_time_o1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8a_compile_time_o1_ir");
+    group.sample_size(20);
+    for w in spec_workloads().iter().take(3) {
+        let module = build_workload(w, IrStyle::O1);
+        group.bench_with_input(BenchmarkId::new("tpde_x64", w.name), &module, |b, m| {
+            b.iter(|| compile_x64(m, &CompileOptions::default()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("llvm_o1_like", w.name), &module, |b, m| {
+            b.iter(|| compile_baseline(m, 1).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile_time_o1);
+criterion_main!(benches);

@@ -1,0 +1,157 @@
+//! Measurement helpers shared by the `figures` binary and the Criterion
+//! benches: compile-time, run-time (emulated) and code-size numbers for the
+//! TPDE back-end and the baselines on the SPEC-like workloads.
+
+use std::time::{Duration, Instant};
+use tpde_core::codegen::CompileOptions;
+use tpde_core::jit::link_in_memory;
+use tpde_llvm::ir::Module;
+use tpde_llvm::workloads::{build_workload, expected_result, IrStyle, Workload};
+use tpde_llvm::{compile_a64, compile_baseline, compile_copy_patch, compile_x64};
+use tpde_x64emu::run_function;
+
+/// Back-ends compared by the figures.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// TPDE targeting x86-64.
+    TpdeX64,
+    /// TPDE targeting AArch64 (compile-time / code-size only).
+    TpdeA64,
+    /// The multi-pass baseline standing in for LLVM -O0.
+    BaselineO0,
+    /// The multi-pass baseline with extra passes, standing in for LLVM -O1.
+    BaselineO1,
+    /// The copy-and-patch-style compiler.
+    CopyPatch,
+}
+
+impl Backend {
+    /// Short display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::TpdeX64 => "TPDE x86-64",
+            Backend::TpdeA64 => "TPDE AArch64",
+            Backend::BaselineO0 => "LLVM-O0-like",
+            Backend::BaselineO1 => "LLVM-O1-like",
+            Backend::CopyPatch => "Copy-Patch",
+        }
+    }
+}
+
+/// One measurement: compile time, generated text size, and the emulated
+/// run-time cost (cycles) of executing `bench_main`.
+#[derive(Clone, Debug)]
+pub struct Measurement {
+    /// Back-end measured.
+    pub backend: Backend,
+    /// Wall-clock compile time (best of `reps`).
+    pub compile_time: Duration,
+    /// Size of the .text section in bytes.
+    pub text_size: u64,
+    /// Emulated cycles for one execution of `bench_main(input)`; `None` for
+    /// back-ends that are not executed (AArch64).
+    pub cycles: Option<u64>,
+    /// Whether the produced result matched the reference.
+    pub correct: bool,
+}
+
+fn compile(backend: Backend, module: &Module, opts: &CompileOptions) -> (tpde_core::codebuf::CodeBuffer, Duration) {
+    let start = Instant::now();
+    match backend {
+        Backend::TpdeX64 => {
+            let c = compile_x64(module, opts).expect("tpde x64");
+            (c.buf, start.elapsed())
+        }
+        Backend::TpdeA64 => {
+            let c = compile_a64(module, opts).expect("tpde a64");
+            (c.buf, start.elapsed())
+        }
+        Backend::BaselineO0 => {
+            let c = compile_baseline(module, 0).expect("baseline");
+            (c.buf, start.elapsed())
+        }
+        Backend::BaselineO1 => {
+            let c = compile_baseline(module, 1).expect("baseline o1");
+            (c.buf, start.elapsed())
+        }
+        Backend::CopyPatch => {
+            let c = compile_copy_patch(module).expect("copy patch");
+            (c.buf, start.elapsed())
+        }
+    }
+}
+
+/// Compiles (and for x86-64 back-ends, runs) a workload with one back-end.
+pub fn measure(backend: Backend, w: &Workload, style: IrStyle, reps: u32) -> Measurement {
+    let module = build_workload(w, style);
+    let mut best = Duration::MAX;
+    let mut buf = None;
+    for _ in 0..reps.max(1) {
+        let (b, t) = compile(backend, &module, &CompileOptions::default());
+        if t < best {
+            best = t;
+        }
+        buf = Some(b);
+    }
+    let buf = buf.unwrap();
+    let text_size = buf.section_size(tpde_core::codebuf::SectionKind::Text);
+    let (cycles, correct) = if backend == Backend::TpdeA64 {
+        (None, true)
+    } else {
+        let image = link_in_memory(&buf, 0x40_0000, |_| None).expect("link");
+        let (ret, stats) = run_function(&image, "bench_main", &[w.input]).expect("run");
+        (Some(stats.cycles), ret == expected_result(w))
+    };
+    Measurement {
+        backend,
+        compile_time: best,
+        text_size,
+        cycles,
+        correct,
+    }
+}
+
+/// Compile-time-only measurement (used by the Criterion benches).
+pub fn compile_only(backend: Backend, module: &Module) -> Duration {
+    compile(backend, module, &CompileOptions::default()).1
+}
+
+/// Builds a module for a scaled-down copy of a workload (smaller inputs for
+/// fast benchmarking).
+pub fn scaled(w: &Workload, input: u64) -> Workload {
+    Workload { input, ..w.clone() }
+}
+
+/// Geometric mean helper used when reporting speedups.
+pub fn geomean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tpde_llvm::workloads::spec_workloads;
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geomean(&[]), 0.0);
+    }
+
+    #[test]
+    fn measurement_runs_and_is_correct() {
+        let w = scaled(&spec_workloads()[6], 500);
+        for backend in [Backend::TpdeX64, Backend::CopyPatch, Backend::BaselineO0] {
+            let m = measure(backend, &w, IrStyle::O0, 1);
+            assert!(m.correct, "{:?} produced a wrong result", backend);
+            assert!(m.text_size > 0);
+            assert!(m.cycles.unwrap() > 0);
+        }
+        let a64 = measure(Backend::TpdeA64, &w, IrStyle::O0, 1);
+        assert!(a64.text_size > 0);
+    }
+}

@@ -1,0 +1,256 @@
+//! The IR adapter interface: the only way the framework accesses an IR.
+//!
+//! Per the paper, the adapter exposes all information the framework needs in
+//! a canonical form: the list of functions, basic blocks and their
+//! successors, phi nodes, instructions and their operands, and for every
+//! value the number of *parts*, each part's size and preferred register bank.
+//!
+//! ## Reference types
+//!
+//! The paper recommends that adapters use a single integer as reference type.
+//! This implementation takes that recommendation one step further and fixes
+//! the reference types to dense `u32` indices ([`ValueRef`], [`BlockRef`],
+//! [`InstRef`], [`FuncRef`]): the adapter must number values and blocks of
+//! the current function contiguously starting at 0. This replaces the
+//! paper's per-block 64-bit auxiliary storage and per-value numbering
+//! requirement — the framework simply keeps its own arrays indexed by these
+//! numbers, which is equivalent and keeps the adapter trait small.
+
+use crate::regs::RegBank;
+
+/// Reference to an IR value of the current function (dense index).
+///
+/// Arguments, phis, instruction results, stack variables and constants are
+/// all values. Indices must be unique per function and `< value_count()`.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct ValueRef(pub u32);
+
+/// Reference to a basic block of the current function (dense index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct BlockRef(pub u32);
+
+/// Reference to an instruction of the current function (dense index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct InstRef(pub u32);
+
+/// Reference to a function of the module (dense index).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct FuncRef(pub u32);
+
+impl ValueRef {
+    /// The dense index as a `usize` for array indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl BlockRef {
+    /// The dense index as a `usize` for array indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl InstRef {
+    /// The dense index as a `usize` for array indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl FuncRef {
+    /// The dense index as a `usize` for array indexing.
+    #[inline]
+    pub fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Symbol linkage of a function or global.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Linkage {
+    /// Visible outside the object (global symbol).
+    External,
+    /// Local to the object.
+    Internal,
+    /// Weak definition (e.g. inline functions).
+    Weak,
+}
+
+/// Description of a fixed-size stack variable (e.g. an LLVM static `alloca`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct StackVarDesc {
+    /// The IR value that refers to the variable's address.
+    pub value: ValueRef,
+    /// Size of the variable in bytes.
+    pub size: u32,
+    /// Required alignment in bytes (power of two).
+    pub align: u32,
+}
+
+/// Extra per-argument information needed for ABI lowering.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArgInfo {
+    /// Size for by-value (memory) argument passing, 0 if passed normally.
+    pub byval_size: u32,
+    /// Alignment for by-value passing.
+    pub byval_align: u32,
+    /// Whether this argument is the struct-return pointer.
+    pub is_sret: bool,
+}
+
+/// One incoming edge of a phi node: the value flowing in from a predecessor.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct PhiIncoming {
+    /// The predecessor block.
+    pub block: BlockRef,
+    /// The value that flows in along that edge.
+    pub value: ValueRef,
+}
+
+/// Canonical access to an SSA IR, as required by the TPDE framework.
+///
+/// The adapter operates on a *current function*: the framework calls
+/// [`IrAdapter::switch_func`] before querying any per-function information
+/// and calls [`IrAdapter::finalize_func`] when it is done with the function.
+///
+/// All slice-returning methods return freshly allocated `Vec`s for
+/// simplicity; adapters should keep these cheap (the framework caches what it
+/// needs in its own dense arrays).
+pub trait IrAdapter {
+    // ---- module-level -----------------------------------------------------
+
+    /// All functions that should end up in the symbol table, both defined
+    /// functions and external declarations.
+    fn funcs(&self) -> Vec<FuncRef>;
+
+    /// Symbol name of a function.
+    fn func_name(&self, func: FuncRef) -> String;
+
+    /// Linkage of a function.
+    fn func_linkage(&self, func: FuncRef) -> Linkage;
+
+    /// Whether the function has a body that must be compiled.
+    fn func_is_definition(&self, func: FuncRef) -> bool;
+
+    // ---- current function -------------------------------------------------
+
+    /// Makes `func` the current function. Called once per defined function
+    /// before any of the per-function queries below. Adapters typically
+    /// compute their dense value numbering here.
+    fn switch_func(&mut self, func: FuncRef);
+
+    /// Releases per-function data computed in [`IrAdapter::switch_func`].
+    fn finalize_func(&mut self) {}
+
+    /// Upper bound (exclusive) of value indices used by the current function.
+    fn value_count(&self) -> usize;
+
+    /// Whether the current function needs exception unwind information.
+    fn needs_unwind_info(&self) -> bool {
+        false
+    }
+
+    /// Whether the current function is variadic.
+    fn is_variadic(&self) -> bool {
+        false
+    }
+
+    /// The function arguments, in ABI order.
+    fn args(&self) -> Vec<ValueRef>;
+
+    /// Per-argument ABI information; same length/order as [`IrAdapter::args`].
+    fn arg_info(&self) -> Vec<ArgInfo> {
+        self.args().iter().map(|_| ArgInfo::default()).collect()
+    }
+
+    /// Fixed-size stack variables of the current function. The framework
+    /// allocates these in the frame during prologue generation; their value
+    /// is the address and is marked trivially recomputable.
+    fn static_stack_vars(&self) -> Vec<StackVarDesc> {
+        Vec::new()
+    }
+
+    /// Basic blocks of the current function. The entry block must be first.
+    /// Block indices must be dense (`0..blocks().len()`).
+    fn blocks(&self) -> Vec<BlockRef>;
+
+    /// Successors of a block, in terminator order.
+    fn block_succs(&self, block: BlockRef) -> Vec<BlockRef>;
+
+    /// Phi nodes at the start of a block.
+    fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
+        let _ = block;
+        Vec::new()
+    }
+
+    /// Instructions of a block in program order, excluding phi nodes,
+    /// including the terminator.
+    fn block_insts(&self, block: BlockRef) -> Vec<InstRef>;
+
+    /// Incoming edges of a phi node.
+    fn phi_incoming(&self, phi: ValueRef) -> Vec<PhiIncoming>;
+
+    // ---- instructions -----------------------------------------------------
+
+    /// Operand values of an instruction (only those the framework should
+    /// track uses for; e.g. immediate operands folded by the instruction
+    /// compiler may be omitted).
+    fn inst_operands(&self, inst: InstRef) -> Vec<ValueRef>;
+
+    /// Result values defined by an instruction (usually zero or one).
+    fn inst_results(&self, inst: InstRef) -> Vec<ValueRef>;
+
+    // ---- values -----------------------------------------------------------
+
+    /// Number of parts a value consists of (e.g. 2 for a 128-bit integer).
+    fn val_part_count(&self, val: ValueRef) -> u32;
+
+    /// Size in bytes of one part of a value.
+    fn val_part_size(&self, val: ValueRef, part: u32) -> u32;
+
+    /// Preferred register bank of one part of a value.
+    fn val_part_bank(&self, val: ValueRef, part: u32) -> RegBank;
+
+    /// Whether the value is a constant usable directly as an operand.
+    fn val_is_const(&self, val: ValueRef) -> bool {
+        let _ = val;
+        false
+    }
+
+    /// Raw bits of one part of a constant value (zero-extended to 64 bits).
+    ///
+    /// Only called when [`IrAdapter::val_is_const`] returned `true`.
+    fn val_const_data(&self, val: ValueRef, part: u32) -> u64 {
+        let _ = (val, part);
+        0
+    }
+
+    /// Optional debug name of a value, used only in diagnostics.
+    fn val_name(&self, val: ValueRef) -> String {
+        format!("v{}", val.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refs_are_dense_indices() {
+        assert_eq!(ValueRef(7).idx(), 7);
+        assert_eq!(BlockRef(3).idx(), 3);
+        assert_eq!(InstRef(0).idx(), 0);
+        assert_eq!(FuncRef(2).idx(), 2);
+    }
+
+    #[test]
+    fn arg_info_default_is_plain() {
+        let i = ArgInfo::default();
+        assert_eq!(i.byval_size, 0);
+        assert!(!i.is_sret);
+    }
+}

@@ -1,0 +1,875 @@
+//! The analysis pass: loop detection, block layout and coarse liveness.
+//!
+//! Following the paper (§3.3), the pass performs four steps:
+//!
+//! 1. number all basic blocks so per-block data can live in arrays;
+//! 2. identify loops with a single-DFS algorithm in the style of Wei et al.
+//!    (tolerates irreducible control flow, needs no predecessor lists and no
+//!    union-find); the whole function is wrapped in a pseudo root loop;
+//! 3. compute the block layout: reverse post-order, with the additional rule
+//!    that the blocks of a loop are laid out contiguously;
+//! 4. compute, for every value, a coarse live range — a contiguous range of
+//!    layout block indices, a flag whether liveness extends to the end of
+//!    the last block, and the number of uses (Kohn et al. style).
+
+use crate::adapter::{BlockRef, IrAdapter, ValueRef};
+use crate::error::{Error, Result};
+
+/// A loop in the loop forest. Loop 0 is the pseudo root covering the whole
+/// function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoopInfo {
+    /// Parent loop id (the root loop is its own parent).
+    pub parent: u32,
+    /// Nesting level; the root loop has level 0.
+    pub level: u32,
+    /// First block of the loop in layout order (inclusive).
+    pub begin: u32,
+    /// Last block of the loop in layout order (inclusive).
+    pub end: u32,
+    /// Layout index of the loop header (== `begin` for natural loops).
+    pub header: u32,
+    /// Number of blocks in the loop, including nested loops.
+    pub num_blocks: u32,
+}
+
+/// Coarse live range of one IR value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LiveRange {
+    /// Layout index of the first block the value is live in (its definition).
+    pub first: u32,
+    /// Layout index of the last block the value is live in.
+    pub last: u32,
+    /// If `true`, the value is live until the *end* of block `last`
+    /// (e.g. because of a loop back edge or a phi use on an outgoing edge);
+    /// otherwise it dies at its last use within the block.
+    pub last_full: bool,
+    /// Number of uses the code generator will observe.
+    pub uses: u32,
+    /// Whether the value has a definition (arguments, phis, instruction
+    /// results and stack variables do; constants and unused numbers do not).
+    pub defined: bool,
+}
+
+impl Default for LiveRange {
+    fn default() -> Self {
+        LiveRange {
+            first: u32::MAX,
+            last: 0,
+            last_full: false,
+            uses: 0,
+            defined: false,
+        }
+    }
+}
+
+/// Result of the analysis pass for one function.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Blocks in layout (compilation) order.
+    pub layout: Vec<BlockRef>,
+    /// Mapping from block index ([`BlockRef::idx`]) to layout position.
+    pub block_pos: Vec<u32>,
+    /// Innermost loop id of each block, indexed by layout position.
+    pub block_loop: Vec<u32>,
+    /// The loop forest. Entry 0 is the pseudo root loop.
+    pub loops: Vec<LoopInfo>,
+    /// Live range per value, indexed by [`ValueRef::idx`].
+    pub liveness: Vec<LiveRange>,
+    /// Number of predecessors per block, indexed by block index.
+    pub num_preds: Vec<u32>,
+}
+
+impl Analysis {
+    /// Layout position of a block.
+    #[inline]
+    pub fn pos(&self, block: BlockRef) -> u32 {
+        self.block_pos[block.idx()]
+    }
+
+    /// Live range of a value.
+    #[inline]
+    pub fn live(&self, val: ValueRef) -> &LiveRange {
+        &self.liveness[val.idx()]
+    }
+
+    /// Innermost loop id of the block at a layout position.
+    #[inline]
+    pub fn loop_of_pos(&self, pos: u32) -> u32 {
+        self.block_loop[pos as usize]
+    }
+
+    /// Whether the block at layout position `pos` is the header of a
+    /// non-root loop with more than one block.
+    pub fn is_loop_header(&self, pos: u32) -> bool {
+        let l = self.loop_of_pos(pos) as usize;
+        l != 0 && self.loops[l].header == pos && self.loops[l].num_blocks > 1
+    }
+
+    /// Nesting depth of the block at layout position `pos` (0 = not in a loop).
+    pub fn loop_depth_of_pos(&self, pos: u32) -> u32 {
+        self.loops[self.loop_of_pos(pos) as usize].level
+    }
+}
+
+struct LoopDiscovery {
+    traversed: Vec<bool>,
+    dfsp_pos: Vec<u32>,
+    iloop_header: Vec<Option<u32>>,
+    is_header: Vec<bool>,
+    post_order: Vec<u32>,
+}
+
+impl LoopDiscovery {
+    fn new(n: usize) -> LoopDiscovery {
+        LoopDiscovery {
+            traversed: vec![false; n],
+            dfsp_pos: vec![0; n],
+            iloop_header: vec![None; n],
+            is_header: vec![false; n],
+            post_order: Vec::with_capacity(n),
+        }
+    }
+
+    /// `tag_lhead` from Wei et al.: records that `block` is inside the loop
+    /// headed by `header`, maintaining the innermost-header chain.
+    fn tag_lhead(&mut self, block: u32, header: Option<u32>) {
+        let Some(header) = header else { return };
+        if block == header {
+            return;
+        }
+        let mut cur1 = block;
+        let mut cur2 = header;
+        loop {
+            match self.iloop_header[cur1 as usize] {
+                None => {
+                    self.iloop_header[cur1 as usize] = Some(cur2);
+                    return;
+                }
+                Some(ih) => {
+                    if ih == cur2 {
+                        return;
+                    }
+                    if self.dfsp_pos[ih as usize] != 0
+                        && self.dfsp_pos[ih as usize] < self.dfsp_pos[cur2 as usize]
+                    {
+                        self.iloop_header[cur1 as usize] = Some(cur2);
+                        cur1 = cur2;
+                        cur2 = ih;
+                    } else {
+                        cur1 = ih;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Iterative DFS that discovers loop headers and header chains.
+    fn run<A: IrAdapter>(&mut self, adapter: &A, entry: u32) {
+        // Explicit DFS stack: (block, succs, next succ index, dfs position).
+        struct Frame {
+            block: u32,
+            succs: Vec<BlockRef>,
+            next: usize,
+        }
+        let mut stack: Vec<Frame> = Vec::new();
+        let mut depth = 1u32;
+        self.traversed[entry as usize] = true;
+        self.dfsp_pos[entry as usize] = depth;
+        stack.push(Frame {
+            block: entry,
+            succs: adapter.block_succs(BlockRef(entry)),
+            next: 0,
+        });
+
+        while let Some(frame) = stack.last_mut() {
+            if frame.next < frame.succs.len() {
+                let succ = frame.succs[frame.next].0;
+                frame.next += 1;
+                let b0 = frame.block;
+                if !self.traversed[succ as usize] {
+                    self.traversed[succ as usize] = true;
+                    depth += 1;
+                    self.dfsp_pos[succ as usize] = depth;
+                    stack.push(Frame {
+                        block: succ,
+                        succs: adapter.block_succs(BlockRef(succ)),
+                        next: 0,
+                    });
+                } else if self.dfsp_pos[succ as usize] > 0 {
+                    // back edge: succ is a loop header on the current path
+                    self.is_header[succ as usize] = true;
+                    self.tag_lhead(b0, Some(succ));
+                } else if let Some(mut h) = self.iloop_header[succ as usize] {
+                    if self.dfsp_pos[h as usize] > 0 {
+                        self.tag_lhead(b0, Some(h));
+                    } else {
+                        // re-entry into an already-finished loop (irreducible):
+                        // find the closest enclosing header that is on the path
+                        while let Some(h2) = self.iloop_header[h as usize] {
+                            h = h2;
+                            if self.dfsp_pos[h as usize] > 0 {
+                                self.tag_lhead(b0, Some(h));
+                                break;
+                            }
+                        }
+                    }
+                }
+            } else {
+                // all successors handled: finish this block
+                let finished = stack.pop().unwrap();
+                self.dfsp_pos[finished.block as usize] = 0;
+                self.post_order.push(finished.block);
+                // propagate this block's innermost header to its DFS parent
+                let nh = self.iloop_header[finished.block as usize];
+                let nh = if self.is_header[finished.block as usize] {
+                    // the parent is inside the loops *around* this header
+                    nh
+                } else {
+                    nh
+                };
+                if let Some(parent) = stack.last() {
+                    // Only propagate headers that are still on the DFS path;
+                    // tag_lhead itself checks positions.
+                    let propagate = match nh {
+                        Some(h) if self.dfsp_pos[h as usize] > 0 => Some(h),
+                        _ => {
+                            if self.is_header[finished.block as usize]
+                                || nh.is_some()
+                            {
+                                // find closest enclosing on-path header
+                                let mut cur = if self.is_header[finished.block as usize] {
+                                    Some(finished.block)
+                                } else {
+                                    nh
+                                };
+                                let mut found = None;
+                                while let Some(c) = cur {
+                                    if self.dfsp_pos[c as usize] > 0 {
+                                        found = Some(c);
+                                        break;
+                                    }
+                                    cur = self.iloop_header[c as usize];
+                                }
+                                found
+                            } else {
+                                None
+                            }
+                        }
+                    };
+                    self.tag_lhead(parent.block, propagate);
+                }
+            }
+        }
+    }
+}
+
+/// Runs the analysis pass over the current function of `adapter`.
+///
+/// # Errors
+///
+/// Returns [`Error::InvalidIr`] if the function has no blocks or blocks are
+/// not densely numbered.
+pub fn analyze<A: IrAdapter>(adapter: &A) -> Result<Analysis> {
+    let blocks = adapter.blocks();
+    if blocks.is_empty() {
+        return Err(Error::InvalidIr("function has no basic blocks".into()));
+    }
+    let num_blocks = blocks.len();
+    for b in &blocks {
+        if b.idx() >= num_blocks {
+            return Err(Error::InvalidIr(format!(
+                "block index {} not dense (block count {})",
+                b.0, num_blocks
+            )));
+        }
+    }
+    let entry = blocks[0].0;
+
+    // --- step 1+2: loop discovery ------------------------------------------
+    let mut disc = LoopDiscovery::new(num_blocks);
+    disc.run(adapter, entry);
+
+    // --- step 3: block layout ------------------------------------------------
+    // RPO over reachable blocks; unreachable blocks are appended at the end in
+    // their original order so they still get code generated.
+    let mut rpo: Vec<u32> = disc.post_order.iter().rev().copied().collect();
+    let reachable: Vec<bool> = disc.traversed.clone();
+    for b in &blocks {
+        if !reachable[b.idx()] {
+            rpo.push(b.0);
+        }
+    }
+    let rpo_index = {
+        let mut v = vec![u32::MAX; num_blocks];
+        for (i, &b) in rpo.iter().enumerate() {
+            v[b as usize] = i as u32;
+        }
+        v
+    };
+
+    // Transitive loop membership test: walk the header chain.
+    let in_loop = |mut b: u32, header: u32, disc: &LoopDiscovery| -> bool {
+        if b == header {
+            return true;
+        }
+        while let Some(h) = disc.iloop_header[b as usize] {
+            if h == header {
+                return true;
+            }
+            b = h;
+        }
+        false
+    };
+
+    // Emit blocks in RPO, but when reaching a loop header, emit the entire
+    // loop (all blocks whose header chain contains it) contiguously.
+    let mut layout: Vec<BlockRef> = Vec::with_capacity(num_blocks);
+    let mut emitted = vec![false; num_blocks];
+    fn emit_block_or_loop(
+        b: u32,
+        rpo: &[u32],
+        rpo_index: &[u32],
+        disc: &LoopDiscovery,
+        emitted: &mut [bool],
+        layout: &mut Vec<BlockRef>,
+        in_loop: &dyn Fn(u32, u32, &LoopDiscovery) -> bool,
+    ) {
+        if emitted[b as usize] {
+            return;
+        }
+        if disc.is_header[b as usize] {
+            // collect loop members in RPO order starting at the header
+            emitted[b as usize] = true;
+            layout.push(BlockRef(b));
+            let start = rpo_index[b as usize] as usize;
+            for &m in &rpo[start + 1..] {
+                if !emitted[m as usize] && in_loop(m, b, disc) {
+                    // nested loop headers recurse so their members stay together
+                    if disc.is_header[m as usize] {
+                        emit_block_or_loop(m, rpo, rpo_index, disc, emitted, layout, in_loop);
+                    } else {
+                        emitted[m as usize] = true;
+                        layout.push(BlockRef(m));
+                    }
+                }
+            }
+        } else {
+            emitted[b as usize] = true;
+            layout.push(BlockRef(b));
+        }
+    }
+    for &b in &rpo {
+        emit_block_or_loop(b, &rpo, &rpo_index, &disc, &mut emitted, &mut layout, &in_loop);
+    }
+    debug_assert_eq!(layout.len(), num_blocks);
+
+    let mut block_pos = vec![u32::MAX; num_blocks];
+    for (i, b) in layout.iter().enumerate() {
+        block_pos[b.idx()] = i as u32;
+    }
+
+    // --- build the loop forest -----------------------------------------------
+    // Loop 0 is the pseudo root covering the whole function.
+    let mut loops = vec![LoopInfo {
+        parent: 0,
+        level: 0,
+        begin: 0,
+        end: (num_blocks - 1) as u32,
+        header: 0,
+        num_blocks: num_blocks as u32,
+    }];
+    let mut loop_id_of_header = vec![u32::MAX; num_blocks];
+    // create loops in layout order of their headers so parents come first
+    let mut headers: Vec<u32> = (0..num_blocks as u32)
+        .filter(|&b| disc.is_header[b as usize])
+        .collect();
+    headers.sort_by_key(|&h| block_pos[h as usize]);
+    for &h in &headers {
+        let id = loops.len() as u32;
+        loop_id_of_header[h as usize] = id;
+        loops.push(LoopInfo {
+            parent: 0,
+            level: 1,
+            begin: block_pos[h as usize],
+            end: block_pos[h as usize],
+            header: block_pos[h as usize],
+            num_blocks: 0,
+        });
+    }
+    // parents and levels
+    for &h in &headers {
+        let id = loop_id_of_header[h as usize];
+        let parent = match disc.iloop_header[h as usize] {
+            Some(ph) => loop_id_of_header[ph as usize],
+            None => 0,
+        };
+        let parent = if parent == u32::MAX { 0 } else { parent };
+        loops[id as usize].parent = parent;
+    }
+    // levels need parents resolved first (parents appear before children in
+    // header layout order for reducible nests; recompute iteratively to be safe)
+    for _ in 0..loops.len() {
+        for i in 1..loops.len() {
+            let p = loops[i].parent as usize;
+            loops[i].level = loops[p].level + 1;
+        }
+    }
+
+    // innermost loop per block + loop extents
+    let mut block_loop = vec![0u32; num_blocks];
+    for (pos, b) in layout.iter().enumerate() {
+        let b = b.0;
+        let innermost = if disc.is_header[b as usize] {
+            loop_id_of_header[b as usize]
+        } else {
+            match disc.iloop_header[b as usize] {
+                Some(h) => loop_id_of_header[h as usize],
+                None => 0,
+            }
+        };
+        let innermost = if innermost == u32::MAX { 0 } else { innermost };
+        block_loop[pos] = innermost;
+        // extend extents of the whole loop chain
+        let mut l = innermost;
+        loop {
+            let li = &mut loops[l as usize];
+            li.begin = li.begin.min(pos as u32);
+            li.end = li.end.max(pos as u32);
+            li.num_blocks += 1;
+            if l == 0 {
+                break;
+            }
+            l = loops[l as usize].parent;
+        }
+    }
+    // the root already covers everything; fix its counters
+    loops[0].begin = 0;
+    loops[0].end = (num_blocks - 1) as u32;
+    loops[0].num_blocks = num_blocks as u32;
+
+    // --- predecessors counts --------------------------------------------------
+    let mut num_preds = vec![0u32; num_blocks];
+    for b in &blocks {
+        for s in adapter.block_succs(*b) {
+            num_preds[s.idx()] += 1;
+        }
+    }
+
+    // --- step 4: liveness ------------------------------------------------------
+    let mut liveness = vec![LiveRange::default(); adapter.value_count()];
+
+    let mut define = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32| {
+        if v.idx() >= liveness.len() {
+            return;
+        }
+        let lr = &mut liveness[v.idx()];
+        lr.defined = true;
+        lr.first = lr.first.min(pos);
+        lr.last = lr.last.max(pos);
+    };
+
+    // definitions
+    let entry_pos = 0u32;
+    for arg in adapter.args() {
+        define(&mut liveness, arg, entry_pos);
+    }
+    for sv in adapter.static_stack_vars() {
+        define(&mut liveness, sv.value, entry_pos);
+    }
+    for b in &blocks {
+        let pos = block_pos[b.idx()];
+        for phi in adapter.block_phis(*b) {
+            define(&mut liveness, phi, pos);
+        }
+        for inst in adapter.block_insts(*b) {
+            for res in adapter.inst_results(inst) {
+                define(&mut liveness, res, pos);
+            }
+        }
+    }
+
+    // uses (with loop extension)
+    let extend_for_loops = |liveness: &mut Vec<LiveRange>,
+                            loops: &Vec<LoopInfo>,
+                            block_loop: &Vec<u32>,
+                            v: ValueRef,
+                            use_pos: u32| {
+        let lr = &mut liveness[v.idx()];
+        let def_pos = if lr.defined { lr.first } else { use_pos };
+        // outermost loop containing the use but not the definition
+        let mut l = block_loop[use_pos as usize];
+        let mut candidate: Option<u32> = None;
+        while l != 0 {
+            let li = &loops[l as usize];
+            let contains_def = def_pos >= li.begin && def_pos <= li.end;
+            if contains_def {
+                break;
+            }
+            candidate = Some(l);
+            l = li.parent;
+        }
+        if let Some(c) = candidate {
+            let end = loops[c as usize].end;
+            if end > lr.last {
+                lr.last = end;
+                lr.last_full = true;
+            } else if end == lr.last {
+                lr.last_full = true;
+            }
+        }
+    };
+
+    let mut add_use = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32, at_end: bool| {
+        if v.idx() >= liveness.len() || adapter.val_is_const(v) {
+            return;
+        }
+        let lr = &mut liveness[v.idx()];
+        lr.uses += 1;
+        lr.first = lr.first.min(pos);
+        if pos > lr.last {
+            lr.last = pos;
+            lr.last_full = at_end;
+        } else if pos == lr.last && at_end {
+            lr.last_full = true;
+        }
+        extend_for_loops(liveness, &loops, &block_loop, v, pos);
+    };
+
+    for b in &blocks {
+        let pos = block_pos[b.idx()];
+        for inst in adapter.block_insts(*b) {
+            for op in adapter.inst_operands(inst) {
+                add_use(&mut liveness, op, pos, false);
+            }
+        }
+        // phi incoming values are used at the end of the incoming block
+        for phi in adapter.block_phis(*b) {
+            for inc in adapter.phi_incoming(phi) {
+                let ipos = block_pos[inc.block.idx()];
+                if ipos != u32::MAX {
+                    add_use(&mut liveness, inc.value, ipos, true);
+                }
+            }
+            // the phi itself is "used" by each incoming edge's move target;
+            // ensure its range covers all incoming blocks that are inside its
+            // loop (back edges), mirroring the paper's handling.
+            let ppos = block_pos[b.idx()];
+            for inc in adapter.phi_incoming(phi) {
+                let ipos = block_pos[inc.block.idx()];
+                if ipos != u32::MAX && ipos > ppos {
+                    let lr = &mut liveness[phi.idx()];
+                    if ipos > lr.last {
+                        lr.last = ipos;
+                        lr.last_full = true;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(Analysis {
+        layout,
+        block_pos,
+        block_loop,
+        loops,
+        liveness,
+        num_preds,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adapter::{FuncRef, InstRef, Linkage, PhiIncoming};
+    use crate::regs::RegBank;
+
+    /// Minimal mock IR: a CFG plus per-block instructions described as
+    /// (result, operands) pairs. Value 0..num_args are arguments.
+    struct MockIr {
+        succs: Vec<Vec<u32>>,
+        /// per block: list of (result value or NONE, operand values)
+        insts: Vec<Vec<(Option<u32>, Vec<u32>)>>,
+        phis: Vec<Vec<(u32, Vec<(u32, u32)>)>>, // per block: (phi value, [(pred, value)])
+        num_args: u32,
+        num_values: usize,
+    }
+
+    impl MockIr {
+        fn new(succs: Vec<Vec<u32>>, num_args: u32) -> MockIr {
+            let n = succs.len();
+            MockIr {
+                succs,
+                insts: vec![Vec::new(); n],
+                phis: vec![Vec::new(); n],
+                num_args,
+                num_values: num_args as usize,
+            }
+        }
+        fn inst(&mut self, block: u32, result: Option<u32>, ops: Vec<u32>) {
+            if let Some(r) = result {
+                self.num_values = self.num_values.max(r as usize + 1);
+            }
+            self.insts[block as usize].push((result, ops));
+        }
+        fn phi(&mut self, block: u32, val: u32, incoming: Vec<(u32, u32)>) {
+            self.num_values = self.num_values.max(val as usize + 1);
+            self.phis[block as usize].push((val, incoming));
+        }
+    }
+
+    impl IrAdapter for MockIr {
+        fn funcs(&self) -> Vec<FuncRef> {
+            vec![FuncRef(0)]
+        }
+        fn func_name(&self, _: FuncRef) -> String {
+            "mock".into()
+        }
+        fn func_linkage(&self, _: FuncRef) -> Linkage {
+            Linkage::External
+        }
+        fn func_is_definition(&self, _: FuncRef) -> bool {
+            true
+        }
+        fn switch_func(&mut self, _: FuncRef) {}
+        fn value_count(&self) -> usize {
+            self.num_values
+        }
+        fn args(&self) -> Vec<ValueRef> {
+            (0..self.num_args).map(ValueRef).collect()
+        }
+        fn blocks(&self) -> Vec<BlockRef> {
+            (0..self.succs.len() as u32).map(BlockRef).collect()
+        }
+        fn block_succs(&self, block: BlockRef) -> Vec<BlockRef> {
+            self.succs[block.idx()].iter().map(|&b| BlockRef(b)).collect()
+        }
+        fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
+            self.phis[block.idx()].iter().map(|&(v, _)| ValueRef(v)).collect()
+        }
+        fn block_insts(&self, block: BlockRef) -> Vec<InstRef> {
+            // encode (block, idx) as block*1000+idx
+            (0..self.insts[block.idx()].len() as u32)
+                .map(|i| InstRef(block.0 * 1000 + i))
+                .collect()
+        }
+        fn phi_incoming(&self, phi: ValueRef) -> Vec<PhiIncoming> {
+            for blk in &self.phis {
+                for (v, inc) in blk {
+                    if *v == phi.0 {
+                        return inc
+                            .iter()
+                            .map(|&(b, val)| PhiIncoming {
+                                block: BlockRef(b),
+                                value: ValueRef(val),
+                            })
+                            .collect();
+                    }
+                }
+            }
+            Vec::new()
+        }
+        fn inst_operands(&self, inst: InstRef) -> Vec<ValueRef> {
+            let (b, i) = (inst.0 / 1000, inst.0 % 1000);
+            self.insts[b as usize][i as usize]
+                .1
+                .iter()
+                .map(|&v| ValueRef(v))
+                .collect()
+        }
+        fn inst_results(&self, inst: InstRef) -> Vec<ValueRef> {
+            let (b, i) = (inst.0 / 1000, inst.0 % 1000);
+            self.insts[b as usize][i as usize]
+                .0
+                .map(|v| vec![ValueRef(v)])
+                .unwrap_or_default()
+        }
+        fn val_part_count(&self, _: ValueRef) -> u32 {
+            1
+        }
+        fn val_part_size(&self, _: ValueRef, _: u32) -> u32 {
+            8
+        }
+        fn val_part_bank(&self, _: ValueRef, _: u32) -> RegBank {
+            RegBank::GP
+        }
+    }
+
+    /// diamond: 0 -> {1,2} -> 3
+    fn diamond() -> MockIr {
+        MockIr::new(vec![vec![1, 2], vec![3], vec![3], vec![]], 1)
+    }
+
+    #[test]
+    fn straight_line_layout() {
+        let ir = MockIr::new(vec![vec![1], vec![2], vec![]], 0);
+        let a = analyze(&ir).unwrap();
+        assert_eq!(a.layout, vec![BlockRef(0), BlockRef(1), BlockRef(2)]);
+        assert_eq!(a.loops.len(), 1);
+        assert_eq!(a.num_preds, vec![0, 1, 1]);
+    }
+
+    #[test]
+    fn diamond_layout_is_rpo() {
+        let ir = diamond();
+        let a = analyze(&ir).unwrap();
+        assert_eq!(a.pos(BlockRef(0)), 0);
+        assert_eq!(a.pos(BlockRef(3)), 3);
+        // both branches before the join
+        assert!(a.pos(BlockRef(1)) < 3 && a.pos(BlockRef(2)) < 3);
+        assert_eq!(a.num_preds[3], 2);
+    }
+
+    #[test]
+    fn simple_loop_detected_and_contiguous() {
+        // 0 -> 1; 1 -> {2, 3}; 2 -> 1; 3 (exit)
+        let ir = MockIr::new(vec![vec![1], vec![2, 3], vec![1], vec![]], 0);
+        let a = analyze(&ir).unwrap();
+        assert_eq!(a.loops.len(), 2, "one real loop plus the root");
+        let l = &a.loops[1];
+        assert_eq!(l.level, 1);
+        // loop contains blocks 1 and 2 contiguously
+        let p1 = a.pos(BlockRef(1));
+        let p2 = a.pos(BlockRef(2));
+        assert_eq!(l.begin, p1.min(p2));
+        assert_eq!(l.end, p1.max(p2));
+        assert_eq!(l.num_blocks, 2);
+        assert_eq!(l.header, a.pos(BlockRef(1)));
+        assert!(a.is_loop_header(a.pos(BlockRef(1))));
+        // exit block is outside the loop
+        assert_eq!(a.block_loop[a.pos(BlockRef(3)) as usize], 0);
+    }
+
+    #[test]
+    fn nested_loops_have_levels() {
+        // 0 -> 1; 1 -> 2; 2 -> {2? no}. Build: outer 1..4, inner 2..3
+        // 0->1, 1->2, 2->3, 3->{2,4}, 4->{1,5}, 5 exit
+        let ir = MockIr::new(
+            vec![vec![1], vec![2], vec![3], vec![2, 4], vec![1, 5], vec![]],
+            0,
+        );
+        let a = analyze(&ir).unwrap();
+        assert_eq!(a.loops.len(), 3);
+        let depths: Vec<u32> = (0..6)
+            .map(|b| a.loop_depth_of_pos(a.pos(BlockRef(b))))
+            .collect();
+        assert_eq!(depths[0], 0);
+        assert_eq!(depths[1], 1);
+        assert_eq!(depths[2], 2);
+        assert_eq!(depths[3], 2);
+        assert_eq!(depths[4], 1);
+        assert_eq!(depths[5], 0);
+    }
+
+    #[test]
+    fn irreducible_cfg_does_not_crash() {
+        // 0 -> {1, 2}; 1 -> 2; 2 -> 1; 1 -> 3; 2 -> 3 (two-entry loop {1,2})
+        let ir = MockIr::new(vec![vec![1, 2], vec![2, 3], vec![1, 3], vec![]], 0);
+        let a = analyze(&ir).unwrap();
+        assert_eq!(a.layout.len(), 4);
+        // every block has a position
+        for b in 0..4u32 {
+            assert!(a.pos(BlockRef(b)) < 4);
+        }
+    }
+
+    #[test]
+    fn unreachable_blocks_are_appended() {
+        let ir = MockIr::new(vec![vec![1], vec![], vec![1]], 0); // block 2 unreachable
+        let a = analyze(&ir).unwrap();
+        assert_eq!(a.layout.len(), 3);
+        assert_eq!(a.pos(BlockRef(2)), 2);
+    }
+
+    #[test]
+    fn liveness_straight_line() {
+        // b0: v1 = use(arg0); b1: v2 = use(v1); b2: use(v2)
+        let mut ir = MockIr::new(vec![vec![1], vec![2], vec![]], 1);
+        ir.inst(0, Some(1), vec![0]);
+        ir.inst(1, Some(2), vec![1]);
+        ir.inst(2, None, vec![2]);
+        let a = analyze(&ir).unwrap();
+        let l1 = a.live(ValueRef(1));
+        assert_eq!((l1.first, l1.last, l1.uses), (0, 1, 1));
+        assert!(!l1.last_full);
+        let l0 = a.live(ValueRef(0));
+        assert_eq!((l0.first, l0.last, l0.uses), (0, 0, 1));
+        assert!(l0.defined);
+    }
+
+    #[test]
+    fn liveness_extends_over_loop() {
+        // v1 defined in block 0, used in loop body block 2; loop is {1,2,3}
+        // 0 -> 1; 1 -> 2; 2 -> 3; 3 -> {1, 4}; 4 exit
+        let mut ir = MockIr::new(vec![vec![1], vec![2], vec![3], vec![1, 4], vec![]], 0);
+        ir.inst(0, Some(0), vec![]);
+        ir.inst(2, None, vec![0]); // use inside loop
+        let a = analyze(&ir).unwrap();
+        let lr = a.live(ValueRef(0));
+        // must be extended to the end of the loop (block 3's layout pos)
+        assert_eq!(lr.last, a.pos(BlockRef(3)));
+        assert!(lr.last_full);
+    }
+
+    #[test]
+    fn liveness_not_extended_when_def_inside_loop() {
+        // value defined and used entirely inside the loop
+        let mut ir = MockIr::new(vec![vec![1], vec![2], vec![1, 3], vec![]], 0);
+        ir.inst(1, Some(0), vec![]);
+        ir.inst(2, None, vec![0]);
+        let a = analyze(&ir).unwrap();
+        let lr = a.live(ValueRef(0));
+        assert_eq!(lr.first, a.pos(BlockRef(1)));
+        assert_eq!(lr.last, a.pos(BlockRef(2)));
+        assert!(!lr.last_full);
+    }
+
+    #[test]
+    fn phi_incoming_counts_as_use_at_end_of_pred() {
+        // 0 -> {1,2}; 1 -> 3; 2 -> 3; 3 has phi(v3) of v1 from 1, v2 from 2
+        let mut ir = MockIr::new(vec![vec![1, 2], vec![3], vec![3], vec![]], 0);
+        ir.inst(1, Some(1), vec![]);
+        ir.inst(2, Some(2), vec![]);
+        ir.phi(3, 3, vec![(1, 1), (2, 2)]);
+        ir.inst(3, None, vec![3]);
+        let a = analyze(&ir).unwrap();
+        let l1 = a.live(ValueRef(1));
+        assert_eq!(l1.last, a.pos(BlockRef(1)));
+        assert!(l1.last_full, "phi use keeps the value live to the end of the pred");
+        let l3 = a.live(ValueRef(3));
+        assert_eq!(l3.first, a.pos(BlockRef(3)));
+        assert_eq!(l3.uses, 1);
+    }
+
+    #[test]
+    fn loop_phi_live_range_covers_backedge() {
+        // loop counter phi: blocks 0 -> 1(header, phi) -> 2(latch) -> {1, 3}
+        let mut ir = MockIr::new(vec![vec![1], vec![2], vec![1, 3], vec![]], 1);
+        ir.phi(1, 1, vec![(0, 0), (2, 2)]);
+        ir.inst(2, Some(2), vec![1]);
+        let a = analyze(&ir).unwrap();
+        let lphi = a.live(ValueRef(1));
+        assert_eq!(lphi.first, a.pos(BlockRef(1)));
+        assert_eq!(lphi.last, a.pos(BlockRef(2)));
+        assert!(lphi.last_full);
+        // v2 (the next value) is used by the phi at end of block 2 but defined in 2
+        let l2 = a.live(ValueRef(2));
+        assert_eq!(l2.first, a.pos(BlockRef(2)));
+    }
+
+    #[test]
+    fn empty_function_is_an_error() {
+        let ir = MockIr::new(vec![], 0);
+        assert!(analyze(&ir).is_err());
+    }
+
+    #[test]
+    fn use_counts_accumulate() {
+        let mut ir = MockIr::new(vec![vec![]], 1);
+        ir.inst(0, Some(1), vec![0, 0, 0]);
+        ir.inst(0, None, vec![1, 0]);
+        let a = analyze(&ir).unwrap();
+        assert_eq!(a.live(ValueRef(0)).uses, 4);
+        assert_eq!(a.live(ValueRef(1)).uses, 1);
+    }
+}

@@ -1,0 +1,288 @@
+//! Value assignments: the per-value state tracked during code generation.
+//!
+//! For every live value the framework stores an [`Assignment`]: a stack
+//! frame slot for spilling, the remaining number of uses, and per value part
+//! the current register, whether the stack slot holds the current value, and
+//! whether the part is trivially recomputable or pinned to a fixed register
+//! (§3.4.1 of the paper).
+
+use crate::adapter::ValueRef;
+use crate::regs::{Reg, RegBank};
+
+/// How a value part can be rematerialized instead of being spilled/reloaded.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Recompute {
+    /// The part is the address of a stack variable: `frame_reg + offset`.
+    StackAddr(i32),
+    /// The part is a constant with the given bits.
+    Const(u64),
+}
+
+/// State of one part of a value.
+#[derive(Copy, Clone, Debug)]
+pub struct PartState {
+    /// Register currently holding the part, if any.
+    pub reg: Option<Reg>,
+    /// Size of the part in bytes.
+    pub size: u32,
+    /// Register bank of the part.
+    pub bank: RegBank,
+    /// Whether the stack slot currently holds the correct value. If `false`
+    /// and `reg` is `Some`, the register is the only location of the value.
+    pub in_mem: bool,
+    /// Whether the part is pinned to `reg` for its whole live range
+    /// (innermost-loop heuristic); fixed parts are never spilled or evicted.
+    pub fixed: bool,
+    /// If set, the part can be recomputed instead of spilled.
+    pub recompute: Option<Recompute>,
+}
+
+/// Per-value state during code generation.
+#[derive(Clone, Debug)]
+pub struct Assignment {
+    /// Frame offset (relative to the frame pointer) of the spill slot,
+    /// or `None` if no slot has been allocated yet.
+    pub frame_off: Option<i32>,
+    /// Number of uses the code generator has not yet seen.
+    pub remaining_uses: u32,
+    /// Layout position of the last block the value is live in.
+    pub last_pos: u32,
+    /// Whether liveness extends to the end of `last_pos`.
+    pub last_full: bool,
+    /// Per-part state.
+    pub parts: Vec<PartState>,
+}
+
+impl Assignment {
+    /// Total spill size in bytes (sum of part sizes, each padded to 8 bytes
+    /// so part offsets are trivially computable).
+    pub fn spill_size(&self) -> u32 {
+        self.parts.len() as u32 * 8
+    }
+
+    /// Byte offset of a part within the value's spill slot.
+    pub fn part_offset(&self, part: u32) -> i32 {
+        part as i32 * 8
+    }
+}
+
+/// Table of assignments indexed by value number, plus the frame-slot
+/// allocator.
+#[derive(Debug, Default)]
+pub struct AssignmentTable {
+    slots: Vec<Option<Assignment>>,
+    /// Values that currently have an assignment (for cheap sweeping).
+    active: Vec<ValueRef>,
+}
+
+impl AssignmentTable {
+    /// Creates a table for `value_count` values.
+    pub fn new(value_count: usize) -> AssignmentTable {
+        AssignmentTable {
+            slots: vec![None; value_count],
+            active: Vec::new(),
+        }
+    }
+
+    /// Number of value slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Whether a value currently has an assignment.
+    pub fn contains(&self, v: ValueRef) -> bool {
+        self.slots.get(v.idx()).map_or(false, |s| s.is_some())
+    }
+
+    /// Inserts an assignment for a value (replacing any existing one).
+    pub fn insert(&mut self, v: ValueRef, a: Assignment) {
+        if self.slots[v.idx()].is_none() {
+            self.active.push(v);
+        }
+        self.slots[v.idx()] = Some(a);
+    }
+
+    /// Shared access to a value's assignment.
+    pub fn get(&self, v: ValueRef) -> Option<&Assignment> {
+        self.slots.get(v.idx()).and_then(|s| s.as_ref())
+    }
+
+    /// Mutable access to a value's assignment.
+    pub fn get_mut(&mut self, v: ValueRef) -> Option<&mut Assignment> {
+        self.slots.get_mut(v.idx()).and_then(|s| s.as_mut())
+    }
+
+    /// Removes a value's assignment and returns it.
+    pub fn remove(&mut self, v: ValueRef) -> Option<Assignment> {
+        self.slots.get_mut(v.idx()).and_then(|s| s.take())
+    }
+
+    /// Values that currently (or recently) had assignments. May contain
+    /// already-removed values; callers should check [`AssignmentTable::get`].
+    pub fn active(&self) -> &[ValueRef] {
+        &self.active
+    }
+
+    /// Removes values from the active list for which `keep` returns `false`.
+    pub fn retain_active(&mut self, mut keep: impl FnMut(ValueRef) -> bool) {
+        self.active.retain(|v| keep(*v));
+    }
+
+    /// Clears all assignments (end of function).
+    pub fn clear(&mut self) {
+        for v in self.active.drain(..) {
+            self.slots[v.idx()] = None;
+        }
+    }
+
+    /// Resizes the table for a new function.
+    pub fn reset(&mut self, value_count: usize) {
+        self.clear();
+        self.slots.clear();
+        self.slots.resize(value_count, None);
+    }
+}
+
+/// Allocates spill slots and stack-variable storage in the function frame.
+///
+/// Offsets are negative, relative to the frame pointer, growing downwards.
+/// The first `reserved` bytes below the frame pointer are owned by the
+/// target (callee-save area).
+#[derive(Debug, Default)]
+pub struct FrameAlloc {
+    next_off: i32,
+    free8: Vec<i32>,
+    free16: Vec<i32>,
+}
+
+impl FrameAlloc {
+    /// Creates a frame allocator with `reserved` bytes already used below the
+    /// frame pointer.
+    pub fn new(reserved: u32) -> FrameAlloc {
+        FrameAlloc {
+            next_off: -(reserved as i32),
+            free8: Vec::new(),
+            free16: Vec::new(),
+        }
+    }
+
+    /// Allocates a slot of `size` bytes with the given alignment and returns
+    /// its frame offset (negative).
+    pub fn alloc(&mut self, size: u32, align: u32) -> i32 {
+        let size = size.max(1);
+        let align = align.max(1).max(if size >= 8 { 8 } else { size.next_power_of_two() });
+        if align <= 8 && size <= 8 {
+            if let Some(off) = self.free8.pop() {
+                return off;
+            }
+        } else if align <= 16 && size <= 16 {
+            if let Some(off) = self.free16.pop() {
+                return off;
+            }
+        }
+        let size = (size + align - 1) & !(align - 1);
+        let mut off = self.next_off - size as i32;
+        // align the (negative) offset
+        off &= !(align as i32 - 1);
+        self.next_off = off;
+        off
+    }
+
+    /// Returns a slot to the allocator for reuse.
+    pub fn free(&mut self, off: i32, size: u32) {
+        if size <= 8 {
+            self.free8.push(off);
+        } else if size <= 16 {
+            self.free16.push(off);
+        }
+        // larger slots (stack variables) are not recycled
+    }
+
+    /// Total frame size in bytes used so far (positive), 16-byte aligned.
+    pub fn frame_size(&self) -> u32 {
+        let raw = (-self.next_off) as u32;
+        (raw + 15) & !15
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part() -> PartState {
+        PartState {
+            reg: None,
+            size: 8,
+            bank: RegBank::GP,
+            in_mem: false,
+            fixed: false,
+            recompute: None,
+        }
+    }
+
+    #[test]
+    fn table_insert_get_remove() {
+        let mut t = AssignmentTable::new(4);
+        assert!(!t.contains(ValueRef(2)));
+        t.insert(
+            ValueRef(2),
+            Assignment {
+                frame_off: None,
+                remaining_uses: 3,
+                last_pos: 5,
+                last_full: false,
+                parts: vec![part()],
+            },
+        );
+        assert!(t.contains(ValueRef(2)));
+        assert_eq!(t.get(ValueRef(2)).unwrap().remaining_uses, 3);
+        t.get_mut(ValueRef(2)).unwrap().remaining_uses -= 1;
+        assert_eq!(t.get(ValueRef(2)).unwrap().remaining_uses, 2);
+        let a = t.remove(ValueRef(2)).unwrap();
+        assert_eq!(a.remaining_uses, 2);
+        assert!(!t.contains(ValueRef(2)));
+    }
+
+    #[test]
+    fn spill_size_and_part_offsets() {
+        let a = Assignment {
+            frame_off: Some(-16),
+            remaining_uses: 0,
+            last_pos: 0,
+            last_full: false,
+            parts: vec![part(), part()],
+        };
+        assert_eq!(a.spill_size(), 16);
+        assert_eq!(a.part_offset(0), 0);
+        assert_eq!(a.part_offset(1), 8);
+    }
+
+    #[test]
+    fn frame_alloc_is_aligned_and_reuses_slots() {
+        let mut f = FrameAlloc::new(64);
+        let a = f.alloc(8, 8);
+        assert!(a <= -64 - 8);
+        assert_eq!(a % 8, 0);
+        let b = f.alloc(8, 8);
+        assert_ne!(a, b);
+        f.free(a, 8);
+        let c = f.alloc(8, 8);
+        assert_eq!(c, a, "freed slot is reused");
+        let big = f.alloc(64, 16);
+        assert_eq!(big % 16, 0);
+        assert!(f.frame_size() % 16 == 0);
+        assert!(f.frame_size() >= 64 + 8 + 8 + 64);
+    }
+
+    #[test]
+    fn frame_alloc_respects_reserved_area() {
+        let mut f = FrameAlloc::new(48);
+        let a = f.alloc(4, 4);
+        assert!(a <= -48);
+    }
+}

@@ -1,0 +1,315 @@
+//! Calling-convention descriptions and argument assignment.
+//!
+//! The framework implements the two C calling conventions needed by the
+//! back-ends: System V AMD64 and AAPCS64 (AArch64). A [`CallConv`] lists the
+//! argument/return registers per bank and the caller/callee-saved sets;
+//! [`CallConv::assign_args`] maps a sequence of value parts to argument
+//! locations the same way for incoming parameters (prologue) and outgoing
+//! call arguments.
+
+use crate::regs::{Reg, RegBank, RegSet};
+
+/// Location assigned to one value part of an argument or return value.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ArgLoc {
+    /// Passed in a register.
+    Reg(Reg),
+    /// Passed on the stack at the given byte offset from the start of the
+    /// outgoing argument area (i.e. from `sp` at the call site).
+    Stack(u32),
+}
+
+/// A calling convention: argument/return registers and preserved registers.
+#[derive(Clone, Debug)]
+pub struct CallConv {
+    /// General-purpose argument registers, in order.
+    pub gp_args: Vec<Reg>,
+    /// Floating-point argument registers, in order.
+    pub fp_args: Vec<Reg>,
+    /// General-purpose return registers, in order.
+    pub gp_rets: Vec<Reg>,
+    /// Floating-point return registers, in order.
+    pub fp_rets: Vec<Reg>,
+    /// Registers preserved across calls.
+    pub callee_saved: RegSet,
+    /// Registers clobbered by calls (complement of `callee_saved` within the
+    /// allocatable set).
+    pub caller_saved: RegSet,
+    /// Required stack alignment at call sites, in bytes.
+    pub stack_align: u32,
+    /// Slot size for stack arguments, in bytes.
+    pub stack_slot_size: u32,
+}
+
+/// Result of assigning arguments: one location per part, plus the total
+/// number of stack bytes used.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ArgAssignment {
+    /// One location per value part, in the order the parts were passed in.
+    pub locs: Vec<ArgLoc>,
+    /// Size of the outgoing stack argument area in bytes (unaligned).
+    pub stack_bytes: u32,
+}
+
+impl CallConv {
+    /// Assigns locations to a flat list of value parts `(bank, size)`.
+    ///
+    /// Each part is assigned independently: multi-part values (e.g. 128-bit
+    /// integers) therefore occupy consecutive registers when available, which
+    /// matches both SysV and AAPCS64 for the types the back-ends support.
+    pub fn assign_args(&self, parts: &[(RegBank, u32)]) -> ArgAssignment {
+        let mut next_gp = 0usize;
+        let mut next_fp = 0usize;
+        let mut stack_off = 0u32;
+        let mut locs = Vec::with_capacity(parts.len());
+        for &(bank, size) in parts {
+            let (regs, next) = match bank {
+                RegBank::GP => (&self.gp_args, &mut next_gp),
+                RegBank::FP => (&self.fp_args, &mut next_fp),
+            };
+            if *next < regs.len() {
+                locs.push(ArgLoc::Reg(regs[*next]));
+                *next += 1;
+            } else {
+                let slot = self.stack_slot_size.max(size.next_power_of_two());
+                stack_off = (stack_off + slot - 1) & !(slot - 1);
+                locs.push(ArgLoc::Stack(stack_off));
+                stack_off += slot;
+            }
+        }
+        ArgAssignment {
+            locs,
+            stack_bytes: stack_off,
+        }
+    }
+
+    /// Assigns locations to return-value parts.
+    ///
+    /// Returns `None` if the value cannot be returned in registers (the
+    /// back-ends handle such cases with an sret pointer instead).
+    pub fn assign_rets(&self, parts: &[(RegBank, u32)]) -> Option<Vec<Reg>> {
+        let mut next_gp = 0usize;
+        let mut next_fp = 0usize;
+        let mut out = Vec::with_capacity(parts.len());
+        for &(bank, _size) in parts {
+            let (regs, next) = match bank {
+                RegBank::GP => (&self.gp_rets, &mut next_gp),
+                RegBank::FP => (&self.fp_rets, &mut next_fp),
+            };
+            if *next >= regs.len() {
+                return None;
+            }
+            out.push(regs[*next]);
+            *next += 1;
+        }
+        Some(out)
+    }
+}
+
+/// x86-64 GP register numbers (architectural encoding order).
+pub mod x64 {
+    /// rax
+    pub const RAX: u8 = 0;
+    /// rcx
+    pub const RCX: u8 = 1;
+    /// rdx
+    pub const RDX: u8 = 2;
+    /// rbx
+    pub const RBX: u8 = 3;
+    /// rsp
+    pub const RSP: u8 = 4;
+    /// rbp
+    pub const RBP: u8 = 5;
+    /// rsi
+    pub const RSI: u8 = 6;
+    /// rdi
+    pub const RDI: u8 = 7;
+    /// r8
+    pub const R8: u8 = 8;
+    /// r9
+    pub const R9: u8 = 9;
+    /// r10
+    pub const R10: u8 = 10;
+    /// r11
+    pub const R11: u8 = 11;
+    /// r12
+    pub const R12: u8 = 12;
+    /// r13
+    pub const R13: u8 = 13;
+    /// r14
+    pub const R14: u8 = 14;
+    /// r15
+    pub const R15: u8 = 15;
+}
+
+/// AArch64 register numbers.
+pub mod a64 {
+    /// Frame pointer x29.
+    pub const FP: u8 = 29;
+    /// Link register x30.
+    pub const LR: u8 = 30;
+    /// Stack pointer / zero register number (31).
+    pub const SP: u8 = 31;
+    /// Scratch register x16 (IP0).
+    pub const IP0: u8 = 16;
+    /// Scratch register x17 (IP1).
+    pub const IP1: u8 = 17;
+}
+
+fn gp(i: u8) -> Reg {
+    Reg::new(RegBank::GP, i)
+}
+fn fp(i: u8) -> Reg {
+    Reg::new(RegBank::FP, i)
+}
+
+/// The System V AMD64 calling convention.
+pub fn sysv_x64() -> CallConv {
+    use x64::*;
+    let gp_args = vec![gp(RDI), gp(RSI), gp(RDX), gp(RCX), gp(R8), gp(R9)];
+    let fp_args: Vec<Reg> = (0..8).map(fp).collect();
+    let gp_rets = vec![gp(RAX), gp(RDX)];
+    let fp_rets = vec![fp(0), fp(1)];
+    let callee_saved: RegSet = [RBX, RBP, R12, R13, R14, R15].iter().map(|&i| gp(i)).collect();
+    let mut caller_saved = RegSet::empty();
+    for i in 0..16u8 {
+        let r = gp(i);
+        if !callee_saved.contains(r) && i != RSP {
+            caller_saved.insert(r);
+        }
+    }
+    for i in 0..16u8 {
+        caller_saved.insert(fp(i));
+    }
+    CallConv {
+        gp_args,
+        fp_args,
+        gp_rets,
+        fp_rets,
+        callee_saved,
+        caller_saved,
+        stack_align: 16,
+        stack_slot_size: 8,
+    }
+}
+
+/// The AAPCS64 (AArch64 procedure call standard) calling convention.
+pub fn aapcs_a64() -> CallConv {
+    use a64::*;
+    let gp_args: Vec<Reg> = (0..8).map(gp).collect();
+    let fp_args: Vec<Reg> = (0..8).map(fp).collect();
+    let gp_rets: Vec<Reg> = (0..2).map(gp).collect();
+    let fp_rets: Vec<Reg> = (0..2).map(fp).collect();
+    let mut callee_saved = RegSet::empty();
+    for i in 19..=28u8 {
+        callee_saved.insert(gp(i));
+    }
+    callee_saved.insert(gp(FP));
+    for i in 8..=15u8 {
+        callee_saved.insert(fp(i));
+    }
+    let mut caller_saved = RegSet::empty();
+    for i in 0..31u8 {
+        let r = gp(i);
+        if !callee_saved.contains(r) && i != SP {
+            caller_saved.insert(r);
+        }
+    }
+    for i in 0..32u8 {
+        let r = fp(i);
+        if !callee_saved.contains(r) {
+            caller_saved.insert(r);
+        }
+    }
+    CallConv {
+        gp_args,
+        fp_args,
+        gp_rets,
+        fp_rets,
+        callee_saved,
+        caller_saved,
+        stack_align: 16,
+        stack_slot_size: 8,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sysv_integer_args_in_order() {
+        let cc = sysv_x64();
+        let parts = vec![(RegBank::GP, 8); 3];
+        let a = cc.assign_args(&parts);
+        assert_eq!(a.locs[0], ArgLoc::Reg(gp(x64::RDI)));
+        assert_eq!(a.locs[1], ArgLoc::Reg(gp(x64::RSI)));
+        assert_eq!(a.locs[2], ArgLoc::Reg(gp(x64::RDX)));
+        assert_eq!(a.stack_bytes, 0);
+    }
+
+    #[test]
+    fn sysv_overflow_goes_to_stack() {
+        let cc = sysv_x64();
+        let parts = vec![(RegBank::GP, 8); 8];
+        let a = cc.assign_args(&parts);
+        assert_eq!(a.locs[6], ArgLoc::Stack(0));
+        assert_eq!(a.locs[7], ArgLoc::Stack(8));
+        assert_eq!(a.stack_bytes, 16);
+    }
+
+    #[test]
+    fn fp_and_gp_args_use_separate_sequences() {
+        let cc = sysv_x64();
+        let parts = vec![
+            (RegBank::GP, 8),
+            (RegBank::FP, 8),
+            (RegBank::GP, 8),
+            (RegBank::FP, 8),
+        ];
+        let a = cc.assign_args(&parts);
+        assert_eq!(a.locs[0], ArgLoc::Reg(gp(x64::RDI)));
+        assert_eq!(a.locs[1], ArgLoc::Reg(fp(0)));
+        assert_eq!(a.locs[2], ArgLoc::Reg(gp(x64::RSI)));
+        assert_eq!(a.locs[3], ArgLoc::Reg(fp(1)));
+    }
+
+    #[test]
+    fn i128_uses_two_consecutive_gp_regs() {
+        let cc = sysv_x64();
+        let parts = vec![(RegBank::GP, 8), (RegBank::GP, 8)];
+        let a = cc.assign_args(&parts);
+        assert_eq!(a.locs[0], ArgLoc::Reg(gp(x64::RDI)));
+        assert_eq!(a.locs[1], ArgLoc::Reg(gp(x64::RSI)));
+    }
+
+    #[test]
+    fn returns_fit_or_not() {
+        let cc = sysv_x64();
+        assert!(cc.assign_rets(&[(RegBank::GP, 8), (RegBank::GP, 8)]).is_some());
+        assert!(cc
+            .assign_rets(&[(RegBank::GP, 8), (RegBank::GP, 8), (RegBank::GP, 8)])
+            .is_none());
+        let r = cc.assign_rets(&[(RegBank::FP, 8)]).unwrap();
+        assert_eq!(r[0], fp(0));
+    }
+
+    #[test]
+    fn aapcs_has_eight_gp_args_and_x19_callee_saved() {
+        let cc = aapcs_a64();
+        let parts = vec![(RegBank::GP, 8); 9];
+        let a = cc.assign_args(&parts);
+        assert_eq!(a.locs[7], ArgLoc::Reg(gp(7)));
+        assert_eq!(a.locs[8], ArgLoc::Stack(0));
+        assert!(cc.callee_saved.contains(gp(19)));
+        assert!(!cc.callee_saved.contains(gp(0)));
+        assert!(cc.caller_saved.contains(gp(0)));
+    }
+
+    #[test]
+    fn callee_and_caller_saved_disjoint() {
+        for cc in [sysv_x64(), aapcs_a64()] {
+            assert!(cc.callee_saved.intersect(cc.caller_saved).is_empty());
+        }
+    }
+}

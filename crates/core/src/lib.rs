@@ -1,0 +1,53 @@
+//! # tpde-core
+//!
+//! Core of the TPDE compiler back-end framework: a fast, adaptable,
+//! single-pass code generator for SSA-form IRs.
+//!
+//! The framework is IR-agnostic. To compile an IR, a user provides:
+//!
+//! * an [`adapter::IrAdapter`] implementation, which exposes the IR data
+//!   structures (functions, blocks, instructions, values) in a canonical way;
+//! * *instruction compilers*, callbacks which generate machine code for a
+//!   single IR instruction by calling back into the framework (operand
+//!   handles, register allocation, scratch registers, instruction encoding).
+//!
+//! Compilation of a function happens in exactly two passes:
+//!
+//! 1. the [`analysis`] pass computes a loop forest, the block layout and
+//!    coarse block-range liveness for every value;
+//! 2. the [`codegen`] pass walks the blocks in layout order once and performs
+//!    instruction selection, register allocation, spilling, phi handling and
+//!    machine-code emission in a single sweep.
+//!
+//! Machine code is emitted into a [`codebuf::CodeBuffer`], which can then be
+//! turned into an ELF relocatable object ([`obj`]) or mapped as an in-memory
+//! JIT image ([`jit`]).
+//!
+//! ```
+//! // The `tpde-testir` crate contains a tiny textual SSA IR with an adapter;
+//! // see the workspace examples for end-to-end usage.
+//! use tpde_core::regs::{Reg, RegBank};
+//! let r = Reg::new(RegBank::GP, 3);
+//! assert_eq!(r.bank(), RegBank::GP);
+//! assert_eq!(r.index(), 3);
+//! ```
+
+pub mod adapter;
+pub mod analysis;
+pub mod assignments;
+pub mod callconv;
+pub mod codebuf;
+pub mod codegen;
+pub mod error;
+pub mod jit;
+pub mod obj;
+pub mod regalloc;
+pub mod regs;
+pub mod target;
+pub mod timing;
+
+pub use adapter::{BlockRef, FuncRef, IrAdapter, Linkage, ValueRef};
+pub use analysis::{Analysis, LoopInfo};
+pub use codegen::{CodeGen, CompileOptions, CompiledModule};
+pub use error::{Error, Result};
+pub use regs::{Reg, RegBank};

@@ -1,0 +1,278 @@
+//! The register file: tracking which value part occupies which register
+//! during the single code-generation pass.
+//!
+//! Register allocation in TPDE is strictly local and greedy (§3.4.5): when a
+//! register is needed and one is free, the lowest-numbered free register is
+//! used; otherwise an arbitrary evictable register is chosen round-robin and
+//! its value is spilled by the code generator. Locked registers (operands of
+//! the current instruction) and fixed registers (innermost-loop values) are
+//! never evicted.
+
+use crate::adapter::ValueRef;
+use crate::regs::{Reg, RegBank, RegSet};
+
+/// Who currently owns a register.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum RegOwner {
+    /// A value part.
+    Value(ValueRef, u32),
+    /// A temporary (scratch) register requested by an instruction compiler.
+    Scratch,
+}
+
+#[derive(Copy, Clone, Debug, Default)]
+struct RegState {
+    owner: Option<RegOwner>,
+    lock_count: u32,
+    fixed: bool,
+    allocatable: bool,
+}
+
+/// Tracks the state of every register of both banks.
+#[derive(Debug)]
+pub struct RegFile {
+    state: [RegState; 64],
+    allocatable: [Vec<Reg>; 2],
+    clock: [usize; 2],
+}
+
+impl RegFile {
+    /// Creates a register file with the given allocatable registers per bank
+    /// (in allocation preference order).
+    pub fn new(gp: &[Reg], fp: &[Reg]) -> RegFile {
+        let mut state = [RegState::default(); 64];
+        for &r in gp.iter().chain(fp.iter()) {
+            state[r.compact()].allocatable = true;
+        }
+        RegFile {
+            state,
+            allocatable: [gp.to_vec(), fp.to_vec()],
+            clock: [0, 0],
+        }
+    }
+
+    /// The allocatable registers of a bank, in allocation order.
+    pub fn allocatable(&self, bank: RegBank) -> &[Reg] {
+        &self.allocatable[bank.index()]
+    }
+
+    /// Current owner of a register.
+    pub fn owner(&self, r: Reg) -> Option<RegOwner> {
+        self.state[r.compact()].owner
+    }
+
+    /// Whether the register is currently locked (operand of the instruction
+    /// being compiled).
+    pub fn is_locked(&self, r: Reg) -> bool {
+        self.state[r.compact()].lock_count > 0
+    }
+
+    /// Whether the register is pinned to a value for its whole live range.
+    pub fn is_fixed(&self, r: Reg) -> bool {
+        self.state[r.compact()].fixed
+    }
+
+    /// Marks `r` as owned by `owner`. Does not touch lock state.
+    pub fn set_owner(&mut self, r: Reg, owner: RegOwner) {
+        self.state[r.compact()].owner = Some(owner);
+    }
+
+    /// Marks `r` as owned by a value part and pinned (never evicted).
+    pub fn set_fixed(&mut self, r: Reg, v: ValueRef, part: u32) {
+        let s = &mut self.state[r.compact()];
+        s.owner = Some(RegOwner::Value(v, part));
+        s.fixed = true;
+    }
+
+    /// Clears ownership (and pinning) of a register.
+    pub fn clear(&mut self, r: Reg) {
+        let s = &mut self.state[r.compact()];
+        s.owner = None;
+        s.fixed = false;
+        s.lock_count = 0;
+    }
+
+    /// Increments the lock count of a register.
+    pub fn lock(&mut self, r: Reg) {
+        self.state[r.compact()].lock_count += 1;
+    }
+
+    /// Decrements the lock count of a register.
+    pub fn unlock(&mut self, r: Reg) {
+        let s = &mut self.state[r.compact()];
+        debug_assert!(s.lock_count > 0, "unlock of unlocked register {r}");
+        s.lock_count = s.lock_count.saturating_sub(1);
+    }
+
+    /// Releases all locks (end of instruction).
+    pub fn unlock_all(&mut self) {
+        for s in self.state.iter_mut() {
+            s.lock_count = 0;
+        }
+    }
+
+    /// Finds a free allocatable register of `bank`, preferring the lowest
+    /// allocation-order index, excluding registers in `exclude` and, if
+    /// `within` is non-empty, restricting the choice to `within`.
+    pub fn find_free(&self, bank: RegBank, exclude: RegSet, within: Option<RegSet>) -> Option<Reg> {
+        self.allocatable[bank.index()]
+            .iter()
+            .copied()
+            .find(|&r| {
+                let s = &self.state[r.compact()];
+                s.owner.is_none()
+                    && !exclude.contains(r)
+                    && within.map_or(true, |w| w.contains(r))
+            })
+    }
+
+    /// Chooses a register of `bank` to evict, round-robin, skipping locked,
+    /// fixed and excluded registers. Returns `None` if every candidate is
+    /// unavailable.
+    pub fn pick_eviction(
+        &mut self,
+        bank: RegBank,
+        exclude: RegSet,
+        within: Option<RegSet>,
+    ) -> Option<Reg> {
+        let regs = &self.allocatable[bank.index()];
+        if regs.is_empty() {
+            return None;
+        }
+        let n = regs.len();
+        let start = self.clock[bank.index()] % n;
+        for i in 0..n {
+            let r = regs[(start + i) % n];
+            let s = &self.state[r.compact()];
+            if s.lock_count == 0
+                && !s.fixed
+                && !exclude.contains(r)
+                && within.map_or(true, |w| w.contains(r))
+            {
+                self.clock[bank.index()] = (start + i + 1) % n;
+                return Some(r);
+            }
+        }
+        None
+    }
+
+    /// All registers currently owned by value parts (used when spilling
+    /// before branches or calls).
+    pub fn value_owned_regs(&self) -> Vec<(Reg, ValueRef, u32)> {
+        let mut out = Vec::new();
+        for bank in RegBank::ALL {
+            for &r in &self.allocatable[bank.index()] {
+                if let Some(RegOwner::Value(v, p)) = self.state[r.compact()].owner {
+                    out.push((r, v, p));
+                }
+            }
+        }
+        out
+    }
+
+    /// Clears ownership of every non-fixed register (register state reset at
+    /// block boundaries with unknown predecessors). Returns the cleared
+    /// registers and their owners so the caller can update assignments.
+    pub fn reset_non_fixed(&mut self) -> Vec<(Reg, RegOwner)> {
+        let mut cleared = Vec::new();
+        for bank in RegBank::ALL {
+            for &r in &self.allocatable[bank.index()] {
+                let s = &mut self.state[r.compact()];
+                if !s.fixed {
+                    if let Some(o) = s.owner.take() {
+                        cleared.push((r, o));
+                    }
+                    s.lock_count = 0;
+                }
+            }
+        }
+        cleared
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gp(i: u8) -> Reg {
+        Reg::new(RegBank::GP, i)
+    }
+
+    fn file() -> RegFile {
+        RegFile::new(&[gp(0), gp(1), gp(2)], &[Reg::new(RegBank::FP, 0)])
+    }
+
+    #[test]
+    fn find_free_prefers_lowest() {
+        let mut f = file();
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), Some(gp(0)));
+        f.set_owner(gp(0), RegOwner::Scratch);
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), Some(gp(1)));
+        let mut excl = RegSet::empty();
+        excl.insert(gp(1));
+        assert_eq!(f.find_free(RegBank::GP, excl, None), Some(gp(2)));
+    }
+
+    #[test]
+    fn find_free_with_constraint_set() {
+        let f = file();
+        let mut within = RegSet::empty();
+        within.insert(gp(2));
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), Some(within)), Some(gp(2)));
+    }
+
+    #[test]
+    fn eviction_is_round_robin_and_skips_locked_fixed() {
+        let mut f = file();
+        for i in 0..3 {
+            f.set_owner(gp(i), RegOwner::Value(ValueRef(i as u32), 0));
+        }
+        f.lock(gp(0));
+        f.set_fixed(gp(1), ValueRef(1), 0);
+        // only gp2 is evictable
+        assert_eq!(f.pick_eviction(RegBank::GP, RegSet::empty(), None), Some(gp(2)));
+        f.unlock(gp(0));
+        // round robin continues after gp2 -> wraps to gp0
+        assert_eq!(f.pick_eviction(RegBank::GP, RegSet::empty(), None), Some(gp(0)));
+        // all locked -> none
+        f.lock(gp(0));
+        f.lock(gp(2));
+        assert_eq!(f.pick_eviction(RegBank::GP, RegSet::empty(), None), None);
+    }
+
+    #[test]
+    fn reset_non_fixed_keeps_fixed() {
+        let mut f = file();
+        f.set_owner(gp(0), RegOwner::Value(ValueRef(0), 0));
+        f.set_fixed(gp(1), ValueRef(1), 0);
+        let cleared = f.reset_non_fixed();
+        assert_eq!(cleared.len(), 1);
+        assert_eq!(f.owner(gp(0)), None);
+        assert_eq!(f.owner(gp(1)), Some(RegOwner::Value(ValueRef(1), 0)));
+        assert!(f.is_fixed(gp(1)));
+    }
+
+    #[test]
+    fn value_owned_regs_lists_only_values() {
+        let mut f = file();
+        f.set_owner(gp(0), RegOwner::Scratch);
+        f.set_owner(gp(2), RegOwner::Value(ValueRef(7), 1));
+        let owned = f.value_owned_regs();
+        assert_eq!(owned, vec![(gp(2), ValueRef(7), 1)]);
+    }
+
+    #[test]
+    fn lock_unlock_balance() {
+        let mut f = file();
+        f.lock(gp(0));
+        f.lock(gp(0));
+        assert!(f.is_locked(gp(0)));
+        f.unlock(gp(0));
+        assert!(f.is_locked(gp(0)));
+        f.unlock(gp(0));
+        assert!(!f.is_locked(gp(0)));
+        f.lock(gp(1));
+        f.unlock_all();
+        assert!(!f.is_locked(gp(1)));
+    }
+}

@@ -1,0 +1,42 @@
+//! Small debugging helper: compares back-end results against the reference
+//! for single kernels at small iteration counts.
+
+use tpde_core::codegen::CompileOptions;
+use tpde_core::jit::link_in_memory;
+use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
+use tpde_llvm::{compile_baseline, compile_copy_patch, compile_x64};
+use tpde_x64emu::run_function;
+
+fn run_buf(buf: &tpde_core::codebuf::CodeBuffer, func: &str, args: &[u64]) -> u64 {
+    let image = link_in_memory(buf, 0x40_0000, |_| None).unwrap();
+    match run_function(&image, func, args) {
+        Ok((ret, _)) => ret,
+        Err(e) => {
+            println!("    execution error: {e}");
+            u64::MAX
+        }
+    }
+}
+
+fn main() {
+    for n in [0u64, 1, 2, 3, 10, 100] {
+        for idx in [6usize, 0, 2, 3] {
+            let w = Workload { input: n, funcs: 1, ..spec_workloads()[idx].clone() };
+            for style in [IrStyle::O0, IrStyle::O1] {
+                let module = build_workload(&w, style);
+                let expected = expected_result(&w);
+                let tpde = compile_x64(&module, &CompileOptions::default()).unwrap();
+                let t = run_buf(&tpde.buf, "bench_main", &[w.input]);
+                let cp = compile_copy_patch(&module).unwrap();
+                let c = run_buf(&cp.buf, "bench_main", &[w.input]);
+                let base = compile_baseline(&module, 0).unwrap();
+                let b = run_buf(&base.buf, "bench_main", &[w.input]);
+                let ok = if t == expected && c == expected && b == expected { "ok" } else { "MISMATCH" };
+                println!(
+                    "{:16} n={:<4} {:?}: expected={:<22} tpde={:<22} cp={:<22} base={:<22} {}",
+                    w.name, n, style, expected, t, c, b, ok
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Quickstart: build a tiny LLVM-IR-like function, compile it with the TPDE
+//! back-end for x86-64 and AArch64, and execute the x86-64 code in the
+//! emulator.
+//!
+//! Run with: `cargo run -p tpde-llvm --example quickstart`
+
+use tpde_core::codegen::CompileOptions;
+use tpde_core::jit::link_in_memory;
+use tpde_llvm::ir::{BinOp, FunctionBuilder, ICmp, Module, Type};
+use tpde_llvm::{compile_a64, compile_x64};
+use tpde_x64emu::run_function;
+
+fn main() {
+    // fib(n): iterative Fibonacci
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("fib", &[Type::I64], Type::I64);
+    let entry = b.current_block();
+    let head = b.create_block();
+    let body = b.create_block();
+    let exit = b.create_block();
+    let zero = b.iconst(Type::I64, 0);
+    let one = b.iconst(Type::I64, 1);
+    b.br(head);
+    b.switch_to(head);
+    let a = b.phi(Type::I64);
+    let c = b.phi(Type::I64);
+    let i = b.phi(Type::I64);
+    let done = b.icmp(ICmp::Eq, Type::I64, i, b.arg(0));
+    b.cond_br(done, exit, body);
+    b.switch_to(body);
+    let next = b.bin(BinOp::Add, Type::I64, a, c);
+    let i1 = b.bin(BinOp::Add, Type::I64, i, one);
+    b.br(head);
+    let bend = b.current_block();
+    b.phi_add_incoming(a, entry, zero);
+    b.phi_add_incoming(a, bend, c);
+    b.phi_add_incoming(c, entry, one);
+    b.phi_add_incoming(c, bend, next);
+    b.phi_add_incoming(i, entry, zero);
+    b.phi_add_incoming(i, bend, i1);
+    b.switch_to(exit);
+    b.ret(Some(a));
+    m.add_function(b.build());
+
+    // Compile with the TPDE single-pass back-end.
+    let x64 = compile_x64(&m, &CompileOptions::default()).expect("compile x86-64");
+    let a64 = compile_a64(&m, &CompileOptions::default()).expect("compile aarch64");
+    println!("x86-64 code: {} bytes, AArch64 code: {} bytes", x64.text_size(), a64.text_size());
+    println!(
+        "compiled {} instructions with {} spills and {} reloads",
+        x64.stats.insts, x64.stats.spills, x64.stats.reloads
+    );
+
+    // JIT-map and run on the emulator.
+    let image = link_in_memory(&x64.buf, 0x40_0000, |_| None).expect("link");
+    for n in [0u64, 1, 10, 50, 90] {
+        let (result, stats) = run_function(&image, "fib", &[n]).expect("run");
+        println!("fib({n}) = {result}   ({} emulated instructions)", stats.insts);
+    }
+}

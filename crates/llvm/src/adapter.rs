@@ -1,0 +1,236 @@
+//! The TPDE IR adapter for the LLVM-IR-like module (§5.1.1 of the paper).
+
+use crate::ir::{Block, FuncId, Inst, Module, Type, Value, ValueDef};
+use tpde_core::adapter::{
+    ArgInfo, BlockRef, FuncRef, InstRef, IrAdapter, Linkage, PhiIncoming, StackVarDesc, ValueRef,
+};
+use tpde_core::regs::RegBank;
+
+/// Adapter exposing a [`Module`] to the TPDE framework.
+///
+/// The IR already numbers values, blocks and functions densely, so the
+/// adapter is a thin view; `switch_func` only builds the flat instruction
+/// index (the framework refers to instructions by dense ids).
+pub struct LlvmAdapter<'m> {
+    /// The module being compiled.
+    pub module: &'m Module,
+    cur: FuncId,
+    /// Flat instruction index -> (block, index within block).
+    inst_index: Vec<(u32, u32)>,
+    /// Per block: (first flat index, count).
+    block_ranges: Vec<(u32, u32)>,
+}
+
+impl<'m> LlvmAdapter<'m> {
+    /// Creates an adapter for a module.
+    pub fn new(module: &'m Module) -> LlvmAdapter<'m> {
+        LlvmAdapter {
+            module,
+            cur: FuncId(0),
+            inst_index: Vec::new(),
+            block_ranges: Vec::new(),
+        }
+    }
+
+    /// The function currently being compiled.
+    pub fn cur_func(&self) -> &'m crate::ir::Function {
+        &self.module.funcs[self.cur.0 as usize]
+    }
+
+    /// The IR instruction behind an [`InstRef`].
+    pub fn inst(&self, inst: InstRef) -> &'m Inst {
+        let (b, i) = self.inst_index[inst.idx()];
+        &self.cur_func().blocks[b as usize].insts[i as usize]
+    }
+
+    /// The instruction following `inst` within the same block, if any.
+    pub fn next_inst_in_block(&self, inst: InstRef) -> Option<InstRef> {
+        let (b, i) = self.inst_index[inst.idx()];
+        let (start, count) = self.block_ranges[b as usize];
+        let next = inst.0 + 1;
+        if next < start + count && (i + 1) < count {
+            Some(InstRef(next))
+        } else {
+            None
+        }
+    }
+
+    /// Type of a value in the current function.
+    pub fn value_type(&self, v: ValueRef) -> Type {
+        self.cur_func().value_type(Value(v.0))
+    }
+
+    /// Number of uses of a value within the current function (used for the
+    /// single-use check of compare/branch fusion).
+    pub fn count_uses(&self, v: Value) -> usize {
+        let f = self.cur_func();
+        let mut n = 0;
+        for b in &f.blocks {
+            for phi in &b.phis {
+                n += phi.incoming.iter().filter(|(_, val)| *val == v).count();
+            }
+            for inst in &b.insts {
+                n += inst.operands().iter().filter(|val| **val == v).count();
+            }
+        }
+        n
+    }
+}
+
+fn bank_of(ty: Type) -> RegBank {
+    if ty.is_fp() {
+        RegBank::FP
+    } else {
+        RegBank::GP
+    }
+}
+
+impl<'m> IrAdapter for LlvmAdapter<'m> {
+    fn funcs(&self) -> Vec<FuncRef> {
+        (0..self.module.funcs.len() as u32).map(FuncRef).collect()
+    }
+
+    fn func_name(&self, func: FuncRef) -> String {
+        self.module.funcs[func.idx()].name.clone()
+    }
+
+    fn func_linkage(&self, func: FuncRef) -> Linkage {
+        if self.module.funcs[func.idx()].internal {
+            Linkage::Internal
+        } else {
+            Linkage::External
+        }
+    }
+
+    fn func_is_definition(&self, func: FuncRef) -> bool {
+        !self.module.funcs[func.idx()].is_decl
+    }
+
+    fn switch_func(&mut self, func: FuncRef) {
+        self.cur = FuncId(func.0);
+        self.inst_index.clear();
+        self.block_ranges.clear();
+        let f = self.cur_func();
+        for (bi, b) in f.blocks.iter().enumerate() {
+            let start = self.inst_index.len() as u32;
+            for ii in 0..b.insts.len() {
+                self.inst_index.push((bi as u32, ii as u32));
+            }
+            self.block_ranges.push((start, b.insts.len() as u32));
+        }
+    }
+
+    fn value_count(&self) -> usize {
+        self.cur_func().value_count()
+    }
+
+    fn args(&self) -> Vec<ValueRef> {
+        (0..self.cur_func().params.len() as u32).map(ValueRef).collect()
+    }
+
+    fn arg_info(&self) -> Vec<ArgInfo> {
+        self.args().iter().map(|_| ArgInfo::default()).collect()
+    }
+
+    fn static_stack_vars(&self) -> Vec<StackVarDesc> {
+        let f = self.cur_func();
+        f.stack_slots
+            .iter()
+            .zip(f.stack_slot_values.iter())
+            .map(|(&(size, align), &v)| StackVarDesc {
+                value: ValueRef(v.0),
+                size,
+                align,
+            })
+            .collect()
+    }
+
+    fn blocks(&self) -> Vec<BlockRef> {
+        (0..self.cur_func().blocks.len() as u32).map(BlockRef).collect()
+    }
+
+    fn block_succs(&self, block: BlockRef) -> Vec<BlockRef> {
+        let b = &self.cur_func().blocks[block.idx()];
+        match b.insts.last() {
+            Some(t) => t.successors().iter().map(|s| BlockRef(s.0)).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
+        self.cur_func().blocks[block.idx()]
+            .phis
+            .iter()
+            .map(|p| ValueRef(p.res.0))
+            .collect()
+    }
+
+    fn block_insts(&self, block: BlockRef) -> Vec<InstRef> {
+        let (start, count) = self.block_ranges[block.idx()];
+        (start..start + count).map(InstRef).collect()
+    }
+
+    fn phi_incoming(&self, phi: ValueRef) -> Vec<PhiIncoming> {
+        let f = self.cur_func();
+        for b in &f.blocks {
+            for p in &b.phis {
+                if p.res.0 == phi.0 {
+                    return p
+                        .incoming
+                        .iter()
+                        .map(|(blk, v)| PhiIncoming {
+                            block: BlockRef(blk.0),
+                            value: ValueRef(v.0),
+                        })
+                        .collect();
+                }
+            }
+        }
+        Vec::new()
+    }
+
+    fn inst_operands(&self, inst: InstRef) -> Vec<ValueRef> {
+        self.inst(inst)
+            .operands()
+            .iter()
+            .map(|v| ValueRef(v.0))
+            .collect()
+    }
+
+    fn inst_results(&self, inst: InstRef) -> Vec<ValueRef> {
+        self.inst(inst).result().map(|v| vec![ValueRef(v.0)]).unwrap_or_default()
+    }
+
+    fn val_part_count(&self, _val: ValueRef) -> u32 {
+        1
+    }
+
+    fn val_part_size(&self, val: ValueRef, _part: u32) -> u32 {
+        self.cur_func().value_type(Value(val.0)).size().max(1)
+    }
+
+    fn val_part_bank(&self, val: ValueRef, _part: u32) -> RegBank {
+        bank_of(self.cur_func().value_type(Value(val.0)))
+    }
+
+    fn val_is_const(&self, val: ValueRef) -> bool {
+        matches!(self.cur_func().values[val.idx()].def, ValueDef::Const(_))
+    }
+
+    fn val_const_data(&self, val: ValueRef, _part: u32) -> u64 {
+        match self.cur_func().values[val.idx()].def {
+            ValueDef::Const(bits) => bits,
+            _ => 0,
+        }
+    }
+}
+
+/// Helper to convert IR blocks to framework block references.
+pub fn block_ref(b: Block) -> BlockRef {
+    BlockRef(b.0)
+}
+
+/// Helper to convert IR values to framework value references.
+pub fn value_ref(v: Value) -> ValueRef {
+    ValueRef(v.0)
+}

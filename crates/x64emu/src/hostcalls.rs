@@ -1,0 +1,97 @@
+//! Default host call-outs: a minimal libc subset for generated code.
+
+use crate::cpu::{EmuError, Machine};
+use std::rc::Rc;
+use tpde_core::jit::JitImage;
+
+/// Registers the default host functions for every external symbol of the
+/// image whose name the emulator knows. Unknown externals stay unregistered
+/// and fault if called, which keeps silent miscompiles visible.
+pub fn register_default_hostcalls(m: &mut Machine, image: &JitImage) {
+    for (name, addr) in &image.externals {
+        let addr = *addr;
+        match name.as_str() {
+            "malloc" => m.register_host_fn(
+                addr,
+                Rc::new(|m: &mut Machine| {
+                    let size = m.arg(0);
+                    let p = m.heap_alloc(size, 16);
+                    m.set_ret(p);
+                    Ok(())
+                }),
+            ),
+            "calloc" => m.register_host_fn(
+                addr,
+                Rc::new(|m: &mut Machine| {
+                    let n = m.arg(0);
+                    let sz = m.arg(1);
+                    let p = m.heap_alloc(n.saturating_mul(sz), 16);
+                    m.set_ret(p);
+                    Ok(())
+                }),
+            ),
+            "free" => m.register_host_fn(addr, Rc::new(|_m: &mut Machine| Ok(()))),
+            "memcpy" | "memmove" => m.register_host_fn(
+                addr,
+                Rc::new(|m: &mut Machine| {
+                    let (dst, src, n) = (m.arg(0), m.arg(1), m.arg(2));
+                    let bytes = m.mem.read_bytes(src, n as usize);
+                    m.mem.write_bytes(dst, &bytes);
+                    m.set_ret(dst);
+                    Ok(())
+                }),
+            ),
+            "memset" => m.register_host_fn(
+                addr,
+                Rc::new(|m: &mut Machine| {
+                    let (dst, c, n) = (m.arg(0), m.arg(1) as u8, m.arg(2));
+                    for i in 0..n {
+                        m.mem.write_u8(dst + i, c);
+                    }
+                    m.set_ret(dst);
+                    Ok(())
+                }),
+            ),
+            "memcmp" => m.register_host_fn(
+                addr,
+                Rc::new(|m: &mut Machine| {
+                    let (a, b, n) = (m.arg(0), m.arg(1), m.arg(2));
+                    let av = m.mem.read_bytes(a, n as usize);
+                    let bv = m.mem.read_bytes(b, n as usize);
+                    let r = match av.cmp(&bv) {
+                        std::cmp::Ordering::Less => -1i64,
+                        std::cmp::Ordering::Equal => 0,
+                        std::cmp::Ordering::Greater => 1,
+                    };
+                    m.set_ret(r as u64);
+                    Ok(())
+                }),
+            ),
+            "strlen" => m.register_host_fn(
+                addr,
+                Rc::new(|m: &mut Machine| {
+                    let mut p = m.arg(0);
+                    let mut n = 0u64;
+                    while m.mem.read_u8(p) != 0 {
+                        p += 1;
+                        n += 1;
+                    }
+                    m.set_ret(n);
+                    Ok(())
+                }),
+            ),
+            "puts" | "putchar" => m.register_host_fn(
+                addr,
+                Rc::new(|m: &mut Machine| {
+                    m.set_ret(0);
+                    Ok(())
+                }),
+            ),
+            "abort" | "exit" | "__trap" => m.register_host_fn(
+                addr,
+                Rc::new(|_m: &mut Machine| Err(EmuError::Fault("guest called abort/exit/trap".into()))),
+            ),
+            _ => {}
+        }
+    }
+}
