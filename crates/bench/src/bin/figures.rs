@@ -21,7 +21,10 @@ fn main() {
 
     // ------------------------------------------------------------------ fig 5a/5b/7
     println!("== Figure 5a: back-end compile-time speedup over LLVM-O0-like (unoptimized IR)");
-    println!("{:<16} {:>12} {:>12} {:>12}", "benchmark", "TPDE x86-64", "TPDE AArch64", "Copy-Patch");
+    println!(
+        "{:<16} {:>12} {:>12} {:>12}",
+        "benchmark", "TPDE x86-64", "TPDE AArch64", "Copy-Patch"
+    );
     let mut sp_x64 = Vec::new();
     let mut sp_a64 = Vec::new();
     let mut sp_cp = Vec::new();
@@ -32,11 +35,18 @@ fn main() {
         let tpde = measure(Backend::TpdeX64, w, IrStyle::O0, 3);
         let a64 = measure(Backend::TpdeA64, w, IrStyle::O0, 3);
         let cp = measure(Backend::CopyPatch, w, IrStyle::O0, 3);
-        assert!(base.correct && tpde.correct && cp.correct, "incorrect code for {}", w.name);
+        assert!(
+            base.correct && tpde.correct && cp.correct,
+            "incorrect code for {}",
+            w.name
+        );
         let s_x = base.compile_time.as_secs_f64() / tpde.compile_time.as_secs_f64();
         let s_a = base.compile_time.as_secs_f64() / a64.compile_time.as_secs_f64();
         let s_c = base.compile_time.as_secs_f64() / cp.compile_time.as_secs_f64();
-        println!("{:<16} {:>11.2}x {:>11.2}x {:>11.2}x", w.name, s_x, s_a, s_c);
+        println!(
+            "{:<16} {:>11.2}x {:>11.2}x {:>11.2}x",
+            w.name, s_x, s_a, s_c
+        );
         sp_x64.push(s_x);
         sp_a64.push(s_a);
         sp_cp.push(s_c);
@@ -60,8 +70,13 @@ fn main() {
         geomean(&sp_cp)
     );
 
-    println!("\n== Figure 5b: run-time speedup of generated code over LLVM-O0-like (emulated cycles)");
-    println!("{:<16} {:>12} {:>12}", "benchmark", "TPDE x86-64", "Copy-Patch");
+    println!(
+        "\n== Figure 5b: run-time speedup of generated code over LLVM-O0-like (emulated cycles)"
+    );
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "benchmark", "TPDE x86-64", "Copy-Patch"
+    );
     let mut rt_tpde = Vec::new();
     let mut rt_cp = Vec::new();
     for (name, t, c) in &run_rows {
@@ -77,7 +92,10 @@ fn main() {
     );
 
     println!("\n== Figure 7: .text size relative to LLVM-O0-like");
-    println!("{:<16} {:>12} {:>12}", "benchmark", "TPDE x86-64", "Copy-Patch");
+    println!(
+        "{:<16} {:>12} {:>12}",
+        "benchmark", "TPDE x86-64", "Copy-Patch"
+    );
     let mut sz_tpde = Vec::new();
     let mut sz_cp = Vec::new();
     for (name, t, c, _) in &size_rows {
@@ -104,13 +122,22 @@ fn main() {
     }
     let sum: f64 = totals.iter().sum();
     for (i, phase) in Phase::ALL.iter().enumerate() {
-        println!("  {:<10} {:>6.1}%", phase.name(), 100.0 * totals[i] / sum.max(1e-12));
+        println!(
+            "  {:<10} {:>6.1}%",
+            phase.name(),
+            100.0 * totals[i] / sum.max(1e-12)
+        );
     }
-    println!("  (the paper additionally reports the Clang front-end share, which has no analogue here)");
+    println!(
+        "  (the paper additionally reports the Clang front-end share, which has no analogue here)"
+    );
 
     // ------------------------------------------------------------------ fig 8a/8b
     println!("\n== Figure 8a: compile-time speedup over the LLVM-O1-like back-end (optimized IR)");
-    println!("{:<16} {:>12} {:>14}", "benchmark", "TPDE x86-64", "vs LLVM-O0-like");
+    println!(
+        "{:<16} {:>12} {:>14}",
+        "benchmark", "TPDE x86-64", "vs LLVM-O0-like"
+    );
     let mut sp_o1 = Vec::new();
     let mut sp_o0 = Vec::new();
     let mut rt8 = Vec::new();
@@ -138,7 +165,10 @@ fn main() {
     );
 
     println!("\n== Figure 8b: run-time speedup over the LLVM-O1-like back-end (optimized IR)");
-    println!("{:<16} {:>12} {:>14}", "benchmark", "TPDE x86-64", "LLVM-O0-like");
+    println!(
+        "{:<16} {:>12} {:>14}",
+        "benchmark", "TPDE x86-64", "LLVM-O0-like"
+    );
     let (mut a, mut b) = (Vec::new(), Vec::new());
     for (name, t, o) in &rt8 {
         println!("{:<16} {:>11.2}x {:>13.2}x", name, t, o);
@@ -156,9 +186,27 @@ fn main() {
     println!("\n== Ablations (geomean over all workloads, -O1 style IR, TPDE x86-64)");
     let configs: [(&str, CompileOptions); 4] = [
         ("default", CompileOptions::default()),
-        ("no fixed loop regs", CompileOptions { fixed_loop_regs: false, ..CompileOptions::default() }),
-        ("no cmp/br fusion", CompileOptions { fusion: false, ..CompileOptions::default() }),
-        ("no liveness (all live)", CompileOptions { assume_all_live: true, ..CompileOptions::default() }),
+        (
+            "no fixed loop regs",
+            CompileOptions {
+                fixed_loop_regs: false,
+                ..CompileOptions::default()
+            },
+        ),
+        (
+            "no cmp/br fusion",
+            CompileOptions {
+                fusion: false,
+                ..CompileOptions::default()
+            },
+        ),
+        (
+            "no liveness (all live)",
+            CompileOptions {
+                assume_all_live: true,
+                ..CompileOptions::default()
+            },
+        ),
     ];
     let mut baseline_cycles = Vec::new();
     for (name, opts) in &configs {
@@ -178,7 +226,11 @@ fn main() {
         if baseline_cycles.is_empty() {
             baseline_cycles = cycles.clone();
         }
-        let slowdown: Vec<f64> = cycles.iter().zip(&baseline_cycles).map(|(c, b)| c / b).collect();
+        let slowdown: Vec<f64> = cycles
+            .iter()
+            .zip(&baseline_cycles)
+            .map(|(c, b)| c / b)
+            .collect();
         println!(
             "  {:<24} run-time {:>5.2}x of default, compile {:>7.3} ms, code {:>8.0} B",
             name,

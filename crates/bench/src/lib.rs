@@ -55,7 +55,11 @@ pub struct Measurement {
     pub correct: bool,
 }
 
-fn compile(backend: Backend, module: &Module, opts: &CompileOptions) -> (tpde_core::codebuf::CodeBuffer, Duration) {
+fn compile(
+    backend: Backend,
+    module: &Module,
+    opts: &CompileOptions,
+) -> (tpde_core::codebuf::CodeBuffer, Duration) {
     let start = Instant::now();
     match backend {
         Backend::TpdeX64 => {

@@ -234,9 +234,7 @@ impl LoopDiscovery {
                     let propagate = match nh {
                         Some(h) if self.dfsp_pos[h as usize] > 0 => Some(h),
                         _ => {
-                            if self.is_header[finished.block as usize]
-                                || nh.is_some()
-                            {
+                            if self.is_header[finished.block as usize] || nh.is_some() {
                                 // find closest enclosing on-path header
                                 let mut cur = if self.is_header[finished.block as usize] {
                                     Some(finished.block)
@@ -360,7 +358,15 @@ pub fn analyze<A: IrAdapter>(adapter: &A) -> Result<Analysis> {
         }
     }
     for &b in &rpo {
-        emit_block_or_loop(b, &rpo, &rpo_index, &disc, &mut emitted, &mut layout, &in_loop);
+        emit_block_or_loop(
+            b,
+            &rpo,
+            &rpo_index,
+            &disc,
+            &mut emitted,
+            &mut layout,
+            &in_loop,
+        );
     }
     debug_assert_eq!(layout.len(), num_blocks);
 
@@ -459,7 +465,7 @@ pub fn analyze<A: IrAdapter>(adapter: &A) -> Result<Analysis> {
     // --- step 4: liveness ------------------------------------------------------
     let mut liveness = vec![LiveRange::default(); adapter.value_count()];
 
-    let mut define = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32| {
+    let define = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32| {
         if v.idx() >= liveness.len() {
             return;
         }
@@ -520,7 +526,7 @@ pub fn analyze<A: IrAdapter>(adapter: &A) -> Result<Analysis> {
         }
     };
 
-    let mut add_use = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32, at_end: bool| {
+    let add_use = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32, at_end: bool| {
         if v.idx() >= liveness.len() || adapter.val_is_const(v) {
             return;
         }
@@ -586,11 +592,14 @@ mod tests {
 
     /// Minimal mock IR: a CFG plus per-block instructions described as
     /// (result, operands) pairs. Value 0..num_args are arguments.
+    /// Per block: (phi value, [(pred, incoming value)]).
+    type PhiList = Vec<Vec<(u32, Vec<(u32, u32)>)>>;
+
     struct MockIr {
         succs: Vec<Vec<u32>>,
         /// per block: list of (result value or NONE, operand values)
         insts: Vec<Vec<(Option<u32>, Vec<u32>)>>,
-        phis: Vec<Vec<(u32, Vec<(u32, u32)>)>>, // per block: (phi value, [(pred, value)])
+        phis: PhiList,
         num_args: u32,
         num_values: usize,
     }
@@ -642,10 +651,16 @@ mod tests {
             (0..self.succs.len() as u32).map(BlockRef).collect()
         }
         fn block_succs(&self, block: BlockRef) -> Vec<BlockRef> {
-            self.succs[block.idx()].iter().map(|&b| BlockRef(b)).collect()
+            self.succs[block.idx()]
+                .iter()
+                .map(|&b| BlockRef(b))
+                .collect()
         }
         fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
-            self.phis[block.idx()].iter().map(|&(v, _)| ValueRef(v)).collect()
+            self.phis[block.idx()]
+                .iter()
+                .map(|&(v, _)| ValueRef(v))
+                .collect()
         }
         fn block_insts(&self, block: BlockRef) -> Vec<InstRef> {
             // encode (block, idx) as block*1000+idx
@@ -835,7 +850,10 @@ mod tests {
         let a = analyze(&ir).unwrap();
         let l1 = a.live(ValueRef(1));
         assert_eq!(l1.last, a.pos(BlockRef(1)));
-        assert!(l1.last_full, "phi use keeps the value live to the end of the pred");
+        assert!(
+            l1.last_full,
+            "phi use keeps the value live to the end of the pred"
+        );
         let l3 = a.live(ValueRef(3));
         assert_eq!(l3.first, a.pos(BlockRef(3)));
         assert_eq!(l3.uses, 1);

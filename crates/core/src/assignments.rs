@@ -96,7 +96,7 @@ impl AssignmentTable {
 
     /// Whether a value currently has an assignment.
     pub fn contains(&self, v: ValueRef) -> bool {
-        self.slots.get(v.idx()).map_or(false, |s| s.is_some())
+        self.slots.get(v.idx()).is_some_and(|s| s.is_some())
     }
 
     /// Inserts an assignment for a value (replacing any existing one).
@@ -175,7 +175,11 @@ impl FrameAlloc {
     /// its frame offset (negative).
     pub fn alloc(&mut self, size: u32, align: u32) -> i32 {
         let size = size.max(1);
-        let align = align.max(1).max(if size >= 8 { 8 } else { size.next_power_of_two() });
+        let align = align.max(1).max(if size >= 8 {
+            8
+        } else {
+            size.next_power_of_two()
+        });
         if align <= 8 && size <= 8 {
             if let Some(off) = self.free8.pop() {
                 return off;
@@ -275,7 +279,7 @@ mod tests {
         assert_eq!(c, a, "freed slot is reused");
         let big = f.alloc(64, 16);
         assert_eq!(big % 16, 0);
-        assert!(f.frame_size() % 16 == 0);
+        assert!(f.frame_size().is_multiple_of(16));
         assert!(f.frame_size() >= 64 + 8 + 8 + 64);
     }
 

@@ -170,7 +170,10 @@ pub fn sysv_x64() -> CallConv {
     let fp_args: Vec<Reg> = (0..8).map(fp).collect();
     let gp_rets = vec![gp(RAX), gp(RDX)];
     let fp_rets = vec![fp(0), fp(1)];
-    let callee_saved: RegSet = [RBX, RBP, R12, R13, R14, R15].iter().map(|&i| gp(i)).collect();
+    let callee_saved: RegSet = [RBX, RBP, R12, R13, R14, R15]
+        .iter()
+        .map(|&i| gp(i))
+        .collect();
     let mut caller_saved = RegSet::empty();
     for i in 0..16u8 {
         let r = gp(i);
@@ -286,7 +289,9 @@ mod tests {
     #[test]
     fn returns_fit_or_not() {
         let cc = sysv_x64();
-        assert!(cc.assign_rets(&[(RegBank::GP, 8), (RegBank::GP, 8)]).is_some());
+        assert!(cc
+            .assign_rets(&[(RegBank::GP, 8), (RegBank::GP, 8)])
+            .is_some());
         assert!(cc
             .assign_rets(&[(RegBank::GP, 8), (RegBank::GP, 8), (RegBank::GP, 8)])
             .is_none());

@@ -437,7 +437,8 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                         let bank = self.adapter.val_part_bank(v, p);
                         let size = self.adapter.val_part_size(v, p);
                         let reg = self.alloc_reg(bank, None)?;
-                        self.target.emit_frame_load(self.buf, bank, size, reg, fp_off);
+                        self.target
+                            .emit_frame_load(self.buf, bank, size, reg, fp_off);
                         if let Some(a) = self.assignments.get_mut(v) {
                             a.parts[p as usize].reg = Some(reg);
                         }
@@ -632,7 +633,10 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
     /// Remaining (not yet observed) uses of a value.
     pub fn remaining_uses(&self, v: ValueRef) -> u32 {
-        self.assignments.get(v).map(|a| a.remaining_uses).unwrap_or(0)
+        self.assignments
+            .get(v)
+            .map(|a| a.remaining_uses)
+            .unwrap_or(0)
     }
 
     // ---- operand handles ---------------------------------------------------------
@@ -702,7 +706,9 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         }
         match self.assignments.get(p.val) {
             Some(a) => {
-                a.remaining_uses == 0 && a.last_pos == self.cur_pos && !a.last_full
+                a.remaining_uses == 0
+                    && a.last_pos == self.cur_pos
+                    && !a.last_full
                     && !a.parts[p.part as usize].fixed
             }
             None => false,
@@ -734,13 +740,14 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         self.ensure_assignment(p.val);
         let cur = self.assignments.get(p.val).unwrap().parts[p.part as usize];
         if let Some(reg) = cur.reg {
-            if allowed.map_or(true, |set| set.contains(reg)) {
+            if allowed.is_none_or(|set| set.contains(reg)) {
                 self.lock_for_inst(reg);
                 return Ok(reg);
             }
             // move to a register within the constraint set
             let dst = self.alloc_reg(p.bank, allowed)?;
-            self.target.emit_mov_rr(self.buf, p.bank, 8.max(p.size), dst, reg);
+            self.target
+                .emit_mov_rr(self.buf, p.bank, 8.max(p.size), dst, reg);
             self.stats.moves += 1;
             if !cur.fixed {
                 self.regfile.clear(reg);
@@ -985,8 +992,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     }
 
     fn succ_keeps_state(&self, succ: BlockRef) -> bool {
-        self.analysis.num_preds[succ.idx()] == 1
-            && self.analysis.pos(succ) == self.cur_pos + 1
+        self.analysis.num_preds[succ.idx()] == 1 && self.analysis.pos(succ) == self.cur_pos + 1
     }
 
     /// Returns the label a conditional branch should target for `succ`.
@@ -1015,8 +1021,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         let moves = self.phi_moves_for_edge(succ)?;
         self.emit_parallel_moves(&moves)?;
         let succ_pos = self.analysis.pos(succ);
-        let fallthrough =
-            succ_pos == self.cur_pos + 1 && self.pending_edges.is_empty();
+        let fallthrough = succ_pos == self.cur_pos + 1 && self.pending_edges.is_empty();
         if !fallthrough {
             let label = self.block_label(succ);
             self.target.emit_jump(self.buf, label);
@@ -1058,13 +1063,14 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 let size = self.adapter.val_part_size(phi, p).max(1);
                 // destination: fixed register or stack slot
                 let dst = {
-                    let fixed_reg = self
-                        .assignments
-                        .get(phi)
-                        .and_then(|a| {
-                            let ps = &a.parts[p as usize];
-                            if ps.fixed { ps.reg } else { None }
-                        });
+                    let fixed_reg = self.assignments.get(phi).and_then(|a| {
+                        let ps = &a.parts[p as usize];
+                        if ps.fixed {
+                            ps.reg
+                        } else {
+                            None
+                        }
+                    });
                     match fixed_reg {
                         Some(r) => MoveLoc::Reg(r),
                         None => {
@@ -1076,7 +1082,12 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 };
                 let src = self.canonical_loc(src_val, p)?;
                 if src != dst {
-                    moves.push(MoveDesc { dst, src, bank, size });
+                    moves.push(MoveDesc {
+                        dst,
+                        src,
+                        bank,
+                        size,
+                    });
                 }
             }
         }
@@ -1180,8 +1191,10 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                     RegBank::GP => self.target.scratch_gp(),
                     RegBank::FP => self.target.scratch_fp(),
                 };
-                self.target.emit_frame_load(buf, m.bank, m.size, scratch, soff);
-                self.target.emit_frame_store(buf, m.bank, m.size, doff, scratch);
+                self.target
+                    .emit_frame_load(buf, m.bank, m.size, scratch, soff);
+                self.target
+                    .emit_frame_store(buf, m.bank, m.size, doff, scratch);
                 self.stats.moves += 2;
             }
             (MoveLoc::Frame(doff), MoveLoc::Const(c)) => {
@@ -1231,14 +1244,16 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             });
         }
         self.emit_parallel_moves(&moves)?;
-        self.target.emit_epilogue_and_ret(self.buf, &mut self.frame_state);
+        self.target
+            .emit_epilogue_and_ret(self.buf, &mut self.frame_state);
         self.state_valid_next = false;
         Ok(())
     }
 
     /// Emits an epilogue and return without a return value.
     pub fn emit_return_void(&mut self) -> Result<()> {
-        self.target.emit_epilogue_and_ret(self.buf, &mut self.frame_state);
+        self.target
+            .emit_epilogue_and_ret(self.buf, &mut self.frame_state);
         self.state_valid_next = false;
         Ok(())
     }
@@ -1412,7 +1427,8 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         let ps = a.parts[p.part as usize];
         if let Some(r) = ps.reg {
             if r != dst {
-                self.target.emit_mov_rr(self.buf, p.bank, 8.max(p.size), dst, r);
+                self.target
+                    .emit_mov_rr(self.buf, p.bank, 8.max(p.size), dst, r);
                 self.stats.moves += 1;
             }
             return Ok(());
@@ -1420,9 +1436,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         if let Some(rc) = ps.recompute {
             match rc {
                 Recompute::StackAddr(off) => self.target.emit_frame_addr(self.buf, dst, off),
-                Recompute::Const(c) => {
-                    self.target.emit_const(self.buf, p.bank, p.size, dst, c)
-                }
+                Recompute::Const(c) => self.target.emit_const(self.buf, p.bank, p.size, dst, c),
             }
             return Ok(());
         }
@@ -1635,9 +1649,12 @@ mod tests {
         Ret(Option<u32>),
     }
 
+    /// Per block: (phi value, [(pred, incoming value)]).
+    type PhiList = Vec<Vec<(u32, Vec<(u32, u32)>)>>;
+
     struct MiniIr {
         blocks: Vec<Vec<MiniOp>>,
-        phis: Vec<Vec<(u32, Vec<(u32, u32)>)>>,
+        phis: PhiList,
         num_args: u32,
         num_values: usize,
     }
@@ -1705,7 +1722,10 @@ mod tests {
             out
         }
         fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
-            self.phis[block.idx()].iter().map(|&(v, _)| ValueRef(v)).collect()
+            self.phis[block.idx()]
+                .iter()
+                .map(|&(v, _)| ValueRef(v))
+                .collect()
         }
         fn block_insts(&self, block: BlockRef) -> Vec<InstRef> {
             (0..self.blocks[block.idx()].len() as u32)

@@ -223,14 +223,18 @@ mod tests {
         });
         let image = link_in_memory(&buf, 0x40_0000, |name| {
             (name == "callee").then_some(0x50_0000)
-        }).unwrap();
+        })
+        .unwrap();
         // check data pointer
         let (_, _, data) = image
             .sections
             .iter()
             .find(|(k, _, _)| *k == SectionKind::Data)
             .unwrap();
-        assert_eq!(u64::from_le_bytes(data[0..8].try_into().unwrap()), 0x50_0000);
+        assert_eq!(
+            u64::from_le_bytes(data[0..8].try_into().unwrap()),
+            0x50_0000
+        );
         // check call displacement: target - (place) - 4
         let (_, text_base, text) = image
             .sections

@@ -24,8 +24,8 @@
 //! JIT image ([`jit`]).
 //!
 //! ```
-//! // The `tpde-testir` crate contains a tiny textual SSA IR with an adapter;
-//! // see the workspace examples for end-to-end usage.
+//! // The `tpde-llvm` crate contains an LLVM-IR-like SSA IR with an adapter;
+//! // see `crates/llvm/examples` for end-to-end usage.
 //! use tpde_core::regs::{Reg, RegBank};
 //! let r = Reg::new(RegBank::GP, 3);
 //! assert_eq!(r.bank(), RegBank::GP);

@@ -27,14 +27,16 @@ impl ElfMachine {
 
     fn reloc_type(self, kind: RelocKind) -> Result<u32> {
         match (self, kind) {
-            (ElfMachine::X86_64, RelocKind::Abs64) => Ok(1),  // R_X86_64_64
-            (ElfMachine::X86_64, RelocKind::Pc32) => Ok(2),   // R_X86_64_PC32
+            (ElfMachine::X86_64, RelocKind::Abs64) => Ok(1), // R_X86_64_64
+            (ElfMachine::X86_64, RelocKind::Pc32) => Ok(2),  // R_X86_64_PC32
             (ElfMachine::Aarch64, RelocKind::Abs64) => Ok(257), // R_AARCH64_ABS64
-            (ElfMachine::Aarch64, RelocKind::Pc32) => Ok(261),  // R_AARCH64_PREL32
+            (ElfMachine::Aarch64, RelocKind::Pc32) => Ok(261), // R_AARCH64_PREL32
             (ElfMachine::Aarch64, RelocKind::Call26) => Ok(283), // R_AARCH64_CALL26
             (ElfMachine::Aarch64, RelocKind::AdrpPage) => Ok(275), // R_AARCH64_ADR_PREL_PG_HI21
             (ElfMachine::Aarch64, RelocKind::AddLo12) => Ok(277), // R_AARCH64_ADD_ABS_LO12_NC
-            (m, k) => Err(Error::Emit(format!("relocation {k:?} unsupported for {m:?}"))),
+            (m, k) => Err(Error::Emit(format!(
+                "relocation {k:?} unsupported for {m:?}"
+            ))),
         }
     }
 }
@@ -118,7 +120,13 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
     let mut local_syms: Vec<ElfSym> = Vec::new();
     let mut global_syms: Vec<ElfSym> = Vec::new();
     // null symbol
-    local_syms.push(ElfSym { name: 0, info: 0, shndx: 0, value: 0, size: 0 });
+    local_syms.push(ElfSym {
+        name: 0,
+        info: 0,
+        shndx: 0,
+        value: 0,
+        size: 0,
+    });
     // section symbols (STT_SECTION = 3, STB_LOCAL = 0); section header index
     // for section i is 1 + i (0 is the null section header).
     for (i, _k) in sec_order.iter().enumerate() {
@@ -143,7 +151,10 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
             SymbolBinding::Weak => 2,
         };
         let (shndx, value) = match sym.section {
-            Some(kind) => ((1 + sec_order.iter().position(|&s| s == kind).unwrap()) as u16, sym.offset),
+            Some(kind) => (
+                (1 + sec_order.iter().position(|&s| s == kind).unwrap()) as u16,
+                sym.offset,
+            ),
             None => (0u16, 0u64),
         };
         // Undefined symbols must be global or weak for linking purposes.
@@ -152,7 +163,13 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
         } else {
             (bind << 4) | stype
         };
-        let esym = ElfSym { name, info, shndx, value, size: sym.size };
+        let esym = ElfSym {
+            name,
+            info,
+            shndx,
+            value,
+            size: sym.size,
+        };
         user_syms.push((info >> 4 == 0, esym));
     }
 
@@ -219,7 +236,7 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
     let mut sec_offsets = [0u64; 4];
     for (i, &kind) in sec_order.iter().enumerate() {
         // align to 16
-        while (ehdr_size as usize + data_blob.len()) % 16 != 0 {
+        while !(ehdr_size as usize + data_blob.len()).is_multiple_of(16) {
             data_blob.push(0);
         }
         sec_offsets[i] = ehdr_size + data_blob.len() as u64;
@@ -246,7 +263,7 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
     }
 
     // symtab
-    while (ehdr_size as usize + data_blob.len()) % 8 != 0 {
+    while !(ehdr_size as usize + data_blob.len()).is_multiple_of(8) {
         data_blob.push(0);
     }
     let symtab_off = ehdr_size + data_blob.len() as u64;
@@ -281,7 +298,7 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
 
     // rela sections
     for (kind, data) in &rela_data {
-        while (ehdr_size as usize + data_blob.len()) % 8 != 0 {
+        while !(ehdr_size as usize + data_blob.len()).is_multiple_of(8) {
             data_blob.push(0);
         }
         let off = ehdr_size + data_blob.len() as u64;
@@ -320,13 +337,14 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
     });
 
     // section header table offset
-    while (ehdr_size as usize + data_blob.len()) % 8 != 0 {
+    while !(ehdr_size as usize + data_blob.len()).is_multiple_of(8) {
         data_blob.push(0);
     }
     let shoff = ehdr_size + data_blob.len() as u64;
 
     // ELF header
-    let mut out: Vec<u8> = Vec::with_capacity(ehdr_size as usize + data_blob.len() + headers.len() * 64);
+    let mut out: Vec<u8> =
+        Vec::with_capacity(ehdr_size as usize + data_blob.len() + headers.len() * 64);
     out.extend_from_slice(&[0x7f, b'E', b'L', b'F', 2, 1, 1, 0]); // 64-bit, LE, SysV
     out.extend_from_slice(&[0; 8]);
     write_u16(&mut out, 1); // ET_REL
@@ -411,7 +429,8 @@ mod tests {
         // every header must fit in the file
         assert!(shoff + shnum * 64 <= elf.len());
         // first non-null section is .text with our 6 bytes
-        let text_size = u64::from_le_bytes(elf[shoff + 64 + 32..shoff + 64 + 40].try_into().unwrap());
+        let text_size =
+            u64::from_le_bytes(elf[shoff + 64 + 32..shoff + 64 + 40].try_into().unwrap());
         assert_eq!(text_size, buf.section_size(SectionKind::Text));
     }
 

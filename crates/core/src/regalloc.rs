@@ -115,15 +115,10 @@ impl RegFile {
     /// allocation-order index, excluding registers in `exclude` and, if
     /// `within` is non-empty, restricting the choice to `within`.
     pub fn find_free(&self, bank: RegBank, exclude: RegSet, within: Option<RegSet>) -> Option<Reg> {
-        self.allocatable[bank.index()]
-            .iter()
-            .copied()
-            .find(|&r| {
-                let s = &self.state[r.compact()];
-                s.owner.is_none()
-                    && !exclude.contains(r)
-                    && within.map_or(true, |w| w.contains(r))
-            })
+        self.allocatable[bank.index()].iter().copied().find(|&r| {
+            let s = &self.state[r.compact()];
+            s.owner.is_none() && !exclude.contains(r) && within.is_none_or(|w| w.contains(r))
+        })
     }
 
     /// Chooses a register of `bank` to evict, round-robin, skipping locked,
@@ -147,7 +142,7 @@ impl RegFile {
             if s.lock_count == 0
                 && !s.fixed
                 && !exclude.contains(r)
-                && within.map_or(true, |w| w.contains(r))
+                && within.is_none_or(|w| w.contains(r))
             {
                 self.clock[bank.index()] = (start + i + 1) % n;
                 return Some(r);
@@ -218,7 +213,10 @@ mod tests {
         let f = file();
         let mut within = RegSet::empty();
         within.insert(gp(2));
-        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), Some(within)), Some(gp(2)));
+        assert_eq!(
+            f.find_free(RegBank::GP, RegSet::empty(), Some(within)),
+            Some(gp(2))
+        );
     }
 
     #[test]
@@ -230,10 +228,16 @@ mod tests {
         f.lock(gp(0));
         f.set_fixed(gp(1), ValueRef(1), 0);
         // only gp2 is evictable
-        assert_eq!(f.pick_eviction(RegBank::GP, RegSet::empty(), None), Some(gp(2)));
+        assert_eq!(
+            f.pick_eviction(RegBank::GP, RegSet::empty(), None),
+            Some(gp(2))
+        );
         f.unlock(gp(0));
         // round robin continues after gp2 -> wraps to gp0
-        assert_eq!(f.pick_eviction(RegBank::GP, RegSet::empty(), None), Some(gp(0)));
+        assert_eq!(
+            f.pick_eviction(RegBank::GP, RegSet::empty(), None),
+            Some(gp(0))
+        );
         // all locked -> none
         f.lock(gp(0));
         f.lock(gp(2));

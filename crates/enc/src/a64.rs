@@ -143,22 +143,34 @@ pub fn mov_imm64(buf: &mut CodeBuffer, rd: u8, value: u64) {
 
 /// `add rd, rn, rm`.
 pub fn add_rr(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x0B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x0B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `sub rd, rn, rm`.
 pub fn sub_rr(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x4B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x4B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `subs rd, rn, rm` (also `cmp` when `rd == zr`).
 pub fn subs_rr(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x6B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x6B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `adds rd, rn, rm`.
 pub fn adds_rr(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x2B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x2B00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `cmp rn, rm`.
@@ -169,13 +181,19 @@ pub fn cmp_rr(buf: &mut CodeBuffer, is64: bool, rn: u8, rm: u8) {
 /// `add rd, rn, #imm12` (also valid for SP operands).
 pub fn add_imm(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, imm12: u32) {
     debug_assert!(imm12 < 4096);
-    emit(buf, sf(is64) | 0x1100_0000 | (imm12 << 10) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x1100_0000 | (imm12 << 10) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `sub rd, rn, #imm12`.
 pub fn sub_imm(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, imm12: u32) {
     debug_assert!(imm12 < 4096);
-    emit(buf, sf(is64) | 0x5100_0000 | (imm12 << 10) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x5100_0000 | (imm12 << 10) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `sub sp, sp, rm` (extended-register form, usable with SP operands).
@@ -191,27 +209,42 @@ pub fn add_sp_reg(buf: &mut CodeBuffer, rm: u8) {
 /// `subs zr, rn, #imm12` (`cmp rn, #imm`).
 pub fn cmp_imm(buf: &mut CodeBuffer, is64: bool, rn: u8, imm12: u32) {
     debug_assert!(imm12 < 4096);
-    emit(buf, sf(is64) | 0x7100_0000 | (imm12 << 10) | ((rn as u32) << 5) | ZR as u32);
+    emit(
+        buf,
+        sf(is64) | 0x7100_0000 | (imm12 << 10) | ((rn as u32) << 5) | ZR as u32,
+    );
 }
 
 /// `and rd, rn, rm`.
 pub fn and_rr(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x0A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x0A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `orr rd, rn, rm`.
 pub fn orr_rr(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x2A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x2A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `eor rd, rn, rm`.
 pub fn eor_rr(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x4A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x4A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `ands zr, rn, rm` (`tst rn, rm`).
 pub fn tst_rr(buf: &mut CodeBuffer, is64: bool, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x6A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | ZR as u32);
+    emit(
+        buf,
+        sf(is64) | 0x6A00_0000 | ((rm as u32) << 16) | ((rn as u32) << 5) | ZR as u32,
+    );
 }
 
 /// `madd rd, rn, rm, ra` (`rd = ra + rn*rm`); `mul` when `ra == zr`.
@@ -247,12 +280,18 @@ pub fn mul(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
 
 /// `sdiv rd, rn, rm`.
 pub fn sdiv(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x1AC0_0C00 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x1AC0_0C00 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `udiv rd, rn, rm`.
 pub fn udiv(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8) {
-    emit(buf, sf(is64) | 0x1AC0_0800 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x1AC0_0800 | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// Variable shifts: `lslv`, `lsrv`, `asrv`.
@@ -271,7 +310,10 @@ pub fn shift_rr(buf: &mut CodeBuffer, is64: bool, op: ShiftOp, rd: u8, rn: u8, r
         ShiftOp::Lsr => 0x2400,
         ShiftOp::Asr => 0x2800,
     };
-    emit(buf, sf(is64) | 0x1AC0_0000 | opc | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        sf(is64) | 0x1AC0_0000 | opc | ((rm as u32) << 16) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `ubfm rd, rn, #immr, #imms` (64-bit uses N=1).
@@ -279,7 +321,13 @@ pub fn ubfm(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, immr: u8, imms: u8
     let n = if is64 { 1 << 22 } else { 0 };
     emit(
         buf,
-        sf(is64) | 0x5300_0000 | n | ((immr as u32) << 16) | ((imms as u32) << 10) | ((rn as u32) << 5) | rd as u32,
+        sf(is64)
+            | 0x5300_0000
+            | n
+            | ((immr as u32) << 16)
+            | ((imms as u32) << 10)
+            | ((rn as u32) << 5)
+            | rd as u32,
     );
 }
 
@@ -288,7 +336,13 @@ pub fn sbfm(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, immr: u8, imms: u8
     let n = if is64 { 1 << 22 } else { 0 };
     emit(
         buf,
-        sf(is64) | 0x1300_0000 | n | ((immr as u32) << 16) | ((imms as u32) << 10) | ((rn as u32) << 5) | rd as u32,
+        sf(is64)
+            | 0x1300_0000
+            | n
+            | ((immr as u32) << 16)
+            | ((imms as u32) << 10)
+            | ((rn as u32) << 5)
+            | rd as u32,
     );
 }
 
@@ -333,7 +387,12 @@ pub fn uxt(buf: &mut CodeBuffer, from_size: u32, rd: u8, rn: u8) {
 pub fn csel(buf: &mut CodeBuffer, is64: bool, rd: u8, rn: u8, rm: u8, cond: Cond) {
     emit(
         buf,
-        sf(is64) | 0x1A80_0000 | ((rm as u32) << 16) | ((cond as u32) << 12) | ((rn as u32) << 5) | rd as u32,
+        sf(is64)
+            | 0x1A80_0000
+            | ((rm as u32) << 16)
+            | ((cond as u32) << 12)
+            | ((rn as u32) << 5)
+            | rd as u32,
     );
 }
 
@@ -342,7 +401,12 @@ pub fn cset(buf: &mut CodeBuffer, is64: bool, rd: u8, cond: Cond) {
     let inv = cond.invert();
     emit(
         buf,
-        sf(is64) | 0x1A80_0400 | ((ZR as u32) << 16) | ((inv as u32) << 12) | ((ZR as u32) << 5) | rd as u32,
+        sf(is64)
+            | 0x1A80_0400
+            | ((ZR as u32) << 16)
+            | ((inv as u32) << 12)
+            | ((ZR as u32) << 5)
+            | rd as u32,
     );
 }
 
@@ -364,12 +428,19 @@ fn ldst_size_bits(size: u32) -> (u32, u32) {
 pub fn ldr(buf: &mut CodeBuffer, size: u32, rt: u8, rn: u8, offset: i32) {
     let (sz, scale) = ldst_size_bits(size);
     let base = (sz << 30) | 0x3940_0000;
-    if offset >= 0 && (offset as u32) % (1 << scale) == 0 && (offset as u32 >> scale) < 4096 {
-        emit(buf, base | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32);
+    if offset >= 0 && (offset as u32).is_multiple_of(1 << scale) && (offset as u32 >> scale) < 4096
+    {
+        emit(
+            buf,
+            base | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32,
+        );
     } else {
         debug_assert!((-256..256).contains(&offset), "ldur offset out of range");
         let imm9 = (offset as u32) & 0x1ff;
-        emit(buf, (sz << 30) | 0x3840_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32);
+        emit(
+            buf,
+            (sz << 30) | 0x3840_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32,
+        );
     }
 }
 
@@ -377,40 +448,63 @@ pub fn ldr(buf: &mut CodeBuffer, size: u32, rt: u8, rn: u8, offset: i32) {
 pub fn str(buf: &mut CodeBuffer, size: u32, rt: u8, rn: u8, offset: i32) {
     let (sz, scale) = ldst_size_bits(size);
     let base = (sz << 30) | 0x3900_0000;
-    if offset >= 0 && (offset as u32) % (1 << scale) == 0 && (offset as u32 >> scale) < 4096 {
-        emit(buf, base | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32);
+    if offset >= 0 && (offset as u32).is_multiple_of(1 << scale) && (offset as u32 >> scale) < 4096
+    {
+        emit(
+            buf,
+            base | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32,
+        );
     } else {
         debug_assert!((-256..256).contains(&offset), "stur offset out of range");
         let imm9 = (offset as u32) & 0x1ff;
-        emit(buf, (sz << 30) | 0x3800_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32);
+        emit(
+            buf,
+            (sz << 30) | 0x3800_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32,
+        );
     }
 }
 
 /// FP/SIMD load from `[rn + offset]` (4 or 8 bytes).
 pub fn ldr_fp(buf: &mut CodeBuffer, size: u32, rt: u8, rn: u8, offset: i32) {
     let (sz, scale) = ldst_size_bits(size);
-    if offset >= 0 && (offset as u32) % (1 << scale) == 0 && (offset as u32 >> scale) < 4096 {
+    if offset >= 0 && (offset as u32).is_multiple_of(1 << scale) && (offset as u32 >> scale) < 4096
+    {
         emit(
             buf,
-            (sz << 30) | 0x3D40_0000 | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32,
+            (sz << 30)
+                | 0x3D40_0000
+                | (((offset as u32) >> scale) << 10)
+                | ((rn as u32) << 5)
+                | rt as u32,
         );
     } else {
         let imm9 = (offset as u32) & 0x1ff;
-        emit(buf, (sz << 30) | 0x3C40_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32);
+        emit(
+            buf,
+            (sz << 30) | 0x3C40_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32,
+        );
     }
 }
 
 /// FP/SIMD store to `[rn + offset]`.
 pub fn str_fp(buf: &mut CodeBuffer, size: u32, rt: u8, rn: u8, offset: i32) {
     let (sz, scale) = ldst_size_bits(size);
-    if offset >= 0 && (offset as u32) % (1 << scale) == 0 && (offset as u32 >> scale) < 4096 {
+    if offset >= 0 && (offset as u32).is_multiple_of(1 << scale) && (offset as u32 >> scale) < 4096
+    {
         emit(
             buf,
-            (sz << 30) | 0x3D00_0000 | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32,
+            (sz << 30)
+                | 0x3D00_0000
+                | (((offset as u32) >> scale) << 10)
+                | ((rn as u32) << 5)
+                | rt as u32,
         );
     } else {
         let imm9 = (offset as u32) & 0x1ff;
-        emit(buf, (sz << 30) | 0x3C00_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32);
+        emit(
+            buf,
+            (sz << 30) | 0x3C00_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32,
+        );
     }
 }
 
@@ -420,36 +514,55 @@ pub fn ldrs(buf: &mut CodeBuffer, from_size: u32, rt: u8, rn: u8, offset: i32) {
     debug_assert!(from_size <= 4);
     // opc = 10 (sign-extend to 64 bit)
     let base = (sz << 30) | 0x3980_0000;
-    if offset >= 0 && (offset as u32) % (1 << scale) == 0 && (offset as u32 >> scale) < 4096 {
-        emit(buf, base | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32);
+    if offset >= 0 && (offset as u32).is_multiple_of(1 << scale) && (offset as u32 >> scale) < 4096
+    {
+        emit(
+            buf,
+            base | (((offset as u32) >> scale) << 10) | ((rn as u32) << 5) | rt as u32,
+        );
     } else {
         let imm9 = (offset as u32) & 0x1ff;
-        emit(buf, (sz << 30) | 0x3880_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32);
+        emit(
+            buf,
+            (sz << 30) | 0x3880_0000 | (imm9 << 12) | ((rn as u32) << 5) | rt as u32,
+        );
     }
 }
 
 /// `stp rt, rt2, [rn, #offset]!` (pre-index).
 pub fn stp_pre(buf: &mut CodeBuffer, rt: u8, rt2: u8, rn: u8, offset: i32) {
     let imm7 = ((offset / 8) as u32) & 0x7f;
-    emit(buf, 0xA980_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32);
+    emit(
+        buf,
+        0xA980_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32,
+    );
 }
 
 /// `ldp rt, rt2, [rn], #offset` (post-index).
 pub fn ldp_post(buf: &mut CodeBuffer, rt: u8, rt2: u8, rn: u8, offset: i32) {
     let imm7 = ((offset / 8) as u32) & 0x7f;
-    emit(buf, 0xA8C0_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32);
+    emit(
+        buf,
+        0xA8C0_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32,
+    );
 }
 
 /// `stp rt, rt2, [rn, #offset]` (signed offset, no writeback).
 pub fn stp(buf: &mut CodeBuffer, rt: u8, rt2: u8, rn: u8, offset: i32) {
     let imm7 = ((offset / 8) as u32) & 0x7f;
-    emit(buf, 0xA900_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32);
+    emit(
+        buf,
+        0xA900_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32,
+    );
 }
 
 /// `ldp rt, rt2, [rn, #offset]` (signed offset, no writeback).
 pub fn ldp(buf: &mut CodeBuffer, rt: u8, rt2: u8, rn: u8, offset: i32) {
     let imm7 = ((offset / 8) as u32) & 0x7f;
-    emit(buf, 0xA940_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32);
+    emit(
+        buf,
+        0xA940_0000 | (imm7 << 15) | ((rt2 as u32) << 10) | ((rn as u32) << 5) | rt as u32,
+    );
 }
 
 // --- branches ------------------------------------------------------------------------------
@@ -545,7 +658,10 @@ fn fp_type(size: u32) -> u32 {
 
 /// `fmov fd, fn` (register move).
 pub fn fmov_rr(buf: &mut CodeBuffer, size: u32, rd: u8, rn: u8) {
-    emit(buf, 0x1E20_4000 | fp_type(size) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        0x1E20_4000 | fp_type(size) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// Scalar FP arithmetic: `fadd`, `fsub`, `fmul`, `fdiv`.
@@ -574,12 +690,18 @@ pub fn fp_arith(buf: &mut CodeBuffer, size: u32, op: FpOp, rd: u8, rn: u8, rm: u
 
 /// `fneg fd, fn`.
 pub fn fneg(buf: &mut CodeBuffer, size: u32, rd: u8, rn: u8) {
-    emit(buf, 0x1E21_4000 | fp_type(size) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        0x1E21_4000 | fp_type(size) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `fcmp fn, fm`.
 pub fn fcmp(buf: &mut CodeBuffer, size: u32, rn: u8, rm: u8) {
-    emit(buf, 0x1E20_2000 | fp_type(size) | ((rm as u32) << 16) | ((rn as u32) << 5));
+    emit(
+        buf,
+        0x1E20_2000 | fp_type(size) | ((rm as u32) << 16) | ((rn as u32) << 5),
+    );
 }
 
 /// `scvtf fd, rn` (signed integer to FP; `int64` selects the source width).
@@ -613,7 +735,10 @@ pub fn fcvt(buf: &mut CodeBuffer, to_size: u32, rd: u8, rn: u8) {
     } else {
         (1 << 22, 0) // from double to single
     };
-    emit(buf, 0x1E22_4000 | ty | (opc << 15) | ((rn as u32) << 5) | rd as u32);
+    emit(
+        buf,
+        0x1E22_4000 | ty | (opc << 15) | ((rn as u32) << 5) | rd as u32,
+    );
 }
 
 /// `fmov xd, dn` / `fmov wd, sn` (FP to GP bit move).
@@ -723,7 +848,7 @@ mod tests {
         assert_eq!(buf.relocs().len(), 1);
         assert_eq!(buf.relocs()[0].kind, RelocKind::Call26);
         assert_eq!(enc1(|b| blr(b, 9)), 0xd63f0120);
-        assert_eq!(enc1(|b| ret(b)), 0xd65f03c0);
+        assert_eq!(enc1(ret), 0xd65f03c0);
         let mut buf = CodeBuffer::new();
         let sym = buf.declare_symbol("gv", tpde_core::codebuf::SymbolBinding::Global, false);
         adr_sym(&mut buf, 0, sym);
@@ -733,7 +858,10 @@ mod tests {
 
     #[test]
     fn shifts_and_extensions() {
-        assert_eq!(enc1(|b| shift_rr(b, true, ShiftOp::Lsl, 0, 1, 2)), 0x9ac22020);
+        assert_eq!(
+            enc1(|b| shift_rr(b, true, ShiftOp::Lsl, 0, 1, 2)),
+            0x9ac22020
+        );
         // lsl x0, x1, #4 == ubfm x0, x1, #60, #59
         assert_eq!(enc1(|b| lsl_imm(b, true, 0, 1, 4)), 0xd37cec20);
         // lsr x0, x1, #4 == ubfm x0, x1, #4, #63

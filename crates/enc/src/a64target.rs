@@ -77,7 +77,7 @@ impl A64Target {
             // x17 = fp + off
             if off < 0 && -off < 4096 {
                 a64::sub_imm(buf, true, ADDR_SCRATCH, a64::FP, (-off) as u32);
-            } else if off >= 0 && off < 4096 {
+            } else if (0..4096).contains(&off) {
                 a64::add_imm(buf, true, ADDR_SCRATCH, a64::FP, off as u32);
             } else {
                 a64::mov_imm64(buf, ADDR_SCRATCH, off as i64 as u64);
@@ -212,7 +212,12 @@ impl Target for A64Target {
 
     fn emit_mov_rr(&self, buf: &mut CodeBuffer, bank: RegBank, size: u32, dst: Reg, src: Reg) {
         match bank {
-            RegBank::GP => a64::mov_rr(buf, size > 4 || size == 0 || size >= 8, dst.index(), src.index()),
+            RegBank::GP => a64::mov_rr(
+                buf,
+                size > 4 || size == 0 || size >= 8,
+                dst.index(),
+                src.index(),
+            ),
             RegBank::FP => a64::fmov_rr(buf, size, dst.index(), src.index()),
         }
     }
@@ -228,7 +233,7 @@ impl Target for A64Target {
     fn emit_frame_addr(&self, buf: &mut CodeBuffer, dst: Reg, off: i32) {
         if off < 0 && -off < 4096 {
             a64::sub_imm(buf, true, dst.index(), a64::FP, (-off) as u32);
-        } else if off >= 0 && off < 4096 {
+        } else if (0..4096).contains(&off) {
             a64::add_imm(buf, true, dst.index(), a64::FP, off as u32);
         } else {
             a64::mov_imm64(buf, dst.index(), off as i64 as u64);
@@ -292,7 +297,7 @@ mod tests {
         t.finish_func(&mut buf, &frame, 64, used);
         let w0 = u32::from_le_bytes(buf.text()[0..4].try_into().unwrap());
         assert_eq!(w0, 0xa9bf7bfd); // stp x29, x30, [sp, #-16]!
-        // movz x16, #64 patched in
+                                    // movz x16, #64 patched in
         let w2 = u32::from_le_bytes(buf.text()[8..12].try_into().unwrap());
         assert_eq!(w2, 0xd2800810);
         // save area: first instruction saves x19 at [x29, #-8] (stur form)
@@ -310,7 +315,10 @@ mod tests {
         let t = A64Target::new();
         let gp = t.allocatable_regs(RegBank::GP);
         for bad in [16u8, 17, 18, 29, 30, 31] {
-            assert!(!gp.iter().any(|r| r.index() == bad), "x{bad} must not be allocatable");
+            assert!(
+                !gp.iter().any(|r| r.index() == bad),
+                "x{bad} must not be allocatable"
+            );
         }
         assert_eq!(t.callee_save_area_size(), 144);
     }
@@ -331,10 +339,22 @@ mod tests {
     fn const_materialization() {
         let t = A64Target::new();
         let mut buf = CodeBuffer::new();
-        t.emit_const(&mut buf, RegBank::GP, 8, Reg::new(RegBank::GP, 0), 0x1234_5678_9abc_def0);
+        t.emit_const(
+            &mut buf,
+            RegBank::GP,
+            8,
+            Reg::new(RegBank::GP, 0),
+            0x1234_5678_9abc_def0,
+        );
         assert_eq!(buf.text().len(), 16); // movz + 3x movk
         let mut buf = CodeBuffer::new();
-        t.emit_const(&mut buf, RegBank::FP, 8, Reg::new(RegBank::FP, 0), 0x3ff0000000000000);
+        t.emit_const(
+            &mut buf,
+            RegBank::FP,
+            8,
+            Reg::new(RegBank::FP, 0),
+            0x3ff0000000000000,
+        );
         assert!(buf.text().len() >= 8);
     }
 }

@@ -56,9 +56,6 @@ impl From<Reg> for Gp {
 pub struct Xmm(pub u8);
 
 impl Xmm {
-    fn lo(self) -> u8 {
-        self.0 & 7
-    }
     fn hi(self) -> bool {
         self.0 >= 8
     }
@@ -86,17 +83,29 @@ pub struct Mem {
 impl Mem {
     /// `[base]`
     pub fn base(base: Gp) -> Mem {
-        Mem { base, index: None, disp: 0 }
+        Mem {
+            base,
+            index: None,
+            disp: 0,
+        }
     }
     /// `[base + disp]`
     pub fn base_disp(base: Gp, disp: i32) -> Mem {
-        Mem { base, index: None, disp }
+        Mem {
+            base,
+            index: None,
+            disp,
+        }
     }
     /// `[base + index*scale + disp]`
     pub fn sib(base: Gp, index: Gp, scale: u8, disp: i32) -> Mem {
         debug_assert!(matches!(scale, 1 | 2 | 4 | 8));
         debug_assert!(index != Gp::RSP, "rsp cannot be an index register");
-        Mem { base, index: Some((index, scale)), disp }
+        Mem {
+            base,
+            index: Some((index, scale)),
+            disp,
+        }
     }
 }
 
@@ -252,7 +261,7 @@ fn rex_for_rm(buf: &mut CodeBuffer, size: u32, reg: u8, rm: u8) {
 
 fn rex_for_mem(buf: &mut CodeBuffer, size: u32, reg: u8, mem: Mem) {
     op_size_prefix(buf, size);
-    let x = mem.index.map_or(false, |(i, _)| i.hi());
+    let x = mem.index.is_some_and(|(i, _)| i.hi());
     let force = size == 1 && needs_rex8(reg);
     rex(buf, size == 8, reg >= 8, x, mem.base.hi(), force);
 }
@@ -273,7 +282,8 @@ pub fn mov_ri(buf: &mut CodeBuffer, size: u32, dst: Gp, imm: u64) {
         // 32-bit move zero-extends to 64 bits
         rex(buf, false, false, false, dst.hi(), false);
         buf.emit_u8(0xb8 + dst.lo());
-        buf.text_mut().extend_from_slice(&(imm as u32).to_le_bytes());
+        buf.text_mut()
+            .extend_from_slice(&(imm as u32).to_le_bytes());
     } else if (imm as i64) >= i32::MIN as i64 && (imm as i64) <= i32::MAX as i64 {
         rex(buf, true, false, false, dst.hi(), false);
         buf.emit_u8(0xc7);
@@ -308,7 +318,9 @@ pub fn mov_mi(buf: &mut CodeBuffer, size: u32, mem: Mem, imm: i32) {
     modrm_mem(buf, 0, mem);
     match size {
         1 => buf.emit_u8(imm as u8),
-        2 => buf.text_mut().extend_from_slice(&(imm as u16).to_le_bytes()),
+        2 => buf
+            .text_mut()
+            .extend_from_slice(&(imm as u16).to_le_bytes()),
         _ => buf.text_mut().extend_from_slice(&imm.to_le_bytes()),
     }
 }
@@ -324,7 +336,7 @@ pub fn movzx_rr(buf: &mut CodeBuffer, dst: Gp, src: Gp, from_size: u32) {
 
 /// `movzx dst, <size> ptr [mem]` (zero-extending load, 8/16 bit).
 pub fn movzx_rm(buf: &mut CodeBuffer, dst: Gp, mem: Mem, from_size: u32) {
-    let x = mem.index.map_or(false, |(i, _)| i.hi());
+    let x = mem.index.is_some_and(|(i, _)| i.hi());
     rex(buf, false, dst.hi(), x, mem.base.hi(), false);
     buf.emit_u8(0x0f);
     buf.emit_u8(if from_size == 1 { 0xb6 } else { 0xb7 });
@@ -352,7 +364,7 @@ pub fn movsx_rr(buf: &mut CodeBuffer, to_size: u32, dst: Gp, src: Gp, from_size:
 
 /// `movsx dst, <size> ptr [mem]` (sign-extending load).
 pub fn movsx_rm(buf: &mut CodeBuffer, to_size: u32, dst: Gp, mem: Mem, from_size: u32) {
-    let x = mem.index.map_or(false, |(i, _)| i.hi());
+    let x = mem.index.is_some_and(|(i, _)| i.hi());
     rex(buf, to_size == 8, dst.hi(), x, mem.base.hi(), false);
     match from_size {
         1 => {
@@ -401,7 +413,8 @@ pub fn alu_ri(buf: &mut CodeBuffer, op: Alu, size: u32, dst: Gp, imm: i32) {
         buf.emit_u8(0x81);
         modrm_rr(buf, op as u8, dst.0);
         if size == 2 {
-            buf.text_mut().extend_from_slice(&(imm as u16).to_le_bytes());
+            buf.text_mut()
+                .extend_from_slice(&(imm as u16).to_le_bytes());
         } else {
             buf.text_mut().extend_from_slice(&imm.to_le_bytes());
         }
@@ -669,7 +682,7 @@ pub fn sse_rr(buf: &mut CodeBuffer, prefix: u8, opcode: u8, dst: Xmm, src: Xmm) 
 
 /// Scalar SSE op `xmm, [mem]`.
 pub fn sse_rm(buf: &mut CodeBuffer, prefix: u8, opcode: u8, dst: Xmm, mem: Mem) {
-    let x = mem.index.map_or(false, |(i, _)| i.hi());
+    let x = mem.index.is_some_and(|(i, _)| i.hi());
     sse_prefix(buf, prefix, false, dst.hi(), x, mem.base.hi());
     buf.emit_u8(opcode);
     modrm_mem(buf, dst.0, mem);
@@ -684,7 +697,7 @@ pub fn fp_load(buf: &mut CodeBuffer, size: u32, dst: Xmm, mem: Mem) {
 /// `movsd [mem], src` / `movss` when `size == 4`.
 pub fn fp_store(buf: &mut CodeBuffer, size: u32, mem: Mem, src: Xmm) {
     let prefix = if size == 4 { 0xf3 } else { 0xf2 };
-    let x = mem.index.map_or(false, |(i, _)| i.hi());
+    let x = mem.index.is_some_and(|(i, _)| i.hi());
     sse_prefix(buf, prefix, false, src.hi(), x, mem.base.hi());
     buf.emit_u8(0x11);
     modrm_mem(buf, src.0, mem);
@@ -778,12 +791,27 @@ mod tests {
 
     #[test]
     fn mov_and_alu_rr() {
-        assert_eq!(enc(|b| mov_rr(b, 8, Gp::RAX, Gp::RBX)), vec![0x48, 0x89, 0xd8]);
+        assert_eq!(
+            enc(|b| mov_rr(b, 8, Gp::RAX, Gp::RBX)),
+            vec![0x48, 0x89, 0xd8]
+        );
         assert_eq!(enc(|b| mov_rr(b, 4, Gp::RAX, Gp::RBX)), vec![0x89, 0xd8]);
-        assert_eq!(enc(|b| alu_rr(b, Alu::Add, 8, Gp::RAX, Gp::RCX)), vec![0x48, 0x01, 0xc8]);
-        assert_eq!(enc(|b| alu_rr(b, Alu::Sub, 4, Gp::RDX, Gp::RSI)), vec![0x29, 0xf2]);
-        assert_eq!(enc(|b| alu_rr(b, Alu::Cmp, 8, Gp::RAX, Gp::RCX)), vec![0x48, 0x39, 0xc8]);
-        assert_eq!(enc(|b| alu_rr(b, Alu::Xor, 8, Gp::R8, Gp::R9)), vec![0x4d, 0x31, 0xc8]);
+        assert_eq!(
+            enc(|b| alu_rr(b, Alu::Add, 8, Gp::RAX, Gp::RCX)),
+            vec![0x48, 0x01, 0xc8]
+        );
+        assert_eq!(
+            enc(|b| alu_rr(b, Alu::Sub, 4, Gp::RDX, Gp::RSI)),
+            vec![0x29, 0xf2]
+        );
+        assert_eq!(
+            enc(|b| alu_rr(b, Alu::Cmp, 8, Gp::RAX, Gp::RCX)),
+            vec![0x48, 0x39, 0xc8]
+        );
+        assert_eq!(
+            enc(|b| alu_rr(b, Alu::Xor, 8, Gp::R8, Gp::R9)),
+            vec![0x4d, 0x31, 0xc8]
+        );
     }
 
     #[test]
@@ -847,40 +875,76 @@ mod tests {
 
     #[test]
     fn imm_alu_choose_width() {
-        assert_eq!(enc(|b| alu_ri(b, Alu::Add, 8, Gp::RSP, 8)), vec![0x48, 0x83, 0xc4, 0x08]);
+        assert_eq!(
+            enc(|b| alu_ri(b, Alu::Add, 8, Gp::RSP, 8)),
+            vec![0x48, 0x83, 0xc4, 0x08]
+        );
         assert_eq!(
             enc(|b| alu_ri(b, Alu::Sub, 8, Gp::RSP, 0x200)),
             vec![0x48, 0x81, 0xec, 0x00, 0x02, 0x00, 0x00]
         );
-        assert_eq!(enc(|b| alu_ri(b, Alu::Cmp, 4, Gp::RAX, 1)), vec![0x83, 0xf8, 0x01]);
+        assert_eq!(
+            enc(|b| alu_ri(b, Alu::Cmp, 4, Gp::RAX, 1)),
+            vec![0x83, 0xf8, 0x01]
+        );
     }
 
     #[test]
     fn mul_div_shift() {
-        assert_eq!(enc(|b| imul_rr(b, 8, Gp::RAX, Gp::RCX)), vec![0x48, 0x0f, 0xaf, 0xc1]);
+        assert_eq!(
+            enc(|b| imul_rr(b, 8, Gp::RAX, Gp::RCX)),
+            vec![0x48, 0x0f, 0xaf, 0xc1]
+        );
         assert_eq!(enc(|b| idiv(b, 8, Gp::RCX)), vec![0x48, 0xf7, 0xf9]);
         assert_eq!(enc(|b| div(b, 4, Gp::RSI)), vec![0xf7, 0xf6]);
         assert_eq!(enc(|b| cqo(b, 8)), vec![0x48, 0x99]);
         assert_eq!(enc(|b| cqo(b, 4)), vec![0x99]);
-        assert_eq!(enc(|b| shift_cl(b, Shift::Shl, 8, Gp::RAX)), vec![0x48, 0xd3, 0xe0]);
-        assert_eq!(enc(|b| shift_ri(b, Shift::Sar, 8, Gp::RDX, 3)), vec![0x48, 0xc1, 0xfa, 0x03]);
-        assert_eq!(enc(|b| shift_ri(b, Shift::Shl, 4, Gp::RAX, 1)), vec![0xd1, 0xe0]);
+        assert_eq!(
+            enc(|b| shift_cl(b, Shift::Shl, 8, Gp::RAX)),
+            vec![0x48, 0xd3, 0xe0]
+        );
+        assert_eq!(
+            enc(|b| shift_ri(b, Shift::Sar, 8, Gp::RDX, 3)),
+            vec![0x48, 0xc1, 0xfa, 0x03]
+        );
+        assert_eq!(
+            enc(|b| shift_ri(b, Shift::Shl, 4, Gp::RAX, 1)),
+            vec![0xd1, 0xe0]
+        );
     }
 
     #[test]
     fn setcc_and_cmov() {
         assert_eq!(enc(|b| setcc(b, Cond::E, Gp::RAX)), vec![0x0f, 0x94, 0xc0]);
         // sil needs a REX prefix
-        assert_eq!(enc(|b| setcc(b, Cond::NE, Gp::RSI)), vec![0x40, 0x0f, 0x95, 0xc6]);
-        assert_eq!(enc(|b| movzx_rr(b, Gp::RAX, Gp::RAX, 1)), vec![0x0f, 0xb6, 0xc0]);
-        assert_eq!(enc(|b| cmovcc(b, Cond::L, 8, Gp::RAX, Gp::RCX)), vec![0x48, 0x0f, 0x4c, 0xc1]);
+        assert_eq!(
+            enc(|b| setcc(b, Cond::NE, Gp::RSI)),
+            vec![0x40, 0x0f, 0x95, 0xc6]
+        );
+        assert_eq!(
+            enc(|b| movzx_rr(b, Gp::RAX, Gp::RAX, 1)),
+            vec![0x0f, 0xb6, 0xc0]
+        );
+        assert_eq!(
+            enc(|b| cmovcc(b, Cond::L, 8, Gp::RAX, Gp::RCX)),
+            vec![0x48, 0x0f, 0x4c, 0xc1]
+        );
     }
 
     #[test]
     fn extensions() {
-        assert_eq!(enc(|b| movsx_rr(b, 8, Gp::RAX, Gp::RCX, 4)), vec![0x48, 0x63, 0xc1]);
-        assert_eq!(enc(|b| movsx_rr(b, 8, Gp::RAX, Gp::RCX, 1)), vec![0x48, 0x0f, 0xbe, 0xc1]);
-        assert_eq!(enc(|b| movzx_rr(b, Gp::RAX, Gp::RCX, 2)), vec![0x0f, 0xb7, 0xc1]);
+        assert_eq!(
+            enc(|b| movsx_rr(b, 8, Gp::RAX, Gp::RCX, 4)),
+            vec![0x48, 0x63, 0xc1]
+        );
+        assert_eq!(
+            enc(|b| movsx_rr(b, 8, Gp::RAX, Gp::RCX, 1)),
+            vec![0x48, 0x0f, 0xbe, 0xc1]
+        );
+        assert_eq!(
+            enc(|b| movzx_rr(b, Gp::RAX, Gp::RCX, 2)),
+            vec![0x0f, 0xb7, 0xc1]
+        );
     }
 
     #[test]
@@ -906,15 +970,21 @@ mod tests {
         assert_eq!(enc(|b| push_r(b, Gp::RBP)), vec![0x55]);
         assert_eq!(enc(|b| push_r(b, Gp::R15)), vec![0x41, 0x57]);
         assert_eq!(enc(|b| pop_r(b, Gp::RBP)), vec![0x5d]);
-        assert_eq!(enc(|b| ret(b)), vec![0xc3]);
+        assert_eq!(enc(ret), vec![0xc3]);
         assert_eq!(enc(|b| call_reg(b, Gp::R11)), vec![0x41, 0xff, 0xd3]);
         assert_eq!(enc(|b| jmp_reg(b, Gp::RAX)), vec![0xff, 0xe0]);
     }
 
     #[test]
     fn sse_encodings() {
-        assert_eq!(enc(|b| fp_arith(b, 8, 0x58, Xmm(0), Xmm(1))), vec![0xf2, 0x0f, 0x58, 0xc1]);
-        assert_eq!(enc(|b| fp_arith(b, 4, 0x59, Xmm(2), Xmm(3))), vec![0xf3, 0x0f, 0x59, 0xd3]);
+        assert_eq!(
+            enc(|b| fp_arith(b, 8, 0x58, Xmm(0), Xmm(1))),
+            vec![0xf2, 0x0f, 0x58, 0xc1]
+        );
+        assert_eq!(
+            enc(|b| fp_arith(b, 4, 0x59, Xmm(2), Xmm(3))),
+            vec![0xf3, 0x0f, 0x59, 0xd3]
+        );
         assert_eq!(
             enc(|b| fp_load(b, 8, Xmm(0), Mem::base_disp(Gp::RBP, -8))),
             vec![0xf2, 0x0f, 0x10, 0x45, 0xf8]
@@ -923,21 +993,59 @@ mod tests {
             enc(|b| fp_store(b, 8, Mem::base_disp(Gp::RBP, -8), Xmm(0))),
             vec![0xf2, 0x0f, 0x11, 0x45, 0xf8]
         );
-        assert_eq!(enc(|b| fp_ucomis(b, 8, Xmm(0), Xmm(1))), vec![0x66, 0x0f, 0x2e, 0xc1]);
-        assert_eq!(enc(|b| fp_ucomis(b, 4, Xmm(0), Xmm(1))), vec![0x0f, 0x2e, 0xc1]);
-        assert_eq!(enc(|b| cvt_int_to_fp(b, 8, 8, Xmm(0), Gp::RAX)), vec![0xf2, 0x48, 0x0f, 0x2a, 0xc0]);
-        assert_eq!(enc(|b| cvt_fp_to_int(b, 8, 8, Gp::RAX, Xmm(0))), vec![0xf2, 0x48, 0x0f, 0x2c, 0xc0]);
-        assert_eq!(enc(|b| movq_xr(b, Xmm(0), Gp::RAX)), vec![0x66, 0x48, 0x0f, 0x6e, 0xc0]);
-        assert_eq!(enc(|b| movq_rx(b, Gp::RAX, Xmm(0))), vec![0x66, 0x48, 0x0f, 0x7e, 0xc0]);
-        assert_eq!(enc(|b| fp_xor(b, 8, Xmm(1), Xmm(1))), vec![0x66, 0x0f, 0x57, 0xc9]);
-        assert_eq!(enc(|b| cvt_fp_to_fp(b, 8, Xmm(0), Xmm(1))), vec![0xf3, 0x0f, 0x5a, 0xc1]);
+        assert_eq!(
+            enc(|b| fp_ucomis(b, 8, Xmm(0), Xmm(1))),
+            vec![0x66, 0x0f, 0x2e, 0xc1]
+        );
+        assert_eq!(
+            enc(|b| fp_ucomis(b, 4, Xmm(0), Xmm(1))),
+            vec![0x0f, 0x2e, 0xc1]
+        );
+        assert_eq!(
+            enc(|b| cvt_int_to_fp(b, 8, 8, Xmm(0), Gp::RAX)),
+            vec![0xf2, 0x48, 0x0f, 0x2a, 0xc0]
+        );
+        assert_eq!(
+            enc(|b| cvt_fp_to_int(b, 8, 8, Gp::RAX, Xmm(0))),
+            vec![0xf2, 0x48, 0x0f, 0x2c, 0xc0]
+        );
+        assert_eq!(
+            enc(|b| movq_xr(b, Xmm(0), Gp::RAX)),
+            vec![0x66, 0x48, 0x0f, 0x6e, 0xc0]
+        );
+        assert_eq!(
+            enc(|b| movq_rx(b, Gp::RAX, Xmm(0))),
+            vec![0x66, 0x48, 0x0f, 0x7e, 0xc0]
+        );
+        assert_eq!(
+            enc(|b| fp_xor(b, 8, Xmm(1), Xmm(1))),
+            vec![0x66, 0x0f, 0x57, 0xc9]
+        );
+        assert_eq!(
+            enc(|b| cvt_fp_to_fp(b, 8, Xmm(0), Xmm(1))),
+            vec![0xf3, 0x0f, 0x5a, 0xc1]
+        );
     }
 
     #[test]
     fn cond_invert_roundtrip() {
         for cc in [
-            Cond::O, Cond::NO, Cond::B, Cond::AE, Cond::E, Cond::NE, Cond::BE, Cond::A,
-            Cond::S, Cond::NS, Cond::P, Cond::NP, Cond::L, Cond::GE, Cond::LE, Cond::G,
+            Cond::O,
+            Cond::NO,
+            Cond::B,
+            Cond::AE,
+            Cond::E,
+            Cond::NE,
+            Cond::BE,
+            Cond::A,
+            Cond::S,
+            Cond::NS,
+            Cond::P,
+            Cond::NP,
+            Cond::L,
+            Cond::GE,
+            Cond::LE,
+            Cond::G,
         ] {
             assert_eq!(cc.invert().invert(), cc);
         }
@@ -958,7 +1066,10 @@ mod tests {
     #[test]
     fn byte_ops_use_rex_for_high_low_regs() {
         // mov dil, al needs REX
-        assert_eq!(enc(|b| mov_rr(b, 1, Gp::RDI, Gp::RAX)), vec![0x40, 0x88, 0xc7]);
+        assert_eq!(
+            enc(|b| mov_rr(b, 1, Gp::RDI, Gp::RAX)),
+            vec![0x40, 0x88, 0xc7]
+        );
         // mov cl, al does not
         assert_eq!(enc(|b| mov_rr(b, 1, Gp::RCX, Gp::RAX)), vec![0x88, 0xc1]);
     }

@@ -300,7 +300,13 @@ mod tests {
         // xorpd xmm2, xmm2
         assert_eq!(buf.text(), &[0x66, 0x0f, 0x57, 0xd2]);
         let mut buf = CodeBuffer::new();
-        t.emit_const(&mut buf, RegBank::FP, 8, Reg::new(RegBank::FP, 0), 0x3ff0000000000000);
+        t.emit_const(
+            &mut buf,
+            RegBank::FP,
+            8,
+            Reg::new(RegBank::FP, 0),
+            0x3ff0000000000000,
+        );
         // movabs r11, imm ; movq xmm0, r11
         assert_eq!(buf.text()[0..2], [0x49, 0xbb]);
         assert_eq!(&buf.text()[10..], &[0x66, 0x49, 0x0f, 0x6e, 0xc3]);

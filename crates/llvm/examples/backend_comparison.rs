@@ -11,12 +11,19 @@ use tpde_llvm::{compile_baseline, compile_copy_patch, compile_x64};
 use tpde_x64emu::run_function;
 
 fn main() {
-    let w = Workload { input: 20_000, ..spec_workloads()[6].clone() }; // 631.deepsjeng-like
+    let w = Workload {
+        input: 20_000,
+        ..spec_workloads()[6].clone()
+    }; // 631.deepsjeng-like
     let module = build_workload(&w, IrStyle::O0);
     let expected = expected_result(&w);
-    println!("workload {} ({} IR instructions)", w.name, module.inst_count());
+    println!(
+        "workload {} ({} IR instructions)",
+        w.name,
+        module.inst_count()
+    );
 
-    let mut report = |name: &str, buf: &tpde_core::codebuf::CodeBuffer, compile_time| {
+    let report = |name: &str, buf: &tpde_core::codebuf::CodeBuffer, compile_time| {
         let image = link_in_memory(buf, 0x40_0000, |_| None).unwrap();
         let (ret, stats) = run_function(&image, "bench_main", &[w.input]).unwrap();
         println!(
@@ -35,7 +42,11 @@ fn main() {
 
     let t = Instant::now();
     let base = compile_baseline(&module, 0).unwrap();
-    report("LLVM-O0-like", &base.buf, t.elapsed().as_secs_f64().to_bits());
+    report(
+        "LLVM-O0-like",
+        &base.buf,
+        t.elapsed().as_secs_f64().to_bits(),
+    );
 
     let t = Instant::now();
     let cp = compile_copy_patch(&module).unwrap();

@@ -21,7 +21,11 @@ fn run_buf(buf: &tpde_core::codebuf::CodeBuffer, func: &str, args: &[u64]) -> u6
 fn main() {
     for n in [0u64, 1, 2, 3, 10, 100] {
         for idx in [6usize, 0, 2, 3] {
-            let w = Workload { input: n, funcs: 1, ..spec_workloads()[idx].clone() };
+            let w = Workload {
+                input: n,
+                funcs: 1,
+                ..spec_workloads()[idx].clone()
+            };
             for style in [IrStyle::O0, IrStyle::O1] {
                 let module = build_workload(&w, style);
                 let expected = expected_result(&w);
@@ -31,7 +35,11 @@ fn main() {
                 let c = run_buf(&cp.buf, "bench_main", &[w.input]);
                 let base = compile_baseline(&module, 0).unwrap();
                 let b = run_buf(&base.buf, "bench_main", &[w.input]);
-                let ok = if t == expected && c == expected && b == expected { "ok" } else { "MISMATCH" };
+                let ok = if t == expected && c == expected && b == expected {
+                    "ok"
+                } else {
+                    "MISMATCH"
+                };
                 println!(
                     "{:16} n={:<4} {:?}: expected={:<22} tpde={:<22} cp={:<22} base={:<22} {}",
                     w.name, n, style, expected, t, c, b, ok

@@ -45,7 +45,11 @@ fn main() {
     // Compile with the TPDE single-pass back-end.
     let x64 = compile_x64(&m, &CompileOptions::default()).expect("compile x86-64");
     let a64 = compile_a64(&m, &CompileOptions::default()).expect("compile aarch64");
-    println!("x86-64 code: {} bytes, AArch64 code: {} bytes", x64.text_size(), a64.text_size());
+    println!(
+        "x86-64 code: {} bytes, AArch64 code: {} bytes",
+        x64.text_size(),
+        a64.text_size()
+    );
     println!(
         "compiled {} instructions with {} spills and {} reloads",
         x64.stats.insts, x64.stats.spills, x64.stats.reloads
@@ -55,6 +59,9 @@ fn main() {
     let image = link_in_memory(&x64.buf, 0x40_0000, |_| None).expect("link");
     for n in [0u64, 1, 10, 50, 90] {
         let (result, stats) = run_function(&image, "fib", &[n]).expect("run");
-        println!("fib({n}) = {result}   ({} emulated instructions)", stats.insts);
+        println!(
+            "fib({n}) = {result}   ({} emulated instructions)",
+            stats.insts
+        );
     }
 }

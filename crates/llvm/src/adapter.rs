@@ -125,7 +125,9 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
     }
 
     fn args(&self) -> Vec<ValueRef> {
-        (0..self.cur_func().params.len() as u32).map(ValueRef).collect()
+        (0..self.cur_func().params.len() as u32)
+            .map(ValueRef)
+            .collect()
     }
 
     fn arg_info(&self) -> Vec<ArgInfo> {
@@ -146,7 +148,9 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
     }
 
     fn blocks(&self) -> Vec<BlockRef> {
-        (0..self.cur_func().blocks.len() as u32).map(BlockRef).collect()
+        (0..self.cur_func().blocks.len() as u32)
+            .map(BlockRef)
+            .collect()
     }
 
     fn block_succs(&self, block: BlockRef) -> Vec<BlockRef> {
@@ -198,7 +202,10 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
     }
 
     fn inst_results(&self, inst: InstRef) -> Vec<ValueRef> {
-        self.inst(inst).result().map(|v| vec![ValueRef(v.0)]).unwrap_or_default()
+        self.inst(inst)
+            .result()
+            .map(|v| vec![ValueRef(v.0)])
+            .unwrap_or_default()
     }
 
     fn val_part_count(&self, _val: ValueRef) -> u32 {

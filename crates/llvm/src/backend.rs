@@ -10,7 +10,9 @@ use crate::adapter::{block_ref, value_ref, LlvmAdapter};
 use crate::ir::{Inst, Module, Type};
 use tpde_core::adapter::{InstRef, IrAdapter};
 use tpde_core::codebuf::SymbolBinding;
-use tpde_core::codegen::{CallTarget, CodeGen, CompileOptions, CompiledModule, FuncCodeGen, InstCompiler};
+use tpde_core::codegen::{
+    CallTarget, CodeGen, CompileOptions, CompiledModule, FuncCodeGen, InstCompiler,
+};
 use tpde_core::error::Result;
 use tpde_core::target::Target;
 use tpde_enc::{A64Target, X64Target};
@@ -37,28 +39,58 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
     ) -> Result<()> {
         let ir = cg.adapter.inst(inst).clone();
         match ir {
-            Inst::Bin { op, ty, res, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                res,
+                lhs,
+                rhs,
+            } => {
                 let l = Self::operand(cg, lhs)?;
                 let r = Self::operand(cg, rhs)?;
                 T::enc_bin(cg, op, ty.size(), (value_ref(res), 0), &l, &r)
             }
-            Inst::Div { signed, rem, ty, res, lhs, rhs } => {
+            Inst::Div {
+                signed,
+                rem,
+                ty,
+                res,
+                lhs,
+                rhs,
+            } => {
                 let l = Self::operand(cg, lhs)?;
                 let r = Self::operand(cg, rhs)?;
                 T::enc_divrem(cg, signed, rem, ty.size(), (value_ref(res), 0), &l, &r)
             }
-            Inst::Shift { kind, ty, res, lhs, rhs } => {
+            Inst::Shift {
+                kind,
+                ty,
+                res,
+                lhs,
+                rhs,
+            } => {
                 let l = Self::operand(cg, lhs)?;
                 let r = Self::operand(cg, rhs)?;
                 T::enc_shift(cg, kind, ty.size(), (value_ref(res), 0), &l, &r)
             }
-            Inst::Icmp { cc, ty, res, lhs, rhs } => {
+            Inst::Icmp {
+                cc,
+                ty,
+                res,
+                lhs,
+                rhs,
+            } => {
                 // compare + branch fusion (§3.4.4): if the next instruction is
                 // a conditional branch on this result and this is its only
                 // use, emit the fused form and skip the branch.
                 if cg.options().fusion {
                     if let Some(next) = cg.adapter.next_inst_in_block(inst) {
-                        if let Inst::CondBr { cond, if_true, if_false } = cg.adapter.inst(next) {
+                        if let Inst::CondBr {
+                            cond,
+                            if_true,
+                            if_false,
+                        } = cg.adapter.inst(next)
+                        {
                             if *cond == res && cg.adapter.count_uses(res) == 1 {
                                 let (it, if_) = (*if_true, *if_false);
                                 let l = Self::operand(cg, lhs)?;
@@ -81,12 +113,24 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                 let r = Self::operand(cg, rhs)?;
                 T::enc_icmp(cg, cc, ty.size(), (value_ref(res), 0), &l, &r)
             }
-            Inst::Fbin { op, ty, res, lhs, rhs } => {
+            Inst::Fbin {
+                op,
+                ty,
+                res,
+                lhs,
+                rhs,
+            } => {
                 let l = Self::operand(cg, lhs)?;
                 let r = Self::operand(cg, rhs)?;
                 T::enc_fbin(cg, op, ty.size(), (value_ref(res), 0), &l, &r)
             }
-            Inst::Fcmp { cc, ty, res, lhs, rhs } => {
+            Inst::Fcmp {
+                cc,
+                ty,
+                res,
+                lhs,
+                rhs,
+            } => {
                 let l = Self::operand(cg, lhs)?;
                 let r = Self::operand(cg, rhs)?;
                 T::enc_fcmp(cg, cc, ty.size(), (value_ref(res), 0), &l, &r)
@@ -100,19 +144,32 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                 T::enc_load(
                     cg,
                     ty.size(),
-                    matches!(ty, Type::I8 | Type::I16 | Type::I32) && false,
+                    // The IR has no sign-extending loads; sub-64-bit loads
+                    // always zero-extend.
+                    false,
                     ty.is_fp(),
                     (value_ref(res), 0),
                     &a,
                     off,
                 )
             }
-            Inst::Store { ty, addr, off, value } => {
+            Inst::Store {
+                ty,
+                addr,
+                off,
+                value,
+            } => {
                 let a = Self::operand(cg, addr)?;
                 let v = Self::operand(cg, value)?;
                 T::enc_store(cg, ty.size(), ty.is_fp(), &a, off, &v)
             }
-            Inst::Gep { res, base, index, scale, off } => {
+            Inst::Gep {
+                res,
+                base,
+                index,
+                scale,
+                off,
+            } => {
                 // res = base + index*scale + off, computed with integer snippets
                 let b = Self::operand(cg, base)?;
                 match index {
@@ -145,7 +202,14 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                             &AsmOperand::Imm(scale as u64),
                         )?;
                         let partial = AsmOperand::Val(res_ref(cg));
-                        T::enc_bin(cg, crate::ir::BinOp::Add, 8, (value_ref(res), 0), &partial, &b)?;
+                        T::enc_bin(
+                            cg,
+                            crate::ir::BinOp::Add,
+                            8,
+                            (value_ref(res), 0),
+                            &partial,
+                            &b,
+                        )?;
                         if off != 0 {
                             let partial = AsmOperand::Val(res_ref(cg));
                             T::enc_bin(
@@ -161,7 +225,13 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                     }
                 }
             }
-            Inst::Cast { signed, from, to, res, v } => {
+            Inst::Cast {
+                signed,
+                from,
+                to,
+                res,
+                v,
+            } => {
                 let s = Self::operand(cg, v)?;
                 T::enc_ext(cg, signed, from.size(), to.size(), (value_ref(res), 0), &s)
             }
@@ -177,13 +247,24 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                 let s = Self::operand(cg, v)?;
                 T::enc_fp_convert(cg, from.size(), to.size(), (value_ref(res), 0), &s)
             }
-            Inst::Select { ty, res, cond, tval, fval } => {
+            Inst::Select {
+                ty,
+                res,
+                cond,
+                tval,
+                fval,
+            } => {
                 let c = Self::operand(cg, cond)?;
                 let t = Self::operand(cg, tval)?;
                 let f = Self::operand(cg, fval)?;
                 T::enc_select(cg, ty.size(), (value_ref(res), 0), &c, &t, &f)
             }
-            Inst::Call { callee, res, ret_ty, args } => {
+            Inst::Call {
+                callee,
+                res,
+                ret_ty,
+                args,
+            } => {
                 let name = cg.adapter.module.funcs[callee.0 as usize].name.clone();
                 let internal = cg.adapter.module.funcs[callee.0 as usize].internal;
                 let binding = if internal {
@@ -203,7 +284,11 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                 cg.emit_call(CallTarget::Sym(sym), &arg_refs, &rets, None)
             }
             Inst::Br { target } => T::enc_jump(cg, block_ref(target)),
-            Inst::CondBr { cond, if_true, if_false } => {
+            Inst::CondBr {
+                cond,
+                if_true,
+                if_false,
+            } => {
                 let c = Self::operand(cg, cond)?;
                 T::enc_branch_nonzero(cg, 4, &c, false, block_ref(if_true), block_ref(if_false))
             }

@@ -80,7 +80,7 @@ fn fcmp_cond(cc: crate::ir::FCmp) -> Cond {
 
 impl FuncCtx {
     /// Builds the slot assignment for every value of the function.
-    fn new(f: &Function, buf: &mut CodeBuffer) -> FuncCtx {
+    fn new(f: &Function) -> FuncCtx {
         let mut loc = HashMap::new();
         // stack variables first
         let mut stack_var_offsets = Vec::new();
@@ -160,7 +160,13 @@ fn emit_inst(
     epilogue: &dyn Fn(&mut CodeBuffer),
 ) -> Result<()> {
     match inst {
-        Inst::Bin { op, ty, res, lhs, rhs } => {
+        Inst::Bin {
+            op,
+            ty,
+            res,
+            lhs,
+            rhs,
+        } => {
             let size = ty.size().max(4);
             ctx.load_gp(buf, TMP0, *lhs);
             ctx.load_gp(buf, TMP1, *rhs);
@@ -174,7 +180,14 @@ fn emit_inst(
             }
             ctx.store_gp(buf, *res, TMP0);
         }
-        Inst::Div { signed, rem, ty, res, lhs, rhs } => {
+        Inst::Div {
+            signed,
+            rem,
+            ty,
+            res,
+            lhs,
+            rhs,
+        } => {
             let size = ty.size().max(4);
             ctx.load_gp(buf, TMP0, *lhs);
             ctx.load_gp(buf, TMP1, *rhs);
@@ -187,7 +200,13 @@ fn emit_inst(
             }
             ctx.store_gp(buf, *res, if *rem { TMP2 } else { TMP0 });
         }
-        Inst::Shift { kind, ty, res, lhs, rhs } => {
+        Inst::Shift {
+            kind,
+            ty,
+            res,
+            lhs,
+            rhs,
+        } => {
             let size = ty.size().max(4);
             ctx.load_gp(buf, TMP0, *lhs);
             ctx.load_gp(buf, TMP1, *rhs);
@@ -199,7 +218,13 @@ fn emit_inst(
             x64::shift_cl(buf, k, size, TMP0);
             ctx.store_gp(buf, *res, TMP0);
         }
-        Inst::Icmp { cc, ty, res, lhs, rhs } => {
+        Inst::Icmp {
+            cc,
+            ty,
+            res,
+            lhs,
+            rhs,
+        } => {
             ctx.load_gp(buf, TMP0, *lhs);
             ctx.load_gp(buf, TMP1, *rhs);
             x64::alu_rr(buf, Alu::Cmp, ty.size().max(4), TMP0, TMP1);
@@ -207,7 +232,13 @@ fn emit_inst(
             x64::movzx_rr(buf, TMP0, TMP0, 1);
             ctx.store_gp(buf, *res, TMP0);
         }
-        Inst::Fbin { op, ty, res, lhs, rhs } => {
+        Inst::Fbin {
+            op,
+            ty,
+            res,
+            lhs,
+            rhs,
+        } => {
             let size = ty.size();
             ctx.load_fp(buf, FTMP0, *lhs, size);
             ctx.load_fp(buf, FTMP1, *rhs, size);
@@ -220,7 +251,13 @@ fn emit_inst(
             x64::fp_arith(buf, size, opc, FTMP0, FTMP1);
             ctx.store_fp(buf, *res, FTMP0, size);
         }
-        Inst::Fcmp { cc, ty, res, lhs, rhs } => {
+        Inst::Fcmp {
+            cc,
+            ty,
+            res,
+            lhs,
+            rhs,
+        } => {
             let size = ty.size();
             ctx.load_fp(buf, FTMP0, *lhs, size);
             ctx.load_fp(buf, FTMP1, *rhs, size);
@@ -253,7 +290,12 @@ fn emit_inst(
                 ctx.store_gp(buf, *res, TMP0);
             }
         }
-        Inst::Store { ty, addr, off, value } => {
+        Inst::Store {
+            ty,
+            addr,
+            off,
+            value,
+        } => {
             ctx.load_gp(buf, TMP1, *addr);
             let mem = Mem::base_disp(TMP1, *off);
             if ty.is_fp() {
@@ -264,7 +306,13 @@ fn emit_inst(
                 x64::mov_mr(buf, ty.size(), mem, TMP0);
             }
         }
-        Inst::Gep { res, base, index, scale, off } => {
+        Inst::Gep {
+            res,
+            base,
+            index,
+            scale,
+            off,
+        } => {
             ctx.load_gp(buf, TMP0, *base);
             if let Some(i) = index {
                 ctx.load_gp(buf, TMP1, *i);
@@ -276,7 +324,13 @@ fn emit_inst(
             }
             ctx.store_gp(buf, *res, TMP0);
         }
-        Inst::Cast { signed, from, to, res, v } => {
+        Inst::Cast {
+            signed,
+            from,
+            to,
+            res,
+            v,
+        } => {
             ctx.load_gp(buf, TMP0, *v);
             if to.size() > from.size() {
                 if *signed {
@@ -306,7 +360,13 @@ fn emit_inst(
             x64::cvt_fp_to_fp(buf, to.size(), FTMP0, FTMP0);
             ctx.store_fp(buf, *res, FTMP0, to.size());
         }
-        Inst::Select { ty, res, cond, tval, fval } => {
+        Inst::Select {
+            ty,
+            res,
+            cond,
+            tval,
+            fval,
+        } => {
             ctx.load_gp(buf, TMP2, *cond);
             ctx.load_gp(buf, TMP0, *tval);
             ctx.load_gp(buf, TMP1, *fval);
@@ -314,7 +374,12 @@ fn emit_inst(
             x64::cmovcc(buf, Cond::E, ty.size().max(4), TMP0, TMP1);
             ctx.store_gp(buf, *res, TMP0);
         }
-        Inst::Call { callee, res, ret_ty, args } => {
+        Inst::Call {
+            callee,
+            res,
+            ret_ty,
+            args,
+        } => {
             // move the first six integer/fp args into ABI registers from slots
             let gp_args = [Gp::RDI, Gp::RSI, Gp::RDX, Gp::RCX, Gp::R8, Gp::R9];
             let mut next_gp = 0;
@@ -349,7 +414,11 @@ fn emit_inst(
         Inst::Br { target } => {
             x64::jmp_label(buf, ctx.block_labels[target.0 as usize]);
         }
-        Inst::CondBr { cond, if_true, if_false } => {
+        Inst::CondBr {
+            cond,
+            if_true,
+            if_false,
+        } => {
             ctx.load_gp(buf, TMP0, *cond);
             x64::test_rr(buf, 4, TMP0, TMP0);
             x64::jcc_label(buf, Cond::NE, ctx.block_labels[if_true.0 as usize]);
@@ -385,12 +454,8 @@ fn emit_phi_moves(f: &Function, ctx: &FuncCtx, buf: &mut CodeBuffer, pred: u32, 
     }
 }
 
-fn compile_function_stacky(
-    module: &Module,
-    f: &Function,
-    buf: &mut CodeBuffer,
-) -> Result<()> {
-    let mut ctx = FuncCtx::new(f, buf);
+fn compile_function_stacky(module: &Module, f: &Function, buf: &mut CodeBuffer) -> Result<()> {
+    let mut ctx = FuncCtx::new(f);
     ctx.block_labels = f.blocks.iter().map(|_| buf.new_label()).collect();
 
     // prologue
@@ -444,7 +509,11 @@ pub fn compile_copy_patch(module: &Module) -> Result<BaselineOutput> {
             buf.declare_symbol(&f.name, SymbolBinding::Global, true);
             continue;
         }
-        let binding = if f.internal { SymbolBinding::Local } else { SymbolBinding::Global };
+        let binding = if f.internal {
+            SymbolBinding::Local
+        } else {
+            SymbolBinding::Global
+        };
         let sym = buf.declare_symbol(&f.name, binding, true);
         let start = buf.text_offset();
         buf.define_symbol(sym, SectionKind::Text, start, 0);
@@ -492,7 +561,7 @@ pub fn compile_baseline(module: &Module, opt_level: u32) -> Result<BaselineOutpu
 
         // Pass 2: "instruction selection" — materialize a machine-level copy
         // of every instruction with resolved operand locations.
-        let ctx = FuncCtx::new(f, &mut buf);
+        let ctx = FuncCtx::new(f);
         let mut mir: Vec<MachInst> = Vec::with_capacity(f.inst_count());
         for (bi, b) in f.blocks.iter().enumerate() {
             for inst in &b.insts {
@@ -527,7 +596,11 @@ pub fn compile_baseline(module: &Module, opt_level: u32) -> Result<BaselineOutpu
         }
 
         // Pass 4: emission.
-        let binding = if f.internal { SymbolBinding::Local } else { SymbolBinding::Global };
+        let binding = if f.internal {
+            SymbolBinding::Local
+        } else {
+            SymbolBinding::Global
+        };
         let sym = buf.declare_symbol(&f.name, binding, true);
         let start = buf.text_offset();
         buf.define_symbol(sym, SectionKind::Text, start, 0);

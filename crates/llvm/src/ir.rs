@@ -70,41 +70,130 @@ pub use tpde_snippets::ShiftKind;
 #[allow(missing_docs)]
 pub enum Inst {
     /// Integer binary operation.
-    Bin { op: BinOp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    Bin {
+        op: BinOp,
+        ty: Type,
+        res: Value,
+        lhs: Value,
+        rhs: Value,
+    },
     /// Integer division / remainder.
-    Div { signed: bool, rem: bool, ty: Type, res: Value, lhs: Value, rhs: Value },
+    Div {
+        signed: bool,
+        rem: bool,
+        ty: Type,
+        res: Value,
+        lhs: Value,
+        rhs: Value,
+    },
     /// Shift.
-    Shift { kind: ShiftKind, ty: Type, res: Value, lhs: Value, rhs: Value },
+    Shift {
+        kind: ShiftKind,
+        ty: Type,
+        res: Value,
+        lhs: Value,
+        rhs: Value,
+    },
     /// Integer comparison (result is `i1`).
-    Icmp { cc: ICmp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    Icmp {
+        cc: ICmp,
+        ty: Type,
+        res: Value,
+        lhs: Value,
+        rhs: Value,
+    },
     /// FP binary operation.
-    Fbin { op: FBinOp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    Fbin {
+        op: FBinOp,
+        ty: Type,
+        res: Value,
+        lhs: Value,
+        rhs: Value,
+    },
     /// FP comparison (result is `i1`).
-    Fcmp { cc: FCmp, ty: Type, res: Value, lhs: Value, rhs: Value },
+    Fcmp {
+        cc: FCmp,
+        ty: Type,
+        res: Value,
+        lhs: Value,
+        rhs: Value,
+    },
     /// FP negation.
     Fneg { ty: Type, res: Value, v: Value },
     /// Load `ty` from `[addr + off]`.
-    Load { ty: Type, res: Value, addr: Value, off: i32 },
+    Load {
+        ty: Type,
+        res: Value,
+        addr: Value,
+        off: i32,
+    },
     /// Store `value` (of type `ty`) to `[addr + off]`.
-    Store { ty: Type, addr: Value, off: i32, value: Value },
+    Store {
+        ty: Type,
+        addr: Value,
+        off: i32,
+        value: Value,
+    },
     /// Pointer arithmetic: `res = base + index * scale + off` (a simplified GEP).
-    Gep { res: Value, base: Value, index: Option<Value>, scale: u32, off: i64 },
+    Gep {
+        res: Value,
+        base: Value,
+        index: Option<Value>,
+        scale: u32,
+        off: i64,
+    },
     /// Integer extension / truncation.
-    Cast { signed: bool, from: Type, to: Type, res: Value, v: Value },
+    Cast {
+        signed: bool,
+        from: Type,
+        to: Type,
+        res: Value,
+        v: Value,
+    },
     /// Signed int -> FP.
-    IntToFp { from: Type, to: Type, res: Value, v: Value },
+    IntToFp {
+        from: Type,
+        to: Type,
+        res: Value,
+        v: Value,
+    },
     /// FP -> signed int.
-    FpToInt { from: Type, to: Type, res: Value, v: Value },
+    FpToInt {
+        from: Type,
+        to: Type,
+        res: Value,
+        v: Value,
+    },
     /// f32 <-> f64.
-    FpConvert { from: Type, to: Type, res: Value, v: Value },
+    FpConvert {
+        from: Type,
+        to: Type,
+        res: Value,
+        v: Value,
+    },
     /// Select.
-    Select { ty: Type, res: Value, cond: Value, tval: Value, fval: Value },
+    Select {
+        ty: Type,
+        res: Value,
+        cond: Value,
+        tval: Value,
+        fval: Value,
+    },
     /// Direct call. `res` is `None` for void calls.
-    Call { callee: FuncId, res: Option<Value>, ret_ty: Type, args: Vec<Value> },
+    Call {
+        callee: FuncId,
+        res: Option<Value>,
+        ret_ty: Type,
+        args: Vec<Value>,
+    },
     /// Unconditional branch.
     Br { target: Block },
     /// Conditional branch on an `i1`/integer value.
-    CondBr { cond: Value, if_true: Block, if_false: Block },
+    CondBr {
+        cond: Value,
+        if_true: Block,
+        if_false: Block,
+    },
     /// Return.
     Ret { value: Option<Value> },
 }
@@ -152,7 +241,9 @@ impl Inst {
                 Some(i) => vec![*base, *i],
                 None => vec![*base],
             },
-            Inst::Select { cond, tval, fval, .. } => vec![*cond, *tval, *fval],
+            Inst::Select {
+                cond, tval, fval, ..
+            } => vec![*cond, *tval, *fval],
             Inst::Call { args, .. } => args.clone(),
             Inst::CondBr { cond, .. } => vec![*cond],
             Inst::Ret { value } => value.iter().copied().collect(),
@@ -164,14 +255,19 @@ impl Inst {
     pub fn successors(&self) -> Vec<Block> {
         match self {
             Inst::Br { target } => vec![*target],
-            Inst::CondBr { if_true, if_false, .. } => vec![*if_true, *if_false],
+            Inst::CondBr {
+                if_true, if_false, ..
+            } => vec![*if_true, *if_false],
             _ => Vec::new(),
         }
     }
 
     /// Whether this is a terminator instruction.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Br { .. } | Inst::CondBr { .. } | Inst::Ret { .. }
+        )
     }
 }
 
@@ -253,7 +349,10 @@ impl Function {
 
     /// Total number of instructions (for statistics).
     pub fn inst_count(&self) -> usize {
-        self.blocks.iter().map(|b| b.insts.len() + b.phis.len()).sum()
+        self.blocks
+            .iter()
+            .map(|b| b.insts.len() + b.phis.len())
+            .sum()
     }
 }
 
@@ -321,7 +420,10 @@ impl FunctionBuilder {
     pub fn new(name: &str, params: &[Type], ret: Type) -> FunctionBuilder {
         let mut values = Vec::new();
         for (i, p) in params.iter().enumerate() {
-            values.push(ValueInfo { ty: *p, def: ValueDef::Arg(i as u32) });
+            values.push(ValueInfo {
+                ty: *p,
+                def: ValueDef::Arg(i as u32),
+            });
         }
         FunctionBuilder {
             func: Function {
@@ -375,12 +477,13 @@ impl FunctionBuilder {
 
     /// An integer constant of the given type.
     pub fn iconst(&mut self, ty: Type, v: i64) -> Value {
-        let bits = v as u64 & match ty.size() {
-            1 => 0xff,
-            2 => 0xffff,
-            4 => 0xffff_ffff,
-            _ => u64::MAX,
-        };
+        let bits = v as u64
+            & match ty.size() {
+                1 => 0xff,
+                2 => 0xffff,
+                4 => 0xffff_ffff,
+                _ => u64::MAX,
+            };
         let key = (bits, ty.size() as u8 | if ty.is_fp() { 0x80 } else { 0 });
         if let Some(v) = self.const_cache.get(&key) {
             return *v;
@@ -443,42 +546,79 @@ impl FunctionBuilder {
     /// Integer binary operation.
     pub fn bin(&mut self, op: BinOp, ty: Type, lhs: Value, rhs: Value) -> Value {
         let res = self.new_value(ty, ValueDef::Inst);
-        self.push(Inst::Bin { op, ty, res, lhs, rhs });
+        self.push(Inst::Bin {
+            op,
+            ty,
+            res,
+            lhs,
+            rhs,
+        });
         res
     }
 
     /// Integer division / remainder.
     pub fn div(&mut self, signed: bool, rem: bool, ty: Type, lhs: Value, rhs: Value) -> Value {
         let res = self.new_value(ty, ValueDef::Inst);
-        self.push(Inst::Div { signed, rem, ty, res, lhs, rhs });
+        self.push(Inst::Div {
+            signed,
+            rem,
+            ty,
+            res,
+            lhs,
+            rhs,
+        });
         res
     }
 
     /// Shift.
     pub fn shift(&mut self, kind: ShiftKind, ty: Type, lhs: Value, rhs: Value) -> Value {
         let res = self.new_value(ty, ValueDef::Inst);
-        self.push(Inst::Shift { kind, ty, res, lhs, rhs });
+        self.push(Inst::Shift {
+            kind,
+            ty,
+            res,
+            lhs,
+            rhs,
+        });
         res
     }
 
     /// Integer comparison.
     pub fn icmp(&mut self, cc: ICmp, ty: Type, lhs: Value, rhs: Value) -> Value {
         let res = self.new_value(Type::I1, ValueDef::Inst);
-        self.push(Inst::Icmp { cc, ty, res, lhs, rhs });
+        self.push(Inst::Icmp {
+            cc,
+            ty,
+            res,
+            lhs,
+            rhs,
+        });
         res
     }
 
     /// FP binary operation.
     pub fn fbin(&mut self, op: FBinOp, ty: Type, lhs: Value, rhs: Value) -> Value {
         let res = self.new_value(ty, ValueDef::Inst);
-        self.push(Inst::Fbin { op, ty, res, lhs, rhs });
+        self.push(Inst::Fbin {
+            op,
+            ty,
+            res,
+            lhs,
+            rhs,
+        });
         res
     }
 
     /// FP comparison.
     pub fn fcmp(&mut self, cc: FCmp, ty: Type, lhs: Value, rhs: Value) -> Value {
         let res = self.new_value(Type::I1, ValueDef::Inst);
-        self.push(Inst::Fcmp { cc, ty, res, lhs, rhs });
+        self.push(Inst::Fcmp {
+            cc,
+            ty,
+            res,
+            lhs,
+            rhs,
+        });
         res
     }
 
@@ -491,20 +631,37 @@ impl FunctionBuilder {
 
     /// Store.
     pub fn store(&mut self, ty: Type, addr: Value, off: i32, value: Value) {
-        self.push(Inst::Store { ty, addr, off, value });
+        self.push(Inst::Store {
+            ty,
+            addr,
+            off,
+            value,
+        });
     }
 
     /// Pointer arithmetic (simplified GEP).
     pub fn gep(&mut self, base: Value, index: Option<Value>, scale: u32, off: i64) -> Value {
         let res = self.new_value(Type::Ptr, ValueDef::Inst);
-        self.push(Inst::Gep { res, base, index, scale, off });
+        self.push(Inst::Gep {
+            res,
+            base,
+            index,
+            scale,
+            off,
+        });
         res
     }
 
     /// Integer cast (extension or truncation).
     pub fn cast(&mut self, signed: bool, from: Type, to: Type, v: Value) -> Value {
         let res = self.new_value(to, ValueDef::Inst);
-        self.push(Inst::Cast { signed, from, to, res, v });
+        self.push(Inst::Cast {
+            signed,
+            from,
+            to,
+            res,
+            v,
+        });
         res
     }
 
@@ -525,20 +682,36 @@ impl FunctionBuilder {
     /// Select.
     pub fn select(&mut self, ty: Type, cond: Value, tval: Value, fval: Value) -> Value {
         let res = self.new_value(ty, ValueDef::Inst);
-        self.push(Inst::Select { ty, res, cond, tval, fval });
+        self.push(Inst::Select {
+            ty,
+            res,
+            cond,
+            tval,
+            fval,
+        });
         res
     }
 
     /// Call returning a value.
     pub fn call(&mut self, callee: FuncId, ret_ty: Type, args: Vec<Value>) -> Value {
         let res = self.new_value(ret_ty, ValueDef::Inst);
-        self.push(Inst::Call { callee, res: Some(res), ret_ty, args });
+        self.push(Inst::Call {
+            callee,
+            res: Some(res),
+            ret_ty,
+            args,
+        });
         res
     }
 
     /// Void call.
     pub fn call_void(&mut self, callee: FuncId, args: Vec<Value>) {
-        self.push(Inst::Call { callee, res: None, ret_ty: Type::Void, args });
+        self.push(Inst::Call {
+            callee,
+            res: None,
+            ret_ty: Type::Void,
+            args,
+        });
     }
 
     /// Unconditional branch.
@@ -548,7 +721,11 @@ impl FunctionBuilder {
 
     /// Conditional branch.
     pub fn cond_br(&mut self, cond: Value, if_true: Block, if_false: Block) {
-        self.push(Inst::CondBr { cond, if_true, if_false });
+        self.push(Inst::CondBr {
+            cond,
+            if_true,
+            if_false,
+        });
     }
 
     /// Return a value.

@@ -17,7 +17,7 @@
 //! * **O1 style** — values are kept in SSA form with phis for loop-carried
 //!   variables, mirroring optimized IR.
 
-use crate::ir::{BinOp, Block, FBinOp, FunctionBuilder, ICmp, Module, ShiftKind, Type, Value};
+use crate::ir::{BinOp, Block, FBinOp, FunctionBuilder, ICmp, Module, ShiftKind, Type};
 
 /// IR style, mirroring the paper's unoptimized/optimized input IR.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
@@ -59,15 +59,60 @@ pub enum WorkloadKind {
 /// The nine SPECint-2017-like workloads used by the figures.
 pub fn spec_workloads() -> Vec<Workload> {
     vec![
-        Workload { name: "600.perl", kind: WorkloadKind::Branchy, funcs: 14, input: 40_000 },
-        Workload { name: "602.gcc", kind: WorkloadKind::Branchy, funcs: 22, input: 60_000 },
-        Workload { name: "605.mcf", kind: WorkloadKind::Memory, funcs: 8, input: 30_000 },
-        Workload { name: "620.omnetpp", kind: WorkloadKind::CallHeavy, funcs: 18, input: 25_000 },
-        Workload { name: "623.xalanc", kind: WorkloadKind::CallHeavy, funcs: 24, input: 25_000 },
-        Workload { name: "625.x264", kind: WorkloadKind::IntLoop, funcs: 12, input: 50_000 },
-        Workload { name: "631.deepsjeng", kind: WorkloadKind::IntLoop, funcs: 10, input: 50_000 },
-        Workload { name: "641.leela", kind: WorkloadKind::FpKernel, funcs: 10, input: 20_000 },
-        Workload { name: "657.xz", kind: WorkloadKind::Memory, funcs: 9, input: 40_000 },
+        Workload {
+            name: "600.perl",
+            kind: WorkloadKind::Branchy,
+            funcs: 14,
+            input: 40_000,
+        },
+        Workload {
+            name: "602.gcc",
+            kind: WorkloadKind::Branchy,
+            funcs: 22,
+            input: 60_000,
+        },
+        Workload {
+            name: "605.mcf",
+            kind: WorkloadKind::Memory,
+            funcs: 8,
+            input: 30_000,
+        },
+        Workload {
+            name: "620.omnetpp",
+            kind: WorkloadKind::CallHeavy,
+            funcs: 18,
+            input: 25_000,
+        },
+        Workload {
+            name: "623.xalanc",
+            kind: WorkloadKind::CallHeavy,
+            funcs: 24,
+            input: 25_000,
+        },
+        Workload {
+            name: "625.x264",
+            kind: WorkloadKind::IntLoop,
+            funcs: 12,
+            input: 50_000,
+        },
+        Workload {
+            name: "631.deepsjeng",
+            kind: WorkloadKind::IntLoop,
+            funcs: 10,
+            input: 50_000,
+        },
+        Workload {
+            name: "641.leela",
+            kind: WorkloadKind::FpKernel,
+            funcs: 10,
+            input: 20_000,
+        },
+        Workload {
+            name: "657.xz",
+            kind: WorkloadKind::Memory,
+            funcs: 9,
+            input: 40_000,
+        },
     ]
 }
 
@@ -163,7 +208,9 @@ fn ref_branchy(seed: u32, n: u64) -> u64 {
         } else {
             acc = acc.rotate_left(1);
         }
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         i += 1;
     }
     acc
@@ -217,7 +264,7 @@ pub fn expected_result(w: &Workload) -> u64 {
             WorkloadKind::FpKernel => ref_fp(i, w.input),
         };
         let mixed = acc ^ r;
-        acc = (mixed << 3) | (mixed >> 61);
+        acc = mixed.rotate_left(3);
     }
     acc
 }
@@ -391,9 +438,21 @@ fn branchy_impl(name: &str, seed: u32, style: IrStyle) -> crate::ir::Function {
     let mut b = FunctionBuilder::new(name, &[Type::I64], Type::I64);
     // locals: state, acc, i  (slots in O0, phis in O1)
     let use_slots = style == IrStyle::O0;
-    let state_slot = if use_slots { Some(b.alloca(8, 8)) } else { None };
-    let acc_slot = if use_slots { Some(b.alloca(8, 8)) } else { None };
-    let i_slot = if use_slots { Some(b.alloca(8, 8)) } else { None };
+    let state_slot = if use_slots {
+        Some(b.alloca(8, 8))
+    } else {
+        None
+    };
+    let acc_slot = if use_slots {
+        Some(b.alloca(8, 8))
+    } else {
+        None
+    };
+    let i_slot = if use_slots {
+        Some(b.alloca(8, 8))
+    } else {
+        None
+    };
     let entry = b.current_block();
     let head = b.create_block();
     let dispatch: Vec<Block> = (0..5).map(|_| b.create_block()).collect();
@@ -688,7 +747,10 @@ mod tests {
         let o0 = build_workload(w, IrStyle::O0);
         let o1 = build_workload(w, IrStyle::O1);
         let phis = |m: &Module| -> usize {
-            m.funcs.iter().map(|f| f.blocks.iter().map(|b| b.phis.len()).sum::<usize>()).sum()
+            m.funcs
+                .iter()
+                .map(|f| f.blocks.iter().map(|b| b.phis.len()).sum::<usize>())
+                .sum()
         };
         assert!(phis(&o1) > phis(&o0));
     }

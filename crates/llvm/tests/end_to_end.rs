@@ -26,7 +26,7 @@ fn simple_function_all_backends_agree() {
     b.ret(Some(sel));
     m.add_function(b.build());
 
-    let expected = ((7u64 + 5) * 10).max(0); // 120; not < 7 so select picks prod
+    let expected = (7u64 + 5) * 10; // 120; not < 7 so select picks prod
     let tpde = compile_x64(&m, &CompileOptions::default()).unwrap();
     assert_eq!(run_buf(&tpde.buf, "calc", &[7, 5]), expected);
     let cp = compile_copy_patch(&m).unwrap();
@@ -43,11 +43,19 @@ fn check_workload(w: &Workload, style: IrStyle) {
 
     let tpde = compile_x64(&module, &CompileOptions::default()).unwrap();
     let got = run_buf(&tpde.buf, "bench_main", &[w.input]);
-    assert_eq!(got, expected, "TPDE x86-64 wrong for {} ({:?})", w.name, style);
+    assert_eq!(
+        got, expected,
+        "TPDE x86-64 wrong for {} ({:?})",
+        w.name, style
+    );
 
     let cp = compile_copy_patch(&module).unwrap();
     let got = run_buf(&cp.buf, "bench_main", &[w.input]);
-    assert_eq!(got, expected, "copy-and-patch wrong for {} ({:?})", w.name, style);
+    assert_eq!(
+        got, expected,
+        "copy-and-patch wrong for {} ({:?})",
+        w.name, style
+    );
 
     let base = compile_baseline(&module, 0).unwrap();
     let got = run_buf(&base.buf, "bench_main", &[w.input]);
@@ -60,46 +68,78 @@ fn check_workload(w: &Workload, style: IrStyle) {
 
 #[test]
 fn workload_intloop_is_correct_in_both_styles() {
-    let w = Workload { input: 2_000, ..spec_workloads()[6].clone() };
+    let w = Workload {
+        input: 2_000,
+        ..spec_workloads()[6].clone()
+    };
     check_workload(&w, IrStyle::O0);
     check_workload(&w, IrStyle::O1);
 }
 
 #[test]
 fn workload_branchy_is_correct() {
-    let w = Workload { input: 2_000, funcs: 4, ..spec_workloads()[0].clone() };
+    let w = Workload {
+        input: 2_000,
+        funcs: 4,
+        ..spec_workloads()[0].clone()
+    };
     check_workload(&w, IrStyle::O0);
     check_workload(&w, IrStyle::O1);
 }
 
 #[test]
 fn workload_memory_is_correct() {
-    let w = Workload { input: 2_000, funcs: 2, ..spec_workloads()[2].clone() };
+    let w = Workload {
+        input: 2_000,
+        funcs: 2,
+        ..spec_workloads()[2].clone()
+    };
     check_workload(&w, IrStyle::O0);
 }
 
 #[test]
 fn workload_callheavy_is_correct() {
-    let w = Workload { input: 2_000, funcs: 4, ..spec_workloads()[3].clone() };
+    let w = Workload {
+        input: 2_000,
+        funcs: 4,
+        ..spec_workloads()[3].clone()
+    };
     check_workload(&w, IrStyle::O0);
     check_workload(&w, IrStyle::O1);
 }
 
 #[test]
 fn workload_fp_is_correct() {
-    let w = Workload { input: 2_000, funcs: 2, ..spec_workloads()[7].clone() };
+    let w = Workload {
+        input: 2_000,
+        funcs: 2,
+        ..spec_workloads()[7].clone()
+    };
     check_workload(&w, IrStyle::O0);
 }
 
 #[test]
 fn ablation_options_still_produce_correct_code() {
-    let w = Workload { input: 1_000, funcs: 2, ..spec_workloads()[6].clone() };
+    let w = Workload {
+        input: 1_000,
+        funcs: 2,
+        ..spec_workloads()[6].clone()
+    };
     let module = build_workload(&w, IrStyle::O1);
     let expected = expected_result(&w);
     for opts in [
-        CompileOptions { fixed_loop_regs: false, ..CompileOptions::default() },
-        CompileOptions { fusion: false, ..CompileOptions::default() },
-        CompileOptions { assume_all_live: true, ..CompileOptions::default() },
+        CompileOptions {
+            fixed_loop_regs: false,
+            ..CompileOptions::default()
+        },
+        CompileOptions {
+            fusion: false,
+            ..CompileOptions::default()
+        },
+        CompileOptions {
+            assume_all_live: true,
+            ..CompileOptions::default()
+        },
     ] {
         let compiled = compile_x64(&module, &opts).unwrap();
         assert_eq!(run_buf(&compiled.buf, "bench_main", &[w.input]), expected);
@@ -108,7 +148,11 @@ fn ablation_options_still_produce_correct_code() {
 
 #[test]
 fn tpde_code_is_smaller_than_copy_patch() {
-    let w = Workload { input: 100, funcs: 3, ..spec_workloads()[0].clone() };
+    let w = Workload {
+        input: 100,
+        funcs: 3,
+        ..spec_workloads()[0].clone()
+    };
     let module = build_workload(&w, IrStyle::O0);
     let tpde = compile_x64(&module, &CompileOptions::default()).unwrap();
     let cp = compile_copy_patch(&module).unwrap();

@@ -17,7 +17,12 @@ use tpde_enc::A64Target;
 
 type Cg<'a, 'b, A> = &'a mut FuncCodeGen<'b, A, A64Target>;
 
-fn op_as_reg<A: IrAdapter>(cg: Cg<'_, '_, A>, op: &AsmOperand, bank: RegBank, size: u32) -> Result<u8> {
+fn op_as_reg<A: IrAdapter>(
+    cg: Cg<'_, '_, A>,
+    op: &AsmOperand,
+    bank: RegBank,
+    size: u32,
+) -> Result<u8> {
     match op {
         AsmOperand::Val(p) => Ok(cg.val_as_reg(p)?.index()),
         AsmOperand::Imm(v) => {

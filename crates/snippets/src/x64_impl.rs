@@ -21,7 +21,12 @@ fn gp(i: u8) -> Reg {
     Reg::new(RegBank::GP, i)
 }
 
-fn op_as_reg<A: IrAdapter>(cg: Cg<'_, '_, A>, op: &AsmOperand, bank: RegBank, size: u32) -> Result<Reg> {
+fn op_as_reg<A: IrAdapter>(
+    cg: Cg<'_, '_, A>,
+    op: &AsmOperand,
+    bank: RegBank,
+    size: u32,
+) -> Result<Reg> {
     match op {
         AsmOperand::Val(p) => cg.val_as_reg(p),
         AsmOperand::Imm(v) => {
@@ -241,7 +246,13 @@ impl SnippetEmitter for X64Target {
         };
         if let Some(imm) = rhs.as_imm() {
             let dst = Gp::from(result_from(cg, res, lhs, RegBank::GP, osize)?);
-            x64::shift_ri(cg.buf, skind, osize, dst, (imm as u8) & (osize as u8 * 8 - 1));
+            x64::shift_ri(
+                cg.buf,
+                skind,
+                osize,
+                dst,
+                (imm as u8) & (osize as u8 * 8 - 1),
+            );
             return Ok(());
         }
         let rcx = gp(1);
@@ -430,7 +441,13 @@ impl SnippetEmitter for X64Target {
             }
         };
         if let Some(mem) = rhs_mem {
-            x64::sse_rm(cg.buf, if size == 4 { 0xf3 } else { 0xf2 }, opcode, dst, mem);
+            x64::sse_rm(
+                cg.buf,
+                if size == 4 { 0xf3 } else { 0xf2 },
+                opcode,
+                dst,
+                mem,
+            );
         } else {
             x64::fp_arith(cg.buf, size, opcode, dst, Xmm::from(rhs_reg.unwrap()));
         }

@@ -76,8 +76,8 @@ pub type HostFn = Rc<dyn Fn(&mut Machine) -> Result<(), EmuError>>;
 /// Names of the host functions registered by default (the emulator's libc
 /// subset).
 pub const HOST_FN_NAMES: &[&str] = &[
-    "malloc", "calloc", "free", "memcpy", "memset", "memmove", "memcmp", "strlen", "abort",
-    "puts", "putchar", "exit",
+    "malloc", "calloc", "free", "memcpy", "memset", "memmove", "memcmp", "strlen", "abort", "puts",
+    "putchar", "exit",
 ];
 
 /// The emulated machine.
@@ -206,7 +206,12 @@ impl Machine {
 
     /// Calls a function whose first arguments include doubles (placed in
     /// xmm0..) — used by FP-heavy workloads.
-    pub fn call_fp(&mut self, addr: u64, int_args: &[u64], fp_args: &[f64]) -> Result<u64, EmuError> {
+    pub fn call_fp(
+        &mut self,
+        addr: u64,
+        int_args: &[u64],
+        fp_args: &[f64],
+    ) -> Result<u64, EmuError> {
         for (i, a) in fp_args.iter().enumerate().take(8) {
             self.xmm[i] = a.to_bits();
         }

@@ -36,7 +36,7 @@ fn sext(v: u64, size: u32) -> i64 {
 }
 
 fn parity(v: u64) -> bool {
-    (v as u8).count_ones() % 2 == 0
+    (v as u8).count_ones().is_multiple_of(2)
 }
 
 impl Machine {
@@ -182,7 +182,8 @@ impl Machine {
         self.flags.cf = res < a;
         self.flags.zf = res == 0;
         self.flags.sf = sign_bit(res, size);
-        self.flags.of = !(sign_bit(a, size) ^ sign_bit(b, size)) & (sign_bit(a, size) ^ sign_bit(res, size));
+        self.flags.of =
+            !(sign_bit(a, size) ^ sign_bit(b, size)) & (sign_bit(a, size) ^ sign_bit(res, size));
         self.flags.pf = parity(res);
         res
     }
@@ -194,7 +195,8 @@ impl Machine {
         self.flags.cf = a < b;
         self.flags.zf = res == 0;
         self.flags.sf = sign_bit(res, size);
-        self.flags.of = (sign_bit(a, size) ^ sign_bit(b, size)) & (sign_bit(a, size) ^ sign_bit(res, size));
+        self.flags.of =
+            (sign_bit(a, size) ^ sign_bit(b, size)) & (sign_bit(a, size) ^ sign_bit(res, size));
         self.flags.pf = parity(res);
         res
     }
@@ -334,7 +336,10 @@ impl Machine {
                 if let RmOperand::Mem(a) = m.rm {
                     self.write_reg(m.reg, 8, a);
                 } else {
-                    return Err(EmuError::Decode { rip: start, bytes: self.mem.read_bytes(start, 4) });
+                    return Err(EmuError::Decode {
+                        rip: start,
+                        bytes: self.mem.read_bytes(start, 4),
+                    });
                 }
             }
             0x63 => {
@@ -499,7 +504,10 @@ impl Machine {
                         }
                     }
                     _ => {
-                        return Err(EmuError::Decode { rip: start, bytes: self.mem.read_bytes(start, 4) })
+                        return Err(EmuError::Decode {
+                            rip: start,
+                            bytes: self.mem.read_bytes(start, 4),
+                        })
                     }
                 }
             }
@@ -516,7 +524,11 @@ impl Machine {
                 self.write_reg(m.reg, osize, r);
             }
             0xc0 | 0xc1 | 0xd0 | 0xd1 | 0xd2 | 0xd3 => {
-                let size = if op == 0xc0 || op == 0xd0 || op == 0xd2 { 1 } else { osize };
+                let size = if op == 0xc0 || op == 0xd0 || op == 0xd2 {
+                    1
+                } else {
+                    osize
+                };
                 let m = self.decode_modrm(&mut p, rex);
                 let amt = match op {
                     0xc0 | 0xc1 => self.fetch8(&mut p) as u32,
@@ -530,7 +542,12 @@ impl Machine {
                     7 => (sext(a, size) >> amt) as u64,
                     0 => (a & mask(size)).rotate_left(amt), // approximation for rol within size
                     1 => (a & mask(size)).rotate_right(amt),
-                    _ => return Err(EmuError::Decode { rip: start, bytes: self.mem.read_bytes(start, 4) }),
+                    _ => {
+                        return Err(EmuError::Decode {
+                            rip: start,
+                            bytes: self.mem.read_bytes(start, 4),
+                        })
+                    }
                 } & mask(size);
                 if amt != 0 {
                     self.set_flags_logic(r, size);
@@ -548,9 +565,17 @@ impl Machine {
             0x99 => {
                 // cdq / cqo
                 if w {
-                    self.regs[2] = if (self.regs[0] as i64) < 0 { u64::MAX } else { 0 };
+                    self.regs[2] = if (self.regs[0] as i64) < 0 {
+                        u64::MAX
+                    } else {
+                        0
+                    };
                 } else {
-                    let v = if (self.regs[0] as u32 as i32) < 0 { 0xffff_ffff } else { 0 };
+                    let v = if (self.regs[0] as u32 as i32) < 0 {
+                        0xffff_ffff
+                    } else {
+                        0
+                    };
                     self.write_reg(2, 4, v);
                 }
             }
@@ -600,7 +625,10 @@ impl Machine {
                         return Ok(());
                     }
                     _ => {
-                        return Err(EmuError::Decode { rip: start, bytes: self.mem.read_bytes(start, 4) })
+                        return Err(EmuError::Decode {
+                            rip: start,
+                            bytes: self.mem.read_bytes(start, 4),
+                        })
                     }
                 }
             }
@@ -655,12 +683,18 @@ impl Machine {
                         self.sse_op(op2, &mut p, rex, rep, has66, w, start)?;
                     }
                     _ => {
-                        return Err(EmuError::Decode { rip: start, bytes: self.mem.read_bytes(start, 4) })
+                        return Err(EmuError::Decode {
+                            rip: start,
+                            bytes: self.mem.read_bytes(start, 4),
+                        })
                     }
                 }
             }
             _ => {
-                return Err(EmuError::Decode { rip: start, bytes: self.mem.read_bytes(start, 4) })
+                return Err(EmuError::Decode {
+                    rip: start,
+                    bytes: self.mem.read_bytes(start, 4),
+                })
             }
         }
         self.rip = p;
@@ -746,7 +780,10 @@ impl Machine {
                 let (a, b) = if dsize == 8 {
                     (f64::from_bits(a_bits), f64::from_bits(b_bits))
                 } else {
-                    (f32::from_bits(a_bits as u32) as f64, f32::from_bits(b_bits as u32) as f64)
+                    (
+                        f32::from_bits(a_bits as u32) as f64,
+                        f32::from_bits(b_bits as u32) as f64,
+                    )
                 };
                 self.flags.of = false;
                 self.flags.sf = false;
@@ -819,7 +856,10 @@ impl Machine {
                 self.write_rm(m.rm, if w { 8 } else { 4 }, v);
             }
             _ => {
-                return Err(EmuError::Decode { rip: start, bytes: self.mem.read_bytes(start, 4) })
+                return Err(EmuError::Decode {
+                    rip: start,
+                    bytes: self.mem.read_bytes(start, 4),
+                })
             }
         }
         self.rip = *p;

@@ -89,7 +89,9 @@ pub fn register_default_hostcalls(m: &mut Machine, image: &JitImage) {
             ),
             "abort" | "exit" | "__trap" => m.register_host_fn(
                 addr,
-                Rc::new(|_m: &mut Machine| Err(EmuError::Fault("guest called abort/exit/trap".into()))),
+                Rc::new(|_m: &mut Machine| {
+                    Err(EmuError::Fault("guest called abort/exit/trap".into()))
+                }),
             ),
             _ => {}
         }

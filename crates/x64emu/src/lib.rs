@@ -18,6 +18,25 @@
 //! [`tpde_core::jit::EXTERNAL_CALLOUT_BASE`]) are dispatched to registered
 //! host functions; a small libc subset (`malloc`, `memcpy`, `memset`, …) is
 //! provided out of the box.
+//!
+//! ```
+//! use tpde_core::codegen::CompileOptions;
+//! use tpde_core::jit::link_in_memory;
+//! use tpde_llvm::ir::{BinOp, FunctionBuilder, Module, Type};
+//!
+//! let mut m = Module::new();
+//! let mut b = FunctionBuilder::new("double_it", &[Type::I64], Type::I64);
+//! let two = b.iconst(Type::I64, 2);
+//! let res = b.bin(BinOp::Mul, Type::I64, b.arg(0), two);
+//! b.ret(Some(res));
+//! m.add_function(b.build());
+//!
+//! let compiled = tpde_llvm::backend::compile_x64(&m, &CompileOptions::default()).unwrap();
+//! let image = link_in_memory(&compiled.buf, 0x40_0000, |_| None).unwrap();
+//! let (ret, stats) = tpde_x64emu::run_function(&image, "double_it", &[21]).unwrap();
+//! assert_eq!(ret, 42);
+//! assert!(stats.insts > 0);
+//! ```
 
 mod cpu;
 mod decode;

@@ -1,0 +1,186 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build container has no network access to crates.io, so this vendored
+//! crate provides the small API subset used by the `tpde-bench` targets:
+//! [`Criterion`], [`BenchmarkId`], benchmark groups with `sample_size` /
+//! `bench_with_input` / `finish`, `Bencher::iter`, [`black_box`] and the
+//! [`criterion_group!`] / [`criterion_main!`] macros. Timing is plain
+//! wall-clock (median of the sampled runs) printed to stdout; there is no
+//! statistical analysis, plotting or baseline comparison.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier for one benchmark within a group: a function name plus a
+/// parameter rendered with `Display`.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function_name/parameter`.
+    pub fn new<S: Into<String>, P: Display>(function_name: S, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to the benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_count: usize,
+}
+
+impl Bencher {
+    /// Runs `routine` repeatedly and records per-iteration timings.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warmup run so lazily-initialized state does not pollute the
+        // first sample.
+        black_box(routine());
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
+        }
+    }
+
+    fn median(&mut self) -> Duration {
+        if self.samples.is_empty() {
+            return Duration::ZERO;
+        }
+        self.samples.sort();
+        self.samples[self.samples.len() / 2]
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples collected per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `routine` with `input`, reporting under `id`.
+    pub fn bench_with_input<I: ?Sized, R>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self
+    where
+        R: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_count: self.sample_size,
+        };
+        routine(&mut bencher, input);
+        let median = bencher.median();
+        println!("{}/{}  median {:?}", self.name, id, median);
+        self
+    }
+
+    /// Finishes the group (reporting already happened incrementally).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepts (and ignores) command-line configuration, for API parity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a new benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Final analysis hook; a no-op in this stand-in.
+    pub fn final_summary(&mut self) {}
+}
+
+/// Defines a function running a list of benchmark targets, like
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups, like
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default().configure_from_args();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_with_input(BenchmarkId::new("count", 1), &2u64, |b, x| {
+            b.iter(|| {
+                runs += 1;
+                black_box(*x * 2)
+            })
+        });
+        group.finish();
+        // one warmup + sample_size timed iterations
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "w1").to_string(), "f/w1");
+    }
+}
