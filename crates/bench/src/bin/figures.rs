@@ -1,8 +1,10 @@
 //! Regenerates the paper's evaluation figures (5a, 5b, 6, 7, 8a, 8b) plus
 //! the ablation studies, printing one table per figure.
 //!
-//! Usage: `cargo run -p tpde-bench --bin figures [--quick]`
-//! (`--quick` scales down the workload inputs for a fast smoke run).
+//! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]`
+//! (`--quick` scales down the workload inputs for a fast smoke run;
+//! `--json` additionally writes the per-workload compile-time speedups to
+//! `BENCH_compile.json` so the perf trajectory can be tracked across PRs).
 
 use std::time::Instant;
 use tpde_bench::{geomean, measure, scaled, Backend};
@@ -11,8 +13,44 @@ use tpde_core::timing::Phase;
 use tpde_llvm::workloads::{build_workload, spec_workloads, IrStyle};
 use tpde_llvm::{compile_baseline, compile_copy_patch, compile_x64};
 
+/// Writes the machine-readable compile-time speedup report.
+///
+/// Hand-rolled JSON (the container has no serde); numbers use enough digits
+/// for diffing across PRs.
+fn write_json(
+    path: &str,
+    quick: bool,
+    rows: &[(&str, f64, f64, f64)],
+    geo: (f64, f64, f64),
+) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(
+        out,
+        "  \"figure\": \"5a_compile_speedup_over_llvm_o0_like\",\n  \"quick\": {quick},"
+    );
+    out.push_str("  \"workloads\": [\n");
+    for (i, (name, x64, a64, cp)) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"name\": \"{name}\", \"tpde_x64\": {x64:.4}, \"tpde_a64\": {a64:.4}, \"copy_patch\": {cp:.4}}}{comma}"
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"geomean\": {{\"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}}}",
+        geo.0, geo.1, geo.2
+    );
+    out.push_str("}\n");
+    std::fs::write(path, out)
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
     let scale = if quick { 2_000 } else { 50_000 };
     let workloads: Vec<_> = spec_workloads()
         .iter()
@@ -28,6 +66,7 @@ fn main() {
     let mut sp_x64 = Vec::new();
     let mut sp_a64 = Vec::new();
     let mut sp_cp = Vec::new();
+    let mut json_rows: Vec<(&str, f64, f64, f64)> = Vec::new();
     let mut run_rows = Vec::new();
     let mut size_rows = Vec::new();
     for w in &workloads {
@@ -50,6 +89,7 @@ fn main() {
         sp_x64.push(s_x);
         sp_a64.push(s_a);
         sp_cp.push(s_c);
+        json_rows.push((w.name, s_x, s_a, s_c));
         run_rows.push((
             w.name,
             base.cycles.unwrap() as f64 / tpde.cycles.unwrap() as f64,
@@ -69,6 +109,13 @@ fn main() {
         geomean(&sp_a64),
         geomean(&sp_cp)
     );
+    if json {
+        let geo = (geomean(&sp_x64), geomean(&sp_a64), geomean(&sp_cp));
+        match write_json("BENCH_compile.json", quick, &json_rows, geo) {
+            Ok(()) => println!("(wrote BENCH_compile.json)"),
+            Err(e) => eprintln!("failed to write BENCH_compile.json: {e}"),
+        }
+    }
 
     println!(
         "\n== Figure 5b: run-time speedup of generated code over LLVM-O0-like (emulated cycles)"

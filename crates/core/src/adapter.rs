@@ -10,13 +10,49 @@
 //! The paper recommends that adapters use a single integer as reference type.
 //! This implementation takes that recommendation one step further and fixes
 //! the reference types to dense `u32` indices ([`ValueRef`], [`BlockRef`],
-//! [`InstRef`], [`FuncRef`]): the adapter must number values and blocks of
-//! the current function contiguously starting at 0. This replaces the
-//! paper's per-block 64-bit auxiliary storage and per-value numbering
-//! requirement — the framework simply keeps its own arrays indexed by these
-//! numbers, which is equivalent and keeps the adapter trait small.
+//! [`InstRef`], [`FuncRef`]): the adapter must number values, blocks and
+//! instructions of the current function contiguously starting at 0, with
+//! block 0 being the entry block. This replaces the paper's per-block 64-bit
+//! auxiliary storage and per-value numbering requirement — the framework
+//! simply keeps its own arrays indexed by these numbers, which is equivalent
+//! and keeps the adapter trait small.
+//!
+//! ## Implementing an adapter without allocating
+//!
+//! The adapter sits on the hottest path of the compiler: `inst_operands` and
+//! `inst_results` are called for every instruction, `block_insts`,
+//! `block_succs` and `block_phis` for every block — first by the analysis
+//! pass and then again by the code generator. A heap allocation per query
+//! would dominate the compile time of a single-pass back-end (§2 of the
+//! paper), so every collection-valued query returns a **borrowed slice**
+//! (`&[T]`) instead of a fresh `Vec`, and names are returned as `&str` /
+//! [`Cow`].
+//!
+//! The recommended implementation strategy, used by all adapters in this
+//! workspace, is to *pre-index* the current function in
+//! [`IrAdapter::switch_func`]:
+//!
+//! 1. Walk the function once and append the data of every query into flat
+//!    tables owned by the adapter (one `Vec<ValueRef>` holding all operand
+//!    lists back to back, one `Vec<BlockRef>` holding all successor lists,
+//!    and so on), recording a `(start, len)` range per instruction / block /
+//!    phi in a dense side table.
+//! 2. Answer each query by slicing the flat table:
+//!    `&self.operands[range.0..range.1]`.
+//! 3. `clear()` (never drop) the tables at the start of the next
+//!    `switch_func`, so their capacity is reused and the steady-state compile
+//!    loop performs **zero** allocations per function once the tables have
+//!    grown to the largest function of the module.
+//!
+//! If the source IR already stores a list contiguously (e.g. phi incoming
+//! edges), the adapter can skip the copy and slice the IR's own storage
+//! directly. Repeated queries for the same reference must return the same
+//! contents until the next `switch_func`/`finalize_func`; the framework is
+//! free to hold a returned slice across unrelated queries on the same
+//! adapter.
 
 use crate::regs::RegBank;
+use std::borrow::Cow;
 
 /// Reference to an IR value of the current function (dense index).
 ///
@@ -117,18 +153,20 @@ pub struct PhiIncoming {
 /// [`IrAdapter::switch_func`] before querying any per-function information
 /// and calls [`IrAdapter::finalize_func`] when it is done with the function.
 ///
-/// All slice-returning methods return freshly allocated `Vec`s for
-/// simplicity; adapters should keep these cheap (the framework caches what it
-/// needs in its own dense arrays).
+/// All collection-valued queries return borrowed slices that must stay
+/// stable (same contents) until the next `switch_func`/`finalize_func`; see
+/// the [module docs](self) for the recommended pre-indexing strategy that
+/// makes them allocation-free.
 pub trait IrAdapter {
     // ---- module-level -----------------------------------------------------
 
-    /// All functions that should end up in the symbol table, both defined
-    /// functions and external declarations.
-    fn funcs(&self) -> Vec<FuncRef>;
+    /// Number of functions in the module (defined functions and external
+    /// declarations). All of them end up in the symbol table; function
+    /// indices are dense (`0..func_count()`).
+    fn func_count(&self) -> usize;
 
     /// Symbol name of a function.
-    fn func_name(&self, func: FuncRef) -> String;
+    fn func_name(&self, func: FuncRef) -> &str;
 
     /// Linkage of a function.
     fn func_linkage(&self, func: FuncRef) -> Linkage;
@@ -140,7 +178,8 @@ pub trait IrAdapter {
 
     /// Makes `func` the current function. Called once per defined function
     /// before any of the per-function queries below. Adapters typically
-    /// compute their dense value numbering here.
+    /// build their dense index tables here (reusing buffers from the
+    /// previous function).
     fn switch_func(&mut self, func: FuncRef);
 
     /// Releases per-function data computed in [`IrAdapter::switch_func`].
@@ -148,6 +187,11 @@ pub trait IrAdapter {
 
     /// Upper bound (exclusive) of value indices used by the current function.
     fn value_count(&self) -> usize;
+
+    /// Upper bound (exclusive) of instruction indices used by the current
+    /// function. The framework sizes dense per-instruction side tables
+    /// (e.g. the fusion bitmap) with this.
+    fn inst_count(&self) -> usize;
 
     /// Whether the current function needs exception unwind information.
     fn needs_unwind_info(&self) -> bool {
@@ -160,49 +204,51 @@ pub trait IrAdapter {
     }
 
     /// The function arguments, in ABI order.
-    fn args(&self) -> Vec<ValueRef>;
+    fn args(&self) -> &[ValueRef];
 
-    /// Per-argument ABI information; same length/order as [`IrAdapter::args`].
-    fn arg_info(&self) -> Vec<ArgInfo> {
-        self.args().iter().map(|_| ArgInfo::default()).collect()
+    /// ABI information of the `idx`-th argument (same order as
+    /// [`IrAdapter::args`]).
+    fn arg_info(&self, idx: usize) -> ArgInfo {
+        let _ = idx;
+        ArgInfo::default()
     }
 
     /// Fixed-size stack variables of the current function. The framework
     /// allocates these in the frame during prologue generation; their value
     /// is the address and is marked trivially recomputable.
-    fn static_stack_vars(&self) -> Vec<StackVarDesc> {
-        Vec::new()
+    fn static_stack_vars(&self) -> &[StackVarDesc] {
+        &[]
     }
 
-    /// Basic blocks of the current function. The entry block must be first.
-    /// Block indices must be dense (`0..blocks().len()`).
-    fn blocks(&self) -> Vec<BlockRef>;
+    /// Number of basic blocks of the current function. Block indices are
+    /// dense (`0..block_count()`) and block 0 is the entry block.
+    fn block_count(&self) -> usize;
 
     /// Successors of a block, in terminator order.
-    fn block_succs(&self, block: BlockRef) -> Vec<BlockRef>;
+    fn block_succs(&self, block: BlockRef) -> &[BlockRef];
 
     /// Phi nodes at the start of a block.
-    fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
+    fn block_phis(&self, block: BlockRef) -> &[ValueRef] {
         let _ = block;
-        Vec::new()
+        &[]
     }
 
     /// Instructions of a block in program order, excluding phi nodes,
     /// including the terminator.
-    fn block_insts(&self, block: BlockRef) -> Vec<InstRef>;
+    fn block_insts(&self, block: BlockRef) -> &[InstRef];
 
     /// Incoming edges of a phi node.
-    fn phi_incoming(&self, phi: ValueRef) -> Vec<PhiIncoming>;
+    fn phi_incoming(&self, phi: ValueRef) -> &[PhiIncoming];
 
     // ---- instructions -----------------------------------------------------
 
     /// Operand values of an instruction (only those the framework should
     /// track uses for; e.g. immediate operands folded by the instruction
     /// compiler may be omitted).
-    fn inst_operands(&self, inst: InstRef) -> Vec<ValueRef>;
+    fn inst_operands(&self, inst: InstRef) -> &[ValueRef];
 
     /// Result values defined by an instruction (usually zero or one).
-    fn inst_results(&self, inst: InstRef) -> Vec<ValueRef>;
+    fn inst_results(&self, inst: InstRef) -> &[ValueRef];
 
     // ---- values -----------------------------------------------------------
 
@@ -230,8 +276,8 @@ pub trait IrAdapter {
     }
 
     /// Optional debug name of a value, used only in diagnostics.
-    fn val_name(&self, val: ValueRef) -> String {
-        format!("v{}", val.0)
+    fn val_name(&self, val: ValueRef) -> Cow<'_, str> {
+        Cow::Owned(format!("v{}", val.0))
     }
 }
 

@@ -11,6 +11,16 @@
 //! 4. compute, for every value, a coarse live range — a contiguous range of
 //!    layout block indices, a flag whether liveness extends to the end of
 //!    the last block, and the number of uses (Kohn et al. style).
+//!
+//! ## Reuse
+//!
+//! The pass runs once per function, so its working memory is designed to be
+//! reused: [`Analyzer`] owns all scratch buffers and
+//! [`Analyzer::analyze_into`] clears-and-refills a caller-owned [`Analysis`].
+//! A module-level driver allocates one `Analyzer` and one `Analysis` and
+//! reuses them for every function, so the steady-state compile loop performs
+//! no analysis allocations. [`analyze`] is the convenience wrapper that
+//! allocates fresh state for one-off use (tests, tools).
 
 use crate::adapter::{BlockRef, IrAdapter, ValueRef};
 use crate::error::{Error, Result};
@@ -64,7 +74,10 @@ impl Default for LiveRange {
 }
 
 /// Result of the analysis pass for one function.
-#[derive(Debug, Clone, Default)]
+///
+/// Designed for reuse: [`Analyzer::analyze_into`] clears and refills all
+/// vectors, preserving their capacity across functions.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Analysis {
     /// Blocks in layout (compilation) order.
     pub layout: Vec<BlockRef>,
@@ -112,23 +125,39 @@ impl Analysis {
     }
 }
 
+/// Explicit DFS stack entry: the block and the index of the next successor
+/// to visit. Successors are re-queried from the adapter (a cheap slice
+/// lookup), so frames stay small and allocation-free.
+#[derive(Copy, Clone, Debug, Default)]
+struct Frame {
+    block: u32,
+    next: u32,
+}
+
+#[derive(Debug, Default)]
 struct LoopDiscovery {
     traversed: Vec<bool>,
     dfsp_pos: Vec<u32>,
     iloop_header: Vec<Option<u32>>,
     is_header: Vec<bool>,
     post_order: Vec<u32>,
+    dfs_stack: Vec<Frame>,
 }
 
 impl LoopDiscovery {
-    fn new(n: usize) -> LoopDiscovery {
-        LoopDiscovery {
-            traversed: vec![false; n],
-            dfsp_pos: vec![0; n],
-            iloop_header: vec![None; n],
-            is_header: vec![false; n],
-            post_order: Vec::with_capacity(n),
-        }
+    /// Clears all scratch state and resizes it for `n` blocks, preserving
+    /// buffer capacity.
+    fn reset(&mut self, n: usize) {
+        self.traversed.clear();
+        self.traversed.resize(n, false);
+        self.dfsp_pos.clear();
+        self.dfsp_pos.resize(n, 0);
+        self.iloop_header.clear();
+        self.iloop_header.resize(n, None);
+        self.is_header.clear();
+        self.is_header.resize(n, false);
+        self.post_order.clear();
+        self.dfs_stack.clear();
     }
 
     /// `tag_lhead` from Wei et al.: records that `block` is inside the loop
@@ -166,25 +195,19 @@ impl LoopDiscovery {
 
     /// Iterative DFS that discovers loop headers and header chains.
     fn run<A: IrAdapter>(&mut self, adapter: &A, entry: u32) {
-        // Explicit DFS stack: (block, succs, next succ index, dfs position).
-        struct Frame {
-            block: u32,
-            succs: Vec<BlockRef>,
-            next: usize,
-        }
-        let mut stack: Vec<Frame> = Vec::new();
+        let mut stack = std::mem::take(&mut self.dfs_stack);
         let mut depth = 1u32;
         self.traversed[entry as usize] = true;
         self.dfsp_pos[entry as usize] = depth;
         stack.push(Frame {
             block: entry,
-            succs: adapter.block_succs(BlockRef(entry)),
             next: 0,
         });
 
         while let Some(frame) = stack.last_mut() {
-            if frame.next < frame.succs.len() {
-                let succ = frame.succs[frame.next].0;
+            let succs = adapter.block_succs(BlockRef(frame.block));
+            if (frame.next as usize) < succs.len() {
+                let succ = succs[frame.next as usize].0;
                 frame.next += 1;
                 let b0 = frame.block;
                 if !self.traversed[succ as usize] {
@@ -193,7 +216,6 @@ impl LoopDiscovery {
                     self.dfsp_pos[succ as usize] = depth;
                     stack.push(Frame {
                         block: succ,
-                        succs: adapter.block_succs(BlockRef(succ)),
                         next: 0,
                     });
                 } else if self.dfsp_pos[succ as usize] > 0 {
@@ -222,12 +244,6 @@ impl LoopDiscovery {
                 self.post_order.push(finished.block);
                 // propagate this block's innermost header to its DFS parent
                 let nh = self.iloop_header[finished.block as usize];
-                let nh = if self.is_header[finished.block as usize] {
-                    // the parent is inside the loops *around* this header
-                    nh
-                } else {
-                    nh
-                };
                 if let Some(parent) = stack.last() {
                     // Only propagate headers that are still on the DFS path;
                     // tag_lhead itself checks positions.
@@ -255,333 +271,369 @@ impl LoopDiscovery {
                             }
                         }
                     };
-                    self.tag_lhead(parent.block, propagate);
+                    let parent = parent.block;
+                    self.tag_lhead(parent, propagate);
                 }
             }
         }
+        self.dfs_stack = stack;
     }
 }
 
-/// Runs the analysis pass over the current function of `adapter`.
+/// Reusable working memory of the analysis pass.
+///
+/// One `Analyzer` is owned per compile session; every call to
+/// [`Analyzer::analyze_into`] clears and refills the scratch buffers, so
+/// once they have grown to the largest function of a module no further
+/// allocations happen.
+#[derive(Debug, Default)]
+pub struct Analyzer {
+    disc: LoopDiscovery,
+    rpo: Vec<u32>,
+    rpo_index: Vec<u32>,
+    emitted: Vec<bool>,
+    headers: Vec<u32>,
+    loop_id_of_header: Vec<u32>,
+}
+
+impl Analyzer {
+    /// Creates an analyzer with empty scratch buffers.
+    pub fn new() -> Analyzer {
+        Analyzer::default()
+    }
+
+    /// Runs the analysis pass over the current function of `adapter`,
+    /// clearing and refilling `out`.
+    ///
+    /// The result is identical to a fresh [`analyze`] run; only the working
+    /// memory is reused.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidIr`] if the function has no blocks.
+    pub fn analyze_into<A: IrAdapter>(&mut self, adapter: &A, out: &mut Analysis) -> Result<()> {
+        let num_blocks = adapter.block_count();
+        if num_blocks == 0 {
+            return Err(Error::InvalidIr("function has no basic blocks".into()));
+        }
+        // Block 0 is the entry by the adapter contract.
+        let entry = 0u32;
+
+        // --- step 1+2: loop discovery ------------------------------------------
+        let disc = &mut self.disc;
+        disc.reset(num_blocks);
+        disc.run(adapter, entry);
+
+        // --- step 3: block layout ----------------------------------------------
+        // RPO over reachable blocks; unreachable blocks are appended at the
+        // end in index order so they still get code generated. `traversed`
+        // doubles as the reachability set (read in place, not cloned).
+        let rpo = &mut self.rpo;
+        rpo.clear();
+        rpo.extend(disc.post_order.iter().rev().copied());
+        for b in 0..num_blocks as u32 {
+            if !disc.traversed[b as usize] {
+                rpo.push(b);
+            }
+        }
+        let rpo_index = &mut self.rpo_index;
+        rpo_index.clear();
+        rpo_index.resize(num_blocks, u32::MAX);
+        for (i, &b) in rpo.iter().enumerate() {
+            rpo_index[b as usize] = i as u32;
+        }
+
+        // Transitive loop membership test: walk the header chain.
+        let in_loop = |mut b: u32, header: u32, disc: &LoopDiscovery| -> bool {
+            if b == header {
+                return true;
+            }
+            while let Some(h) = disc.iloop_header[b as usize] {
+                if h == header {
+                    return true;
+                }
+                b = h;
+            }
+            false
+        };
+
+        // Emit blocks in RPO, but when reaching a loop header, emit the entire
+        // loop (all blocks whose header chain contains it) contiguously.
+        let layout = &mut out.layout;
+        layout.clear();
+        let emitted = &mut self.emitted;
+        emitted.clear();
+        emitted.resize(num_blocks, false);
+        fn emit_block_or_loop(
+            b: u32,
+            rpo: &[u32],
+            rpo_index: &[u32],
+            disc: &LoopDiscovery,
+            emitted: &mut [bool],
+            layout: &mut Vec<BlockRef>,
+            in_loop: &dyn Fn(u32, u32, &LoopDiscovery) -> bool,
+        ) {
+            if emitted[b as usize] {
+                return;
+            }
+            if disc.is_header[b as usize] {
+                // collect loop members in RPO order starting at the header
+                emitted[b as usize] = true;
+                layout.push(BlockRef(b));
+                let start = rpo_index[b as usize] as usize;
+                for &m in &rpo[start + 1..] {
+                    if !emitted[m as usize] && in_loop(m, b, disc) {
+                        // nested loop headers recurse so their members stay together
+                        if disc.is_header[m as usize] {
+                            emit_block_or_loop(m, rpo, rpo_index, disc, emitted, layout, in_loop);
+                        } else {
+                            emitted[m as usize] = true;
+                            layout.push(BlockRef(m));
+                        }
+                    }
+                }
+            } else {
+                emitted[b as usize] = true;
+                layout.push(BlockRef(b));
+            }
+        }
+        for &b in rpo.iter() {
+            emit_block_or_loop(b, rpo, rpo_index, disc, emitted, layout, &in_loop);
+        }
+        debug_assert_eq!(layout.len(), num_blocks);
+
+        let block_pos = &mut out.block_pos;
+        block_pos.clear();
+        block_pos.resize(num_blocks, u32::MAX);
+        for (i, b) in layout.iter().enumerate() {
+            block_pos[b.idx()] = i as u32;
+        }
+
+        // --- build the loop forest ---------------------------------------------
+        // Loop 0 is the pseudo root covering the whole function.
+        let loops = &mut out.loops;
+        loops.clear();
+        loops.push(LoopInfo {
+            parent: 0,
+            level: 0,
+            begin: 0,
+            end: (num_blocks - 1) as u32,
+            header: 0,
+            num_blocks: num_blocks as u32,
+        });
+        let loop_id_of_header = &mut self.loop_id_of_header;
+        loop_id_of_header.clear();
+        loop_id_of_header.resize(num_blocks, u32::MAX);
+        // create loops in layout order of their headers so parents come first
+        let headers = &mut self.headers;
+        headers.clear();
+        headers.extend((0..num_blocks as u32).filter(|&b| disc.is_header[b as usize]));
+        headers.sort_unstable_by_key(|&h| block_pos[h as usize]);
+        for &h in headers.iter() {
+            let id = loops.len() as u32;
+            loop_id_of_header[h as usize] = id;
+            loops.push(LoopInfo {
+                parent: 0,
+                level: 1,
+                begin: block_pos[h as usize],
+                end: block_pos[h as usize],
+                header: block_pos[h as usize],
+                num_blocks: 0,
+            });
+        }
+        // parents and levels
+        for &h in headers.iter() {
+            let id = loop_id_of_header[h as usize];
+            let parent = match disc.iloop_header[h as usize] {
+                Some(ph) => loop_id_of_header[ph as usize],
+                None => 0,
+            };
+            let parent = if parent == u32::MAX { 0 } else { parent };
+            loops[id as usize].parent = parent;
+        }
+        // levels need parents resolved first (parents appear before children in
+        // header layout order for reducible nests; recompute iteratively to be safe)
+        for _ in 0..loops.len() {
+            for i in 1..loops.len() {
+                let p = loops[i].parent as usize;
+                loops[i].level = loops[p].level + 1;
+            }
+        }
+
+        // innermost loop per block + loop extents
+        let block_loop = &mut out.block_loop;
+        block_loop.clear();
+        block_loop.resize(num_blocks, 0);
+        for (pos, b) in layout.iter().enumerate() {
+            let b = b.0;
+            let innermost = if disc.is_header[b as usize] {
+                loop_id_of_header[b as usize]
+            } else {
+                match disc.iloop_header[b as usize] {
+                    Some(h) => loop_id_of_header[h as usize],
+                    None => 0,
+                }
+            };
+            let innermost = if innermost == u32::MAX { 0 } else { innermost };
+            block_loop[pos] = innermost;
+            // extend extents of the whole loop chain
+            let mut l = innermost;
+            loop {
+                let li = &mut loops[l as usize];
+                li.begin = li.begin.min(pos as u32);
+                li.end = li.end.max(pos as u32);
+                li.num_blocks += 1;
+                if l == 0 {
+                    break;
+                }
+                l = loops[l as usize].parent;
+            }
+        }
+        // the root already covers everything; fix its counters
+        loops[0].begin = 0;
+        loops[0].end = (num_blocks - 1) as u32;
+        loops[0].num_blocks = num_blocks as u32;
+
+        // --- predecessors counts -----------------------------------------------
+        let num_preds = &mut out.num_preds;
+        num_preds.clear();
+        num_preds.resize(num_blocks, 0);
+        for b in 0..num_blocks as u32 {
+            for s in adapter.block_succs(BlockRef(b)) {
+                num_preds[s.idx()] += 1;
+            }
+        }
+
+        // --- step 4: liveness --------------------------------------------------
+        let liveness = &mut out.liveness;
+        liveness.clear();
+        liveness.resize(adapter.value_count(), LiveRange::default());
+
+        let define = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32| {
+            if v.idx() >= liveness.len() {
+                return;
+            }
+            let lr = &mut liveness[v.idx()];
+            lr.defined = true;
+            lr.first = lr.first.min(pos);
+            lr.last = lr.last.max(pos);
+        };
+
+        // definitions
+        let entry_pos = 0u32;
+        for &arg in adapter.args() {
+            define(liveness, arg, entry_pos);
+        }
+        for sv in adapter.static_stack_vars() {
+            define(liveness, sv.value, entry_pos);
+        }
+        for b in 0..num_blocks as u32 {
+            let pos = block_pos[b as usize];
+            for &phi in adapter.block_phis(BlockRef(b)) {
+                define(liveness, phi, pos);
+            }
+            for &inst in adapter.block_insts(BlockRef(b)) {
+                for &res in adapter.inst_results(inst) {
+                    define(liveness, res, pos);
+                }
+            }
+        }
+
+        // uses (with loop extension)
+        let extend_for_loops = |liveness: &mut Vec<LiveRange>,
+                                loops: &Vec<LoopInfo>,
+                                block_loop: &Vec<u32>,
+                                v: ValueRef,
+                                use_pos: u32| {
+            let lr = &mut liveness[v.idx()];
+            let def_pos = if lr.defined { lr.first } else { use_pos };
+            // outermost loop containing the use but not the definition
+            let mut l = block_loop[use_pos as usize];
+            let mut candidate: Option<u32> = None;
+            while l != 0 {
+                let li = &loops[l as usize];
+                let contains_def = def_pos >= li.begin && def_pos <= li.end;
+                if contains_def {
+                    break;
+                }
+                candidate = Some(l);
+                l = li.parent;
+            }
+            if let Some(c) = candidate {
+                let end = loops[c as usize].end;
+                if end > lr.last {
+                    lr.last = end;
+                    lr.last_full = true;
+                } else if end == lr.last {
+                    lr.last_full = true;
+                }
+            }
+        };
+
+        let add_use = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32, at_end: bool| {
+            if v.idx() >= liveness.len() || adapter.val_is_const(v) {
+                return;
+            }
+            let lr = &mut liveness[v.idx()];
+            lr.uses += 1;
+            lr.first = lr.first.min(pos);
+            if pos > lr.last {
+                lr.last = pos;
+                lr.last_full = at_end;
+            } else if pos == lr.last && at_end {
+                lr.last_full = true;
+            }
+            extend_for_loops(liveness, loops, block_loop, v, pos);
+        };
+
+        for b in 0..num_blocks as u32 {
+            let pos = block_pos[b as usize];
+            for &inst in adapter.block_insts(BlockRef(b)) {
+                for &op in adapter.inst_operands(inst) {
+                    add_use(liveness, op, pos, false);
+                }
+            }
+            // phi incoming values are used at the end of the incoming block
+            for &phi in adapter.block_phis(BlockRef(b)) {
+                for inc in adapter.phi_incoming(phi) {
+                    let ipos = block_pos[inc.block.idx()];
+                    if ipos != u32::MAX {
+                        add_use(liveness, inc.value, ipos, true);
+                    }
+                }
+                // the phi itself is "used" by each incoming edge's move target;
+                // ensure its range covers all incoming blocks that are inside its
+                // loop (back edges), mirroring the paper's handling.
+                let ppos = block_pos[b as usize];
+                for inc in adapter.phi_incoming(phi) {
+                    let ipos = block_pos[inc.block.idx()];
+                    if ipos != u32::MAX && ipos > ppos {
+                        let lr = &mut liveness[phi.idx()];
+                        if ipos > lr.last {
+                            lr.last = ipos;
+                            lr.last_full = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        Ok(())
+    }
+}
+
+/// Runs the analysis pass over the current function of `adapter` with fresh
+/// working memory. Convenience wrapper around [`Analyzer::analyze_into`];
+/// drivers that compile many functions should reuse an [`Analyzer`] instead.
 ///
 /// # Errors
 ///
-/// Returns [`Error::InvalidIr`] if the function has no blocks or blocks are
-/// not densely numbered.
+/// Returns [`Error::InvalidIr`] if the function has no blocks.
 pub fn analyze<A: IrAdapter>(adapter: &A) -> Result<Analysis> {
-    let blocks = adapter.blocks();
-    if blocks.is_empty() {
-        return Err(Error::InvalidIr("function has no basic blocks".into()));
-    }
-    let num_blocks = blocks.len();
-    for b in &blocks {
-        if b.idx() >= num_blocks {
-            return Err(Error::InvalidIr(format!(
-                "block index {} not dense (block count {})",
-                b.0, num_blocks
-            )));
-        }
-    }
-    let entry = blocks[0].0;
-
-    // --- step 1+2: loop discovery ------------------------------------------
-    let mut disc = LoopDiscovery::new(num_blocks);
-    disc.run(adapter, entry);
-
-    // --- step 3: block layout ------------------------------------------------
-    // RPO over reachable blocks; unreachable blocks are appended at the end in
-    // their original order so they still get code generated.
-    let mut rpo: Vec<u32> = disc.post_order.iter().rev().copied().collect();
-    let reachable: Vec<bool> = disc.traversed.clone();
-    for b in &blocks {
-        if !reachable[b.idx()] {
-            rpo.push(b.0);
-        }
-    }
-    let rpo_index = {
-        let mut v = vec![u32::MAX; num_blocks];
-        for (i, &b) in rpo.iter().enumerate() {
-            v[b as usize] = i as u32;
-        }
-        v
-    };
-
-    // Transitive loop membership test: walk the header chain.
-    let in_loop = |mut b: u32, header: u32, disc: &LoopDiscovery| -> bool {
-        if b == header {
-            return true;
-        }
-        while let Some(h) = disc.iloop_header[b as usize] {
-            if h == header {
-                return true;
-            }
-            b = h;
-        }
-        false
-    };
-
-    // Emit blocks in RPO, but when reaching a loop header, emit the entire
-    // loop (all blocks whose header chain contains it) contiguously.
-    let mut layout: Vec<BlockRef> = Vec::with_capacity(num_blocks);
-    let mut emitted = vec![false; num_blocks];
-    fn emit_block_or_loop(
-        b: u32,
-        rpo: &[u32],
-        rpo_index: &[u32],
-        disc: &LoopDiscovery,
-        emitted: &mut [bool],
-        layout: &mut Vec<BlockRef>,
-        in_loop: &dyn Fn(u32, u32, &LoopDiscovery) -> bool,
-    ) {
-        if emitted[b as usize] {
-            return;
-        }
-        if disc.is_header[b as usize] {
-            // collect loop members in RPO order starting at the header
-            emitted[b as usize] = true;
-            layout.push(BlockRef(b));
-            let start = rpo_index[b as usize] as usize;
-            for &m in &rpo[start + 1..] {
-                if !emitted[m as usize] && in_loop(m, b, disc) {
-                    // nested loop headers recurse so their members stay together
-                    if disc.is_header[m as usize] {
-                        emit_block_or_loop(m, rpo, rpo_index, disc, emitted, layout, in_loop);
-                    } else {
-                        emitted[m as usize] = true;
-                        layout.push(BlockRef(m));
-                    }
-                }
-            }
-        } else {
-            emitted[b as usize] = true;
-            layout.push(BlockRef(b));
-        }
-    }
-    for &b in &rpo {
-        emit_block_or_loop(
-            b,
-            &rpo,
-            &rpo_index,
-            &disc,
-            &mut emitted,
-            &mut layout,
-            &in_loop,
-        );
-    }
-    debug_assert_eq!(layout.len(), num_blocks);
-
-    let mut block_pos = vec![u32::MAX; num_blocks];
-    for (i, b) in layout.iter().enumerate() {
-        block_pos[b.idx()] = i as u32;
-    }
-
-    // --- build the loop forest -----------------------------------------------
-    // Loop 0 is the pseudo root covering the whole function.
-    let mut loops = vec![LoopInfo {
-        parent: 0,
-        level: 0,
-        begin: 0,
-        end: (num_blocks - 1) as u32,
-        header: 0,
-        num_blocks: num_blocks as u32,
-    }];
-    let mut loop_id_of_header = vec![u32::MAX; num_blocks];
-    // create loops in layout order of their headers so parents come first
-    let mut headers: Vec<u32> = (0..num_blocks as u32)
-        .filter(|&b| disc.is_header[b as usize])
-        .collect();
-    headers.sort_by_key(|&h| block_pos[h as usize]);
-    for &h in &headers {
-        let id = loops.len() as u32;
-        loop_id_of_header[h as usize] = id;
-        loops.push(LoopInfo {
-            parent: 0,
-            level: 1,
-            begin: block_pos[h as usize],
-            end: block_pos[h as usize],
-            header: block_pos[h as usize],
-            num_blocks: 0,
-        });
-    }
-    // parents and levels
-    for &h in &headers {
-        let id = loop_id_of_header[h as usize];
-        let parent = match disc.iloop_header[h as usize] {
-            Some(ph) => loop_id_of_header[ph as usize],
-            None => 0,
-        };
-        let parent = if parent == u32::MAX { 0 } else { parent };
-        loops[id as usize].parent = parent;
-    }
-    // levels need parents resolved first (parents appear before children in
-    // header layout order for reducible nests; recompute iteratively to be safe)
-    for _ in 0..loops.len() {
-        for i in 1..loops.len() {
-            let p = loops[i].parent as usize;
-            loops[i].level = loops[p].level + 1;
-        }
-    }
-
-    // innermost loop per block + loop extents
-    let mut block_loop = vec![0u32; num_blocks];
-    for (pos, b) in layout.iter().enumerate() {
-        let b = b.0;
-        let innermost = if disc.is_header[b as usize] {
-            loop_id_of_header[b as usize]
-        } else {
-            match disc.iloop_header[b as usize] {
-                Some(h) => loop_id_of_header[h as usize],
-                None => 0,
-            }
-        };
-        let innermost = if innermost == u32::MAX { 0 } else { innermost };
-        block_loop[pos] = innermost;
-        // extend extents of the whole loop chain
-        let mut l = innermost;
-        loop {
-            let li = &mut loops[l as usize];
-            li.begin = li.begin.min(pos as u32);
-            li.end = li.end.max(pos as u32);
-            li.num_blocks += 1;
-            if l == 0 {
-                break;
-            }
-            l = loops[l as usize].parent;
-        }
-    }
-    // the root already covers everything; fix its counters
-    loops[0].begin = 0;
-    loops[0].end = (num_blocks - 1) as u32;
-    loops[0].num_blocks = num_blocks as u32;
-
-    // --- predecessors counts --------------------------------------------------
-    let mut num_preds = vec![0u32; num_blocks];
-    for b in &blocks {
-        for s in adapter.block_succs(*b) {
-            num_preds[s.idx()] += 1;
-        }
-    }
-
-    // --- step 4: liveness ------------------------------------------------------
-    let mut liveness = vec![LiveRange::default(); adapter.value_count()];
-
-    let define = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32| {
-        if v.idx() >= liveness.len() {
-            return;
-        }
-        let lr = &mut liveness[v.idx()];
-        lr.defined = true;
-        lr.first = lr.first.min(pos);
-        lr.last = lr.last.max(pos);
-    };
-
-    // definitions
-    let entry_pos = 0u32;
-    for arg in adapter.args() {
-        define(&mut liveness, arg, entry_pos);
-    }
-    for sv in adapter.static_stack_vars() {
-        define(&mut liveness, sv.value, entry_pos);
-    }
-    for b in &blocks {
-        let pos = block_pos[b.idx()];
-        for phi in adapter.block_phis(*b) {
-            define(&mut liveness, phi, pos);
-        }
-        for inst in adapter.block_insts(*b) {
-            for res in adapter.inst_results(inst) {
-                define(&mut liveness, res, pos);
-            }
-        }
-    }
-
-    // uses (with loop extension)
-    let extend_for_loops = |liveness: &mut Vec<LiveRange>,
-                            loops: &Vec<LoopInfo>,
-                            block_loop: &Vec<u32>,
-                            v: ValueRef,
-                            use_pos: u32| {
-        let lr = &mut liveness[v.idx()];
-        let def_pos = if lr.defined { lr.first } else { use_pos };
-        // outermost loop containing the use but not the definition
-        let mut l = block_loop[use_pos as usize];
-        let mut candidate: Option<u32> = None;
-        while l != 0 {
-            let li = &loops[l as usize];
-            let contains_def = def_pos >= li.begin && def_pos <= li.end;
-            if contains_def {
-                break;
-            }
-            candidate = Some(l);
-            l = li.parent;
-        }
-        if let Some(c) = candidate {
-            let end = loops[c as usize].end;
-            if end > lr.last {
-                lr.last = end;
-                lr.last_full = true;
-            } else if end == lr.last {
-                lr.last_full = true;
-            }
-        }
-    };
-
-    let add_use = |liveness: &mut Vec<LiveRange>, v: ValueRef, pos: u32, at_end: bool| {
-        if v.idx() >= liveness.len() || adapter.val_is_const(v) {
-            return;
-        }
-        let lr = &mut liveness[v.idx()];
-        lr.uses += 1;
-        lr.first = lr.first.min(pos);
-        if pos > lr.last {
-            lr.last = pos;
-            lr.last_full = at_end;
-        } else if pos == lr.last && at_end {
-            lr.last_full = true;
-        }
-        extend_for_loops(liveness, &loops, &block_loop, v, pos);
-    };
-
-    for b in &blocks {
-        let pos = block_pos[b.idx()];
-        for inst in adapter.block_insts(*b) {
-            for op in adapter.inst_operands(inst) {
-                add_use(&mut liveness, op, pos, false);
-            }
-        }
-        // phi incoming values are used at the end of the incoming block
-        for phi in adapter.block_phis(*b) {
-            for inc in adapter.phi_incoming(phi) {
-                let ipos = block_pos[inc.block.idx()];
-                if ipos != u32::MAX {
-                    add_use(&mut liveness, inc.value, ipos, true);
-                }
-            }
-            // the phi itself is "used" by each incoming edge's move target;
-            // ensure its range covers all incoming blocks that are inside its
-            // loop (back edges), mirroring the paper's handling.
-            let ppos = block_pos[b.idx()];
-            for inc in adapter.phi_incoming(phi) {
-                let ipos = block_pos[inc.block.idx()];
-                if ipos != u32::MAX && ipos > ppos {
-                    let lr = &mut liveness[phi.idx()];
-                    if ipos > lr.last {
-                        lr.last = ipos;
-                        lr.last_full = true;
-                    }
-                }
-            }
-        }
-    }
-
-    Ok(Analysis {
-        layout,
-        block_pos,
-        block_loop,
-        loops,
-        liveness,
-        num_preds,
-    })
+    let mut analyzer = Analyzer::new();
+    let mut out = Analysis::default();
+    analyzer.analyze_into(adapter, &mut out)?;
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -602,6 +654,15 @@ mod tests {
         phis: PhiList,
         num_args: u32,
         num_values: usize,
+        // dense index tables built by switch_func (adapter contract: every
+        // collection query answers with a borrowed slice)
+        idx_args: Vec<ValueRef>,
+        idx_succs: Vec<Vec<BlockRef>>,
+        idx_phis: Vec<Vec<ValueRef>>,
+        idx_insts: Vec<Vec<InstRef>>,
+        idx_ops: Vec<Vec<ValueRef>>,
+        idx_res: Vec<Vec<ValueRef>>,
+        idx_phi_inc: Vec<Vec<PhiIncoming>>,
     }
 
     impl MockIr {
@@ -613,6 +674,13 @@ mod tests {
                 phis: vec![Vec::new(); n],
                 num_args,
                 num_values: num_args as usize,
+                idx_args: Vec::new(),
+                idx_succs: Vec::new(),
+                idx_phis: Vec::new(),
+                idx_insts: Vec::new(),
+                idx_ops: Vec::new(),
+                idx_res: Vec::new(),
+                idx_phi_inc: Vec::new(),
             }
         }
         fn inst(&mut self, block: u32, result: Option<u32>, ops: Vec<u32>) {
@@ -627,12 +695,19 @@ mod tests {
         }
     }
 
+    /// Helper: index the mock (as `switch_func` would) and run a fresh
+    /// analysis.
+    fn run_analysis(ir: &mut MockIr) -> Result<Analysis> {
+        ir.switch_func(FuncRef(0));
+        analyze(ir)
+    }
+
     impl IrAdapter for MockIr {
-        fn funcs(&self) -> Vec<FuncRef> {
-            vec![FuncRef(0)]
+        fn func_count(&self) -> usize {
+            1
         }
-        fn func_name(&self, _: FuncRef) -> String {
-            "mock".into()
+        fn func_name(&self, _: FuncRef) -> &str {
+            "mock"
         }
         fn func_linkage(&self, _: FuncRef) -> Linkage {
             Linkage::External
@@ -640,64 +715,77 @@ mod tests {
         fn func_is_definition(&self, _: FuncRef) -> bool {
             true
         }
-        fn switch_func(&mut self, _: FuncRef) {}
+        fn switch_func(&mut self, _: FuncRef) {
+            self.idx_args = (0..self.num_args).map(ValueRef).collect();
+            self.idx_succs = self
+                .succs
+                .iter()
+                .map(|s| s.iter().map(|&b| BlockRef(b)).collect())
+                .collect();
+            self.idx_phis = self
+                .phis
+                .iter()
+                .map(|p| p.iter().map(|&(v, _)| ValueRef(v)).collect())
+                .collect();
+            self.idx_phi_inc = vec![Vec::new(); self.num_values];
+            for blk in &self.phis {
+                for (v, inc) in blk {
+                    self.idx_phi_inc[*v as usize] = inc
+                        .iter()
+                        .map(|&(b, val)| PhiIncoming {
+                            block: BlockRef(b),
+                            value: ValueRef(val),
+                        })
+                        .collect();
+                }
+            }
+            // dense instruction numbering: flat index across blocks
+            self.idx_insts.clear();
+            self.idx_ops.clear();
+            self.idx_res.clear();
+            let mut next = 0u32;
+            for blk in &self.insts {
+                let mut refs = Vec::new();
+                for (res, ops) in blk {
+                    refs.push(InstRef(next));
+                    next += 1;
+                    self.idx_ops
+                        .push(ops.iter().map(|&v| ValueRef(v)).collect());
+                    self.idx_res
+                        .push(res.map(|v| vec![ValueRef(v)]).unwrap_or_default());
+                }
+                self.idx_insts.push(refs);
+            }
+        }
         fn value_count(&self) -> usize {
             self.num_values
         }
-        fn args(&self) -> Vec<ValueRef> {
-            (0..self.num_args).map(ValueRef).collect()
+        fn inst_count(&self) -> usize {
+            self.idx_ops.len()
         }
-        fn blocks(&self) -> Vec<BlockRef> {
-            (0..self.succs.len() as u32).map(BlockRef).collect()
+        fn args(&self) -> &[ValueRef] {
+            &self.idx_args
         }
-        fn block_succs(&self, block: BlockRef) -> Vec<BlockRef> {
-            self.succs[block.idx()]
-                .iter()
-                .map(|&b| BlockRef(b))
-                .collect()
+        fn block_count(&self) -> usize {
+            self.succs.len()
         }
-        fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
-            self.phis[block.idx()]
-                .iter()
-                .map(|&(v, _)| ValueRef(v))
-                .collect()
+        fn block_succs(&self, block: BlockRef) -> &[BlockRef] {
+            &self.idx_succs[block.idx()]
         }
-        fn block_insts(&self, block: BlockRef) -> Vec<InstRef> {
-            // encode (block, idx) as block*1000+idx
-            (0..self.insts[block.idx()].len() as u32)
-                .map(|i| InstRef(block.0 * 1000 + i))
-                .collect()
+        fn block_phis(&self, block: BlockRef) -> &[ValueRef] {
+            &self.idx_phis[block.idx()]
         }
-        fn phi_incoming(&self, phi: ValueRef) -> Vec<PhiIncoming> {
-            for blk in &self.phis {
-                for (v, inc) in blk {
-                    if *v == phi.0 {
-                        return inc
-                            .iter()
-                            .map(|&(b, val)| PhiIncoming {
-                                block: BlockRef(b),
-                                value: ValueRef(val),
-                            })
-                            .collect();
-                    }
-                }
-            }
-            Vec::new()
+        fn block_insts(&self, block: BlockRef) -> &[InstRef] {
+            &self.idx_insts[block.idx()]
         }
-        fn inst_operands(&self, inst: InstRef) -> Vec<ValueRef> {
-            let (b, i) = (inst.0 / 1000, inst.0 % 1000);
-            self.insts[b as usize][i as usize]
-                .1
-                .iter()
-                .map(|&v| ValueRef(v))
-                .collect()
+        fn phi_incoming(&self, phi: ValueRef) -> &[PhiIncoming] {
+            &self.idx_phi_inc[phi.idx()]
         }
-        fn inst_results(&self, inst: InstRef) -> Vec<ValueRef> {
-            let (b, i) = (inst.0 / 1000, inst.0 % 1000);
-            self.insts[b as usize][i as usize]
-                .0
-                .map(|v| vec![ValueRef(v)])
-                .unwrap_or_default()
+        fn inst_operands(&self, inst: InstRef) -> &[ValueRef] {
+            &self.idx_ops[inst.idx()]
+        }
+        fn inst_results(&self, inst: InstRef) -> &[ValueRef] {
+            &self.idx_res[inst.idx()]
         }
         fn val_part_count(&self, _: ValueRef) -> u32 {
             1
@@ -717,8 +805,8 @@ mod tests {
 
     #[test]
     fn straight_line_layout() {
-        let ir = MockIr::new(vec![vec![1], vec![2], vec![]], 0);
-        let a = analyze(&ir).unwrap();
+        let mut ir = MockIr::new(vec![vec![1], vec![2], vec![]], 0);
+        let a = run_analysis(&mut ir).unwrap();
         assert_eq!(a.layout, vec![BlockRef(0), BlockRef(1), BlockRef(2)]);
         assert_eq!(a.loops.len(), 1);
         assert_eq!(a.num_preds, vec![0, 1, 1]);
@@ -726,8 +814,8 @@ mod tests {
 
     #[test]
     fn diamond_layout_is_rpo() {
-        let ir = diamond();
-        let a = analyze(&ir).unwrap();
+        let mut ir = diamond();
+        let a = run_analysis(&mut ir).unwrap();
         assert_eq!(a.pos(BlockRef(0)), 0);
         assert_eq!(a.pos(BlockRef(3)), 3);
         // both branches before the join
@@ -738,8 +826,8 @@ mod tests {
     #[test]
     fn simple_loop_detected_and_contiguous() {
         // 0 -> 1; 1 -> {2, 3}; 2 -> 1; 3 (exit)
-        let ir = MockIr::new(vec![vec![1], vec![2, 3], vec![1], vec![]], 0);
-        let a = analyze(&ir).unwrap();
+        let mut ir = MockIr::new(vec![vec![1], vec![2, 3], vec![1], vec![]], 0);
+        let a = run_analysis(&mut ir).unwrap();
         assert_eq!(a.loops.len(), 2, "one real loop plus the root");
         let l = &a.loops[1];
         assert_eq!(l.level, 1);
@@ -759,11 +847,11 @@ mod tests {
     fn nested_loops_have_levels() {
         // 0 -> 1; 1 -> 2; 2 -> {2? no}. Build: outer 1..4, inner 2..3
         // 0->1, 1->2, 2->3, 3->{2,4}, 4->{1,5}, 5 exit
-        let ir = MockIr::new(
+        let mut ir = MockIr::new(
             vec![vec![1], vec![2], vec![3], vec![2, 4], vec![1, 5], vec![]],
             0,
         );
-        let a = analyze(&ir).unwrap();
+        let a = run_analysis(&mut ir).unwrap();
         assert_eq!(a.loops.len(), 3);
         let depths: Vec<u32> = (0..6)
             .map(|b| a.loop_depth_of_pos(a.pos(BlockRef(b))))
@@ -779,8 +867,8 @@ mod tests {
     #[test]
     fn irreducible_cfg_does_not_crash() {
         // 0 -> {1, 2}; 1 -> 2; 2 -> 1; 1 -> 3; 2 -> 3 (two-entry loop {1,2})
-        let ir = MockIr::new(vec![vec![1, 2], vec![2, 3], vec![1, 3], vec![]], 0);
-        let a = analyze(&ir).unwrap();
+        let mut ir = MockIr::new(vec![vec![1, 2], vec![2, 3], vec![1, 3], vec![]], 0);
+        let a = run_analysis(&mut ir).unwrap();
         assert_eq!(a.layout.len(), 4);
         // every block has a position
         for b in 0..4u32 {
@@ -790,8 +878,8 @@ mod tests {
 
     #[test]
     fn unreachable_blocks_are_appended() {
-        let ir = MockIr::new(vec![vec![1], vec![], vec![1]], 0); // block 2 unreachable
-        let a = analyze(&ir).unwrap();
+        let mut ir = MockIr::new(vec![vec![1], vec![], vec![1]], 0); // block 2 unreachable
+        let a = run_analysis(&mut ir).unwrap();
         assert_eq!(a.layout.len(), 3);
         assert_eq!(a.pos(BlockRef(2)), 2);
     }
@@ -803,7 +891,7 @@ mod tests {
         ir.inst(0, Some(1), vec![0]);
         ir.inst(1, Some(2), vec![1]);
         ir.inst(2, None, vec![2]);
-        let a = analyze(&ir).unwrap();
+        let a = run_analysis(&mut ir).unwrap();
         let l1 = a.live(ValueRef(1));
         assert_eq!((l1.first, l1.last, l1.uses), (0, 1, 1));
         assert!(!l1.last_full);
@@ -819,7 +907,7 @@ mod tests {
         let mut ir = MockIr::new(vec![vec![1], vec![2], vec![3], vec![1, 4], vec![]], 0);
         ir.inst(0, Some(0), vec![]);
         ir.inst(2, None, vec![0]); // use inside loop
-        let a = analyze(&ir).unwrap();
+        let a = run_analysis(&mut ir).unwrap();
         let lr = a.live(ValueRef(0));
         // must be extended to the end of the loop (block 3's layout pos)
         assert_eq!(lr.last, a.pos(BlockRef(3)));
@@ -832,7 +920,7 @@ mod tests {
         let mut ir = MockIr::new(vec![vec![1], vec![2], vec![1, 3], vec![]], 0);
         ir.inst(1, Some(0), vec![]);
         ir.inst(2, None, vec![0]);
-        let a = analyze(&ir).unwrap();
+        let a = run_analysis(&mut ir).unwrap();
         let lr = a.live(ValueRef(0));
         assert_eq!(lr.first, a.pos(BlockRef(1)));
         assert_eq!(lr.last, a.pos(BlockRef(2)));
@@ -847,7 +935,7 @@ mod tests {
         ir.inst(2, Some(2), vec![]);
         ir.phi(3, 3, vec![(1, 1), (2, 2)]);
         ir.inst(3, None, vec![3]);
-        let a = analyze(&ir).unwrap();
+        let a = run_analysis(&mut ir).unwrap();
         let l1 = a.live(ValueRef(1));
         assert_eq!(l1.last, a.pos(BlockRef(1)));
         assert!(
@@ -865,7 +953,7 @@ mod tests {
         let mut ir = MockIr::new(vec![vec![1], vec![2], vec![1, 3], vec![]], 1);
         ir.phi(1, 1, vec![(0, 0), (2, 2)]);
         ir.inst(2, Some(2), vec![1]);
-        let a = analyze(&ir).unwrap();
+        let a = run_analysis(&mut ir).unwrap();
         let lphi = a.live(ValueRef(1));
         assert_eq!(lphi.first, a.pos(BlockRef(1)));
         assert_eq!(lphi.last, a.pos(BlockRef(2)));
@@ -877,8 +965,8 @@ mod tests {
 
     #[test]
     fn empty_function_is_an_error() {
-        let ir = MockIr::new(vec![], 0);
-        assert!(analyze(&ir).is_err());
+        let mut ir = MockIr::new(vec![], 0);
+        assert!(run_analysis(&mut ir).is_err());
     }
 
     #[test]
@@ -886,8 +974,70 @@ mod tests {
         let mut ir = MockIr::new(vec![vec![]], 1);
         ir.inst(0, Some(1), vec![0, 0, 0]);
         ir.inst(0, None, vec![1, 0]);
-        let a = analyze(&ir).unwrap();
+        let a = run_analysis(&mut ir).unwrap();
         assert_eq!(a.live(ValueRef(0)).uses, 4);
         assert_eq!(a.live(ValueRef(1)).uses, 1);
+    }
+
+    /// All CFG fixtures used above, for the scratch-reuse golden test.
+    fn fixtures() -> Vec<MockIr> {
+        let mut with_liveness = MockIr::new(vec![vec![1], vec![2], vec![]], 1);
+        with_liveness.inst(0, Some(1), vec![0]);
+        with_liveness.inst(1, Some(2), vec![1]);
+        with_liveness.inst(2, None, vec![2]);
+        let mut loop_phi = MockIr::new(vec![vec![1], vec![2], vec![1, 3], vec![]], 1);
+        loop_phi.phi(1, 1, vec![(0, 0), (2, 2)]);
+        loop_phi.inst(2, Some(2), vec![1]);
+        vec![
+            MockIr::new(vec![vec![1], vec![2], vec![]], 0),
+            diamond(),
+            MockIr::new(vec![vec![1], vec![2, 3], vec![1], vec![]], 0),
+            MockIr::new(
+                vec![vec![1], vec![2], vec![3], vec![2, 4], vec![1, 5], vec![]],
+                0,
+            ),
+            MockIr::new(vec![vec![1, 2], vec![2, 3], vec![1, 3], vec![]], 0),
+            MockIr::new(vec![vec![1], vec![], vec![1]], 0),
+            with_liveness,
+            loop_phi,
+        ]
+    }
+
+    #[test]
+    fn reused_scratch_is_bit_identical_to_fresh_analysis() {
+        // Golden test: one Analyzer + one Analysis reused across every CFG
+        // fixture must produce exactly the same result (layout, loops,
+        // liveness, preds) as a fresh analyze() per fixture — including when
+        // a large function is followed by a small one (stale-capacity case).
+        let mut analyzer = Analyzer::new();
+        let mut reused = Analysis::default();
+        let mut fx = fixtures();
+        // run twice over all fixtures so every buffer sees shrink and growth
+        for _round in 0..2 {
+            for ir in fx.iter_mut() {
+                ir.switch_func(FuncRef(0));
+                let fresh = analyze(&*ir).unwrap();
+                analyzer.analyze_into(&*ir, &mut reused).unwrap();
+                assert_eq!(reused, fresh);
+            }
+        }
+    }
+
+    #[test]
+    fn adapter_slices_are_stable_across_queries() {
+        // The framework may hold a returned slice across unrelated queries;
+        // repeated queries must return identical (and identically-located)
+        // data until the next switch_func.
+        let mut ir = diamond();
+        ir.inst(0, Some(1), vec![0]);
+        ir.switch_func(FuncRef(0));
+        let ops1 = ir.inst_operands(InstRef(0));
+        let _interleaved = (ir.block_succs(BlockRef(0)), ir.block_insts(BlockRef(1)));
+        let ops2 = ir.inst_operands(InstRef(0));
+        assert_eq!(ops1, ops2);
+        assert!(std::ptr::eq(ops1.as_ptr(), ops2.as_ptr()));
+        let insts1 = ir.block_insts(BlockRef(0));
+        let insts2 = ir.block_insts(BlockRef(0));
+        assert!(std::ptr::eq(insts1.as_ptr(), insts2.as_ptr()));
     }
 }

@@ -19,7 +19,7 @@ pub enum Recompute {
 }
 
 /// State of one part of a value.
-#[derive(Copy, Clone, Debug)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct PartState {
     /// Register currently holding the part, if any.
     pub reg: Option<Reg>,
@@ -37,6 +37,101 @@ pub struct PartState {
     pub recompute: Option<Recompute>,
 }
 
+impl PartState {
+    /// Placeholder used to initialize inline storage.
+    pub const EMPTY: PartState = PartState {
+        reg: None,
+        size: 0,
+        bank: RegBank::GP,
+        in_mem: false,
+        fixed: false,
+        recompute: None,
+    };
+}
+
+/// Number of part slots stored inline in a [`PartList`]. Covers every value
+/// the back-ends in this workspace produce (1 part, 2 for 128-bit ints).
+const PARTS_INLINE: usize = 2;
+
+/// Part storage with inline capacity.
+///
+/// An assignment is created for every value the code generator touches —
+/// one heap allocation per value here would show up directly in the
+/// per-instruction compile cost. Values almost always have one part, so up
+/// to [`PARTS_INLINE`] parts live inline in the `Assignment` and only the
+/// (in practice nonexistent) larger values spill to the heap.
+#[derive(Clone, Debug)]
+pub struct PartList {
+    len: u32,
+    inline: [PartState; PARTS_INLINE],
+    heap: Vec<PartState>,
+}
+
+impl Default for PartList {
+    fn default() -> PartList {
+        PartList::new()
+    }
+}
+
+impl PartList {
+    /// Creates an empty part list.
+    pub fn new() -> PartList {
+        PartList {
+            len: 0,
+            inline: [PartState::EMPTY; PARTS_INLINE],
+            heap: Vec::new(),
+        }
+    }
+
+    /// Appends a part.
+    pub fn push(&mut self, p: PartState) {
+        let len = self.len as usize;
+        if len < PARTS_INLINE {
+            self.inline[len] = p;
+        } else {
+            if len == PARTS_INLINE {
+                self.heap.clear();
+                self.heap.extend_from_slice(&self.inline);
+            }
+            self.heap.push(p);
+        }
+        self.len += 1;
+    }
+}
+
+impl std::ops::Deref for PartList {
+    type Target = [PartState];
+    #[inline]
+    fn deref(&self) -> &[PartState] {
+        if self.len as usize <= PARTS_INLINE {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.heap
+        }
+    }
+}
+
+impl std::ops::DerefMut for PartList {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [PartState] {
+        if self.len as usize <= PARTS_INLINE {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.heap
+        }
+    }
+}
+
+impl FromIterator<PartState> for PartList {
+    fn from_iter<I: IntoIterator<Item = PartState>>(iter: I) -> PartList {
+        let mut l = PartList::new();
+        for p in iter {
+            l.push(p);
+        }
+        l
+    }
+}
+
 /// Per-value state during code generation.
 #[derive(Clone, Debug)]
 pub struct Assignment {
@@ -49,8 +144,8 @@ pub struct Assignment {
     pub last_pos: u32,
     /// Whether liveness extends to the end of `last_pos`.
     pub last_full: bool,
-    /// Per-part state.
-    pub parts: Vec<PartState>,
+    /// Per-part state (inline for up to two parts).
+    pub parts: PartList,
 }
 
 impl Assignment {
@@ -133,6 +228,13 @@ impl AssignmentTable {
         self.active.retain(|v| keep(*v));
     }
 
+    /// Drops active-list entries whose assignment has been removed
+    /// (allocation-free replacement for collecting a keep-list).
+    pub fn prune_active(&mut self) {
+        let slots = &self.slots;
+        self.active.retain(|v| slots[v.idx()].is_some());
+    }
+
     /// Clears all assignments (end of function).
     pub fn clear(&mut self) {
         for v in self.active.drain(..) {
@@ -169,6 +271,14 @@ impl FrameAlloc {
             free8: Vec::new(),
             free16: Vec::new(),
         }
+    }
+
+    /// Resets the allocator for a new function, keeping the free-list
+    /// buffers' capacity.
+    pub fn reset(&mut self, reserved: u32) {
+        self.next_off = -(reserved as i32);
+        self.free8.clear();
+        self.free16.clear();
     }
 
     /// Allocates a slot of `size` bytes with the given alignment and returns
@@ -240,7 +350,7 @@ mod tests {
                 remaining_uses: 3,
                 last_pos: 5,
                 last_full: false,
-                parts: vec![part()],
+                parts: [part()].into_iter().collect(),
             },
         );
         assert!(t.contains(ValueRef(2)));
@@ -259,11 +369,49 @@ mod tests {
             remaining_uses: 0,
             last_pos: 0,
             last_full: false,
-            parts: vec![part(), part()],
+            parts: [part(), part()].into_iter().collect(),
         };
         assert_eq!(a.spill_size(), 16);
         assert_eq!(a.part_offset(0), 0);
         assert_eq!(a.part_offset(1), 8);
+    }
+
+    #[test]
+    fn part_list_inline_and_heap_spill() {
+        let mut l = PartList::new();
+        assert!(l.is_empty());
+        for i in 0..5u32 {
+            let mut p = part();
+            p.size = i + 1;
+            l.push(p);
+            assert_eq!(l.len(), i as usize + 1);
+        }
+        // contents survive the inline -> heap transition
+        for (i, p) in l.iter().enumerate() {
+            assert_eq!(p.size, i as u32 + 1);
+        }
+        l[4].size = 99;
+        assert_eq!(l[4].size, 99);
+    }
+
+    #[test]
+    fn prune_active_drops_removed_values() {
+        let mut t = AssignmentTable::new(4);
+        for i in 0..3 {
+            t.insert(
+                ValueRef(i),
+                Assignment {
+                    frame_off: None,
+                    remaining_uses: 0,
+                    last_pos: 0,
+                    last_full: false,
+                    parts: [part()].into_iter().collect(),
+                },
+            );
+        }
+        t.remove(ValueRef(1));
+        t.prune_active();
+        assert_eq!(t.active(), &[ValueRef(0), ValueRef(2)]);
     }
 
     #[test]

@@ -58,10 +58,18 @@ impl CallConv {
     /// integers) therefore occupy consecutive registers when available, which
     /// matches both SysV and AAPCS64 for the types the back-ends support.
     pub fn assign_args(&self, parts: &[(RegBank, u32)]) -> ArgAssignment {
+        let mut locs = Vec::with_capacity(parts.len());
+        let stack_bytes = self.assign_args_into(parts, &mut locs);
+        ArgAssignment { locs, stack_bytes }
+    }
+
+    /// Allocation-free variant of [`CallConv::assign_args`]: appends one
+    /// [`ArgLoc`] per part to `locs` and returns the unaligned stack-byte
+    /// count. Callers on the hot path pass a reusable scratch buffer.
+    pub fn assign_args_into(&self, parts: &[(RegBank, u32)], locs: &mut Vec<ArgLoc>) -> u32 {
         let mut next_gp = 0usize;
         let mut next_fp = 0usize;
         let mut stack_off = 0u32;
-        let mut locs = Vec::with_capacity(parts.len());
         for &(bank, size) in parts {
             let (regs, next) = match bank {
                 RegBank::GP => (&self.gp_args, &mut next_gp),
@@ -77,10 +85,7 @@ impl CallConv {
                 stack_off += slot;
             }
         }
-        ArgAssignment {
-            locs,
-            stack_bytes: stack_off,
-        }
+        stack_off
     }
 
     /// Assigns locations to return-value parts.
@@ -88,21 +93,32 @@ impl CallConv {
     /// Returns `None` if the value cannot be returned in registers (the
     /// back-ends handle such cases with an sret pointer instead).
     pub fn assign_rets(&self, parts: &[(RegBank, u32)]) -> Option<Vec<Reg>> {
+        let mut out = Vec::with_capacity(parts.len());
+        if self.assign_rets_into(parts, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Allocation-free variant of [`CallConv::assign_rets`]: appends one
+    /// register per part to `out`. Returns `false` (leaving `out` in an
+    /// unspecified state) if the parts do not fit in return registers.
+    pub fn assign_rets_into(&self, parts: &[(RegBank, u32)], out: &mut Vec<Reg>) -> bool {
         let mut next_gp = 0usize;
         let mut next_fp = 0usize;
-        let mut out = Vec::with_capacity(parts.len());
         for &(bank, _size) in parts {
             let (regs, next) = match bank {
                 RegBank::GP => (&self.gp_rets, &mut next_gp),
                 RegBank::FP => (&self.fp_rets, &mut next_fp),
             };
             if *next >= regs.len() {
-                return None;
+                return false;
             }
             out.push(regs[*next]);
             *next += 1;
         }
-        Some(out)
+        true
     }
 }
 

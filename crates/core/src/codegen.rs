@@ -8,9 +8,10 @@
 //! allocation, scratch registers, spilling, phi/branch handling, calls and
 //! returns — everything described in §3.4 of the paper.
 
-use crate::adapter::{BlockRef, InstRef, IrAdapter, Linkage, ValueRef};
-use crate::analysis::{analyze, Analysis};
-use crate::assignments::{Assignment, AssignmentTable, FrameAlloc, PartState, Recompute};
+use crate::adapter::{BlockRef, FuncRef, InstRef, IrAdapter, Linkage, ValueRef};
+use crate::analysis::{Analysis, Analyzer};
+use crate::assignments::{Assignment, AssignmentTable, FrameAlloc, PartList, PartState, Recompute};
+use crate::bitset::DenseBitSet;
 use crate::callconv::ArgLoc;
 use crate::codebuf::{CodeBuffer, Label, SectionKind, SymbolBinding, SymbolId};
 use crate::error::{Error, Result};
@@ -18,7 +19,6 @@ use crate::regalloc::{RegFile, RegOwner};
 use crate::regs::{Reg, RegBank, RegSet};
 use crate::target::{FrameState, Target};
 use crate::timing::{PassTimings, Phase};
-use std::collections::HashSet;
 use std::time::Instant;
 
 /// Options controlling code generation; the non-default settings exist for
@@ -104,7 +104,7 @@ where
 ///
 /// Obtaining a handle through [`FuncCodeGen::val_ref`] counts as observing
 /// one use of the value.
-#[derive(Clone, Debug)]
+#[derive(Copy, Clone, Debug)]
 pub struct ValuePartRef {
     /// The referenced value.
     pub val: ValueRef,
@@ -131,7 +131,7 @@ pub enum MoveLoc {
     Const(u64),
 }
 
-#[derive(Clone, Debug)]
+#[derive(Copy, Clone, Debug)]
 struct MoveDesc {
     dst: MoveLoc,
     src: MoveLoc,
@@ -139,11 +139,14 @@ struct MoveDesc {
     size: u32,
 }
 
-#[derive(Debug)]
+/// A deferred critical-edge block: label to bind, jump target, and the range
+/// of this edge's moves within the session's pooled `edge_moves` buffer.
+#[derive(Copy, Clone, Debug)]
 struct PendingEdge {
     label: Label,
     succ_label: Label,
-    moves: Vec<MoveDesc>,
+    moves_start: u32,
+    moves_end: u32,
 }
 
 /// Call target for [`FuncCodeGen::emit_call`].
@@ -153,6 +156,69 @@ pub enum CallTarget {
     Sym(SymbolId),
     /// Indirect call through the address held by a value part.
     Indirect(ValuePartRef),
+}
+
+/// Per-function scratch state of the code generator, hoisted out of
+/// [`FuncCodeGen`] so one instance can be reused across all functions of a
+/// module (and across modules). Every buffer is cleared — never dropped —
+/// between functions, so the steady-state compile loop performs no heap
+/// allocation here once the buffers have grown to the largest function.
+#[derive(Debug, Default)]
+struct FuncScratch {
+    assignments: AssignmentTable,
+    frame: FrameAlloc,
+    block_labels: Vec<Label>,
+    inst_locked: Vec<Reg>,
+    inst_scratch: Vec<Reg>,
+    maybe_dead: Vec<ValueRef>,
+    /// Deferred critical-edge blocks of the current block.
+    pending_edges: Vec<PendingEdge>,
+    /// Pooled backing storage for the moves of all pending edges.
+    edge_moves: Vec<MoveDesc>,
+    /// General move-list scratch (phi edges, returns, call arguments).
+    move_scratch: Vec<MoveDesc>,
+    /// Worklist of the parallel-move resolver.
+    pm_pending: Vec<MoveDesc>,
+    /// Values found dead during the block-boundary sweep.
+    sweep_dead: Vec<ValueRef>,
+    /// Instructions marked fused (dense, indexed by [`InstRef`]).
+    fused: DenseBitSet,
+    /// Part descriptors for ABI assignment (prologue, calls, returns).
+    parts_desc: Vec<(RegBank, u32)>,
+    /// (value, part) owner of each prologue part descriptor.
+    arg_owners: Vec<(ValueRef, u32)>,
+    /// Argument locations from the calling convention.
+    arg_locs: Vec<ArgLoc>,
+    /// Return registers from the calling convention.
+    ret_regs: Vec<Reg>,
+    /// Call arguments materialized after the parallel moves.
+    recompute_args: Vec<(Reg, ValuePartRef)>,
+    /// Registers currently owned by values (spill sweeps around branches/calls).
+    owned_regs: Vec<(Reg, ValueRef, u32)>,
+    /// Registers cleared at block boundaries.
+    cleared_regs: Vec<(Reg, RegOwner)>,
+}
+
+/// Reusable compile session: the analysis pass working memory, the analysis
+/// result, the register file and all per-function codegen scratch.
+///
+/// [`CodeGen::compile_module`] creates one internally; drivers that compile
+/// many modules (e.g. a JIT serving many requests) should allocate a session
+/// once and pass it to [`CodeGen::compile_module_with`] so the steady-state
+/// compile loop is allocation-free.
+#[derive(Debug, Default)]
+pub struct CompileSession {
+    analyzer: Analyzer,
+    analysis: Analysis,
+    regfile: RegFile,
+    scratch: FuncScratch,
+}
+
+impl CompileSession {
+    /// Creates a session with empty buffers.
+    pub fn new() -> CompileSession {
+        CompileSession::default()
+    }
 }
 
 /// The module-level compilation driver.
@@ -173,7 +239,9 @@ impl<T: Target> CodeGen<T> {
         &self.target
     }
 
-    /// Compiles all defined functions of the adapter's module.
+    /// Compiles all defined functions of the adapter's module with a fresh
+    /// [`CompileSession`]. Drivers compiling many modules should reuse a
+    /// session via [`CodeGen::compile_module_with`] instead.
     ///
     /// # Errors
     ///
@@ -184,44 +252,80 @@ impl<T: Target> CodeGen<T> {
         adapter: &mut A,
         compiler: &mut C,
     ) -> Result<CompiledModule> {
+        let mut session = CompileSession::new();
+        self.compile_module_with(&mut session, adapter, compiler)
+    }
+
+    /// Compiles all defined functions of the adapter's module, reusing the
+    /// given session's working memory. After the first function, the
+    /// steady-state compile loop performs no per-function heap allocation
+    /// in the analysis and codegen layers.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error produced by the analysis pass, the register
+    /// allocator or the instruction compilers.
+    pub fn compile_module_with<A: IrAdapter, C: InstCompiler<A, T>>(
+        &self,
+        session: &mut CompileSession,
+        adapter: &mut A,
+        compiler: &mut C,
+    ) -> Result<CompiledModule> {
         let mut buf = CodeBuffer::new();
         let mut stats = CompileStats::default();
         let mut timings = PassTimings::new();
 
-        let funcs = adapter.funcs();
-        let mut syms = Vec::with_capacity(funcs.len());
-        for f in &funcs {
-            let binding = match adapter.func_linkage(*f) {
+        session.regfile.configure(
+            self.target.allocatable_regs(RegBank::GP),
+            self.target.allocatable_regs(RegBank::FP),
+        );
+
+        let nfuncs = adapter.func_count();
+        let mut syms = Vec::with_capacity(nfuncs);
+        for i in 0..nfuncs {
+            let f = FuncRef(i as u32);
+            let binding = match adapter.func_linkage(f) {
                 Linkage::External => SymbolBinding::Global,
                 Linkage::Internal => SymbolBinding::Local,
                 Linkage::Weak => SymbolBinding::Weak,
             };
-            syms.push(buf.declare_symbol(&adapter.func_name(*f), binding, true));
+            syms.push(buf.declare_symbol(adapter.func_name(f), binding, true));
         }
 
-        for (i, f) in funcs.iter().enumerate() {
-            if !adapter.func_is_definition(*f) {
+        for (i, &sym) in syms.iter().enumerate() {
+            let f = FuncRef(i as u32);
+            if !adapter.func_is_definition(f) {
                 continue;
             }
-            adapter.switch_func(*f);
-            let analysis = timings.time(Phase::Analysis, || analyze(&*adapter))?;
+            adapter.switch_func(f);
+            let CompileSession {
+                analyzer,
+                analysis,
+                regfile,
+                scratch,
+            } = &mut *session;
+            timings.time(Phase::Analysis, || {
+                analyzer.analyze_into(&*adapter, analysis)
+            })?;
             let cg_start = Instant::now();
             let func_off = buf.text_offset();
-            buf.define_symbol(syms[i], SectionKind::Text, func_off, 0);
+            buf.define_symbol(sym, SectionKind::Text, func_off, 0);
             {
                 let mut fcg = FuncCodeGen::new(
                     &*adapter,
                     &self.target,
                     &mut buf,
-                    &analysis,
+                    analysis,
                     &self.opts,
                     &mut stats,
-                    syms[i],
+                    sym,
+                    scratch,
+                    regfile,
                 );
                 fcg.compile_function(compiler)?;
             }
             let size = buf.text_offset() - func_off;
-            buf.set_symbol_size(syms[i], size);
+            buf.set_symbol_size(sym, size);
             buf.resolve_fixups()?;
             timings.add(Phase::CodeGen, cg_start.elapsed());
             adapter.finalize_func();
@@ -249,25 +353,20 @@ pub struct FuncCodeGen<'a, A: IrAdapter, T: Target> {
 
     opts: &'a CompileOptions,
     stats: &'a mut CompileStats,
-    assignments: AssignmentTable,
-    regfile: RegFile,
-    frame: FrameAlloc,
+    /// Reused per-function scratch state (see [`FuncScratch`]).
+    s: &'a mut FuncScratch,
+    regfile: &'a mut RegFile,
     frame_state: FrameState,
-    block_labels: Vec<Label>,
     cur_pos: u32,
     entry_state_valid: bool,
     state_valid_next: bool,
-    inst_locked: Vec<Reg>,
-    inst_scratch: Vec<Reg>,
-    maybe_dead: Vec<ValueRef>,
-    pending_edges: Vec<PendingEdge>,
     used_callee_saved: RegSet,
     func_sym: SymbolId,
     cycle_temp: Option<i32>,
-    fused: HashSet<u32>,
 }
 
 impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         adapter: &'a A,
         target: &'a T,
@@ -276,11 +375,19 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         opts: &'a CompileOptions,
         stats: &'a mut CompileStats,
         func_sym: SymbolId,
+        s: &'a mut FuncScratch,
+        regfile: &'a mut RegFile,
     ) -> FuncCodeGen<'a, A, T> {
-        let regfile = RegFile::new(
-            target.allocatable_regs(RegBank::GP),
-            target.allocatable_regs(RegBank::FP),
-        );
+        regfile.reset();
+        s.assignments.reset(adapter.value_count());
+        s.frame.reset(target.callee_save_area_size());
+        s.block_labels.clear();
+        s.inst_locked.clear();
+        s.inst_scratch.clear();
+        s.maybe_dead.clear();
+        s.pending_edges.clear();
+        s.edge_moves.clear();
+        s.fused.reset(adapter.inst_count());
         FuncCodeGen {
             adapter,
             target,
@@ -288,22 +395,15 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             analysis,
             opts,
             stats,
-            assignments: AssignmentTable::new(adapter.value_count()),
+            s,
             regfile,
-            frame: FrameAlloc::new(target.callee_save_area_size()),
             frame_state: FrameState::default(),
-            block_labels: Vec::new(),
             cur_pos: 0,
             entry_state_valid: true,
             state_valid_next: false,
-            inst_locked: Vec::new(),
-            inst_scratch: Vec::new(),
-            maybe_dead: Vec::new(),
-            pending_edges: Vec::new(),
             used_callee_saved: RegSet::empty(),
             func_sym,
             cycle_temp: None,
-            fused: HashSet::new(),
         }
     }
 
@@ -337,34 +437,38 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// Label of a basic block (created on demand, bound when the block is
     /// compiled).
     pub fn block_label(&self, block: BlockRef) -> Label {
-        self.block_labels[self.analysis.pos(block) as usize]
+        self.s.block_labels[self.analysis.pos(block) as usize]
     }
 
     /// Marks an instruction as fused: the main loop will skip it. Used by
     /// instruction compilers that emit the code of a later instruction early
     /// (e.g. compare+branch fusion, §3.4.4).
     pub fn mark_fused(&mut self, inst: InstRef) {
-        self.fused.insert(inst.0);
+        self.s.fused.insert(inst.0);
     }
 
     /// Whether an instruction was marked fused by an earlier compiler call.
     pub fn is_fused(&self, inst: InstRef) -> bool {
-        self.fused.contains(&inst.0)
+        self.s.fused.contains(inst.0)
     }
 
     // ---- function driver ------------------------------------------------------
 
     fn compile_function<C: InstCompiler<A, T>>(&mut self, compiler: &mut C) -> Result<()> {
         let n = self.analysis.layout.len();
-        self.block_labels = (0..n).map(|_| self.buf.new_label()).collect();
+        for _ in 0..n {
+            let l = self.buf.new_label();
+            self.s.block_labels.push(l);
+        }
         self.emit_prologue_and_args()?;
         self.assign_fixed_loop_regs()?;
 
+        let adapter = self.adapter;
         for pos in 0..n as u32 {
             self.begin_block(pos)?;
             let block = self.analysis.layout[pos as usize];
-            for inst in self.adapter.block_insts(block) {
-                if self.fused.remove(&inst.0) {
+            for &inst in adapter.block_insts(block) {
+                if self.s.fused.take(inst.0) {
                     continue;
                 }
                 compiler.compile_inst(self, inst)?;
@@ -378,7 +482,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         self.target.finish_func(
             self.buf,
             &self.frame_state,
-            self.frame.frame_size(),
+            self.s.frame.frame_size(),
             self.used_callee_saved,
         );
         Ok(())
@@ -386,37 +490,39 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
     fn emit_prologue_and_args(&mut self) -> Result<()> {
         self.frame_state = self.target.emit_prologue(self.buf);
+        let adapter = self.adapter;
 
         // Static stack variables: allocated in the frame, value = address,
         // trivially recomputable (never spilled).
-        for sv in self.adapter.static_stack_vars() {
-            let off = self.frame.alloc(sv.size, sv.align);
+        for sv in adapter.static_stack_vars() {
+            let off = self.s.frame.alloc(sv.size, sv.align);
             self.ensure_assignment(sv.value);
-            if let Some(a) = self.assignments.get_mut(sv.value) {
+            if let Some(a) = self.s.assignments.get_mut(sv.value) {
                 a.parts[0].recompute = Some(Recompute::StackAddr(off));
             }
         }
 
         // Arguments.
-        let args = self.adapter.args();
-        let mut parts_desc = Vec::new();
-        let mut owners = Vec::new();
-        for v in &args {
-            for p in 0..self.adapter.val_part_count(*v) {
-                parts_desc.push((
-                    self.adapter.val_part_bank(*v, p),
-                    self.adapter.val_part_size(*v, p),
-                ));
-                owners.push((*v, p));
+        self.s.parts_desc.clear();
+        self.s.arg_owners.clear();
+        for &v in adapter.args() {
+            for p in 0..adapter.val_part_count(v) {
+                self.s
+                    .parts_desc
+                    .push((adapter.val_part_bank(v, p), adapter.val_part_size(v, p)));
+                self.s.arg_owners.push((v, p));
             }
         }
         let cc = self.target.call_conv();
-        let assign = cc.assign_args(&parts_desc);
-        for (&(v, p), loc) in owners.iter().zip(assign.locs.iter()) {
+        self.s.arg_locs.clear();
+        cc.assign_args_into(&self.s.parts_desc, &mut self.s.arg_locs);
+        for i in 0..self.s.arg_owners.len() {
+            let (v, p) = self.s.arg_owners[i];
+            let loc = self.s.arg_locs[i];
             self.ensure_assignment(v);
-            match *loc {
+            match loc {
                 ArgLoc::Reg(r) => {
-                    if let Some(a) = self.assignments.get_mut(v) {
+                    if let Some(a) = self.s.assignments.get_mut(v) {
                         a.parts[p as usize].reg = Some(r);
                         a.parts[p as usize].in_mem = false;
                     }
@@ -426,20 +532,20 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                     // Incoming stack arguments live above the saved frame
                     // pointer and return address.
                     let fp_off = 16 + off as i32;
-                    if self.adapter.val_part_count(v) == 1 {
-                        if let Some(a) = self.assignments.get_mut(v) {
+                    if adapter.val_part_count(v) == 1 {
+                        if let Some(a) = self.s.assignments.get_mut(v) {
                             a.frame_off = Some(fp_off);
                             a.parts[0].in_mem = true;
                         }
                     } else {
                         // Rare: a part of a multi-part value on the stack.
                         // Load it into a register right away.
-                        let bank = self.adapter.val_part_bank(v, p);
-                        let size = self.adapter.val_part_size(v, p);
+                        let bank = adapter.val_part_bank(v, p);
+                        let size = adapter.val_part_size(v, p);
                         let reg = self.alloc_reg(bank, None)?;
                         self.target
                             .emit_frame_load(self.buf, bank, size, reg, fp_off);
-                        if let Some(a) = self.assignments.get_mut(v) {
+                        if let Some(a) = self.s.assignments.get_mut(v) {
                             a.parts[p as usize].reg = Some(reg);
                         }
                         self.regfile.set_owner(reg, RegOwner::Value(v, p));
@@ -463,17 +569,18 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         if !self.opts.fixed_loop_regs {
             return Ok(());
         }
+        let adapter = self.adapter;
         let mut next_idx = [0usize; RegBank::COUNT];
         for pos in 0..self.analysis.layout.len() as u32 {
             if !self.analysis.is_loop_header(pos) {
                 continue;
             }
             let block = self.analysis.layout[pos as usize];
-            for phi in self.adapter.block_phis(block) {
-                if self.adapter.val_part_count(phi) != 1 {
+            for &phi in adapter.block_phis(block) {
+                if adapter.val_part_count(phi) != 1 {
                     continue;
                 }
-                let bank = self.adapter.val_part_bank(phi, 0);
+                let bank = adapter.val_part_bank(phi, 0);
                 let candidates = self.target.fixed_reg_candidates(bank);
                 let idx = &mut next_idx[bank.index()];
                 if *idx >= candidates.len() {
@@ -482,7 +589,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 let reg = candidates[*idx];
                 *idx += 1;
                 self.ensure_assignment(phi);
-                if let Some(a) = self.assignments.get_mut(phi) {
+                if let Some(a) = self.s.assignments.get_mut(phi) {
                     a.parts[0].fixed = true;
                     a.parts[0].reg = Some(reg);
                     a.parts[0].in_mem = false;
@@ -497,7 +604,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     fn begin_block(&mut self, pos: u32) -> Result<()> {
         self.cur_pos = pos;
         self.sweep_dead_values(pos);
-        self.buf.bind_label(self.block_labels[pos as usize]);
+        self.buf.bind_label(self.s.block_labels[pos as usize]);
 
         let keep_state = if pos == 0 {
             self.entry_state_valid
@@ -505,10 +612,12 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             self.state_valid_next
         };
         if !keep_state {
-            let cleared = self.regfile.reset_non_fixed();
-            for (_, owner) in cleared {
+            self.s.cleared_regs.clear();
+            self.regfile.reset_non_fixed_into(&mut self.s.cleared_regs);
+            for i in 0..self.s.cleared_regs.len() {
+                let (_, owner) = self.s.cleared_regs[i];
                 if let RegOwner::Value(v, p) = owner {
-                    if let Some(a) = self.assignments.get_mut(v) {
+                    if let Some(a) = self.s.assignments.get_mut(v) {
                         a.parts[p as usize].reg = None;
                     }
                 }
@@ -517,19 +626,21 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
         // Phi values arrive through edge moves: their canonical location is
         // their stack slot (or fixed register).
+        let adapter = self.adapter;
         let block = self.analysis.layout[pos as usize];
-        for phi in self.adapter.block_phis(block) {
+        for &phi in adapter.block_phis(block) {
             self.ensure_assignment(phi);
-            let nparts = self.adapter.val_part_count(phi);
+            let nparts = adapter.val_part_count(phi);
             for p in 0..nparts {
                 let fixed = self
+                    .s
                     .assignments
                     .get(phi)
                     .map(|a| a.parts[p as usize].fixed)
                     .unwrap_or(false);
                 if !fixed {
                     self.ensure_frame_slot(phi);
-                    if let Some(a) = self.assignments.get_mut(phi) {
+                    if let Some(a) = self.s.assignments.get_mut(phi) {
                         a.parts[p as usize].in_mem = true;
                         a.parts[p as usize].reg = None;
                     }
@@ -540,29 +651,24 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     }
 
     fn sweep_dead_values(&mut self, pos: u32) {
-        let mut dead = Vec::new();
-        for &v in self.assignments.active() {
-            if let Some(a) = self.assignments.get(v) {
+        let mut dead = std::mem::take(&mut self.s.sweep_dead);
+        dead.clear();
+        for &v in self.s.assignments.active() {
+            if let Some(a) = self.s.assignments.get(v) {
                 if a.last_pos < pos {
                     dead.push(v);
                 }
             }
         }
-        for v in dead {
+        for &v in &dead {
             self.free_value(v);
         }
-        let assignments = &mut self.assignments;
-        let keep: Vec<ValueRef> = assignments
-            .active()
-            .iter()
-            .copied()
-            .filter(|v| assignments.get(*v).is_some())
-            .collect();
-        assignments.retain_active(|v| keep.contains(&v));
+        self.s.assignments.prune_active();
+        self.s.sweep_dead = dead;
     }
 
     fn free_value(&mut self, v: ValueRef) {
-        if let Some(a) = self.assignments.remove(v) {
+        if let Some(a) = self.s.assignments.remove(v) {
             for (p, part) in a.parts.iter().enumerate() {
                 if let Some(r) = part.reg {
                     if self.regfile.owner(r) == Some(RegOwner::Value(v, p as u32)) {
@@ -572,7 +678,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             }
             if let Some(off) = a.frame_off {
                 if off < 0 {
-                    self.frame.free(off, a.spill_size());
+                    self.s.frame.free(off, a.spill_size());
                 }
             }
         }
@@ -581,7 +687,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     // ---- assignments -----------------------------------------------------------
 
     fn ensure_assignment(&mut self, v: ValueRef) {
-        if self.assignments.contains(v) {
+        if self.s.assignments.contains(v) {
             return;
         }
         let live = self
@@ -591,7 +697,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             .copied()
             .unwrap_or_default();
         let nparts = self.adapter.val_part_count(v).max(1);
-        let mut parts = Vec::with_capacity(nparts as usize);
+        let mut parts = PartList::new();
         for p in 0..nparts {
             parts.push(PartState {
                 reg: None,
@@ -607,7 +713,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         } else {
             (live.last, live.last_full, live.uses)
         };
-        self.assignments.insert(
+        self.s.assignments.insert(
             v,
             Assignment {
                 frame_off: None,
@@ -621,19 +727,20 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
     fn ensure_frame_slot(&mut self, v: ValueRef) -> i32 {
         self.ensure_assignment(v);
-        let a = self.assignments.get(v).unwrap();
+        let a = self.s.assignments.get(v).unwrap();
         if let Some(off) = a.frame_off {
             return off;
         }
         let size = a.spill_size();
-        let off = self.frame.alloc(size, 8);
-        self.assignments.get_mut(v).unwrap().frame_off = Some(off);
+        let off = self.s.frame.alloc(size, 8);
+        self.s.assignments.get_mut(v).unwrap().frame_off = Some(off);
         off
     }
 
     /// Remaining (not yet observed) uses of a value.
     pub fn remaining_uses(&self, v: ValueRef) -> u32 {
-        self.assignments
+        self.s
+            .assignments
             .get(v)
             .map(|a| a.remaining_uses)
             .unwrap_or(0)
@@ -658,11 +765,11 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         }
         self.ensure_assignment(v);
         if part == 0 {
-            let a = self.assignments.get_mut(v).unwrap();
+            let a = self.s.assignments.get_mut(v).unwrap();
             if a.remaining_uses > 0 {
                 a.remaining_uses -= 1;
                 if a.remaining_uses == 0 {
-                    self.maybe_dead.push(v);
+                    self.s.maybe_dead.push(v);
                 }
             }
         }
@@ -682,7 +789,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         if p.is_const {
             return None;
         }
-        let a = self.assignments.get(p.val)?;
+        let a = self.s.assignments.get(p.val)?;
         let ps = &a.parts[p.part as usize];
         if ps.reg.is_none() && ps.in_mem {
             a.frame_off.map(|off| off + a.part_offset(p.part))
@@ -693,7 +800,8 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
     /// Current register of a value part, if it happens to be in one.
     pub fn val_cur_reg(&self, p: &ValuePartRef) -> Option<Reg> {
-        self.assignments
+        self.s
+            .assignments
             .get(p.val)
             .and_then(|a| a.parts[p.part as usize].reg)
     }
@@ -704,7 +812,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         if p.is_const {
             return false;
         }
-        match self.assignments.get(p.val) {
+        match self.s.assignments.get(p.val) {
             Some(a) => {
                 a.remaining_uses == 0
                     && a.last_pos == self.cur_pos
@@ -734,11 +842,11 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 .emit_const(self.buf, p.bank, p.size, reg, p.const_val);
             self.regfile.set_owner(reg, RegOwner::Scratch);
             self.lock_for_inst(reg);
-            self.inst_scratch.push(reg);
+            self.s.inst_scratch.push(reg);
             return Ok(reg);
         }
         self.ensure_assignment(p.val);
-        let cur = self.assignments.get(p.val).unwrap().parts[p.part as usize];
+        let cur = self.s.assignments.get(p.val).unwrap().parts[p.part as usize];
         if let Some(reg) = cur.reg {
             if allowed.is_none_or(|set| set.contains(reg)) {
                 self.lock_for_inst(reg);
@@ -751,20 +859,20 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             self.stats.moves += 1;
             if !cur.fixed {
                 self.regfile.clear(reg);
-                let a = self.assignments.get_mut(p.val).unwrap();
+                let a = self.s.assignments.get_mut(p.val).unwrap();
                 a.parts[p.part as usize].reg = Some(dst);
                 self.regfile.set_owner(dst, RegOwner::Value(p.val, p.part));
             } else {
                 // fixed values stay in their register; the copy is a scratch
                 self.regfile.set_owner(dst, RegOwner::Scratch);
-                self.inst_scratch.push(dst);
+                self.s.inst_scratch.push(dst);
             }
             self.lock_for_inst(dst);
             return Ok(dst);
         }
         // not in a register: materialize
         let reg = self.alloc_reg(p.bank, allowed)?;
-        let a = self.assignments.get(p.val).unwrap();
+        let a = self.s.assignments.get(p.val).unwrap();
         let ps = a.parts[p.part as usize];
         let frame_off = a.frame_off.map(|o| o + a.part_offset(p.part));
         match (ps.recompute, frame_off, ps.in_mem) {
@@ -784,7 +892,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 self.target.emit_const(self.buf, p.bank, p.size, reg, 0);
             }
         }
-        let a = self.assignments.get_mut(p.val).unwrap();
+        let a = self.s.assignments.get_mut(p.val).unwrap();
         a.parts[p.part as usize].reg = Some(reg);
         self.regfile.set_owner(reg, RegOwner::Value(p.val, p.part));
         self.lock_for_inst(reg);
@@ -798,7 +906,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         self.ensure_assignment(v);
         let bank = self.adapter.val_part_bank(v, part);
         let reg = self.alloc_reg(bank, None)?;
-        let a = self.assignments.get_mut(v).unwrap();
+        let a = self.s.assignments.get_mut(v).unwrap();
         a.parts[part as usize].reg = Some(reg);
         a.parts[part as usize].in_mem = false;
         self.regfile.set_owner(reg, RegOwner::Value(v, part));
@@ -813,11 +921,11 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         if !op.is_const && self.val_is_last_use(op) {
             if let Some(reg) = self.val_cur_reg(op) {
                 // transfer ownership from the dying operand to the result
-                if let Some(a) = self.assignments.get_mut(op.val) {
+                if let Some(a) = self.s.assignments.get_mut(op.val) {
                     a.parts[op.part as usize].reg = None;
                 }
                 self.ensure_assignment(v);
-                let a = self.assignments.get_mut(v).unwrap();
+                let a = self.s.assignments.get_mut(v).unwrap();
                 a.parts[part as usize].reg = Some(reg);
                 a.parts[part as usize].in_mem = false;
                 self.regfile.set_owner(reg, RegOwner::Value(v, part));
@@ -840,7 +948,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         let reg = self.alloc_reg(bank, None)?;
         self.regfile.set_owner(reg, RegOwner::Scratch);
         self.lock_for_inst(reg);
-        self.inst_scratch.push(reg);
+        self.s.inst_scratch.push(reg);
         Ok(reg)
     }
 
@@ -849,14 +957,14 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         let reg = self.alloc_reg(bank, Some(allowed))?;
         self.regfile.set_owner(reg, RegOwner::Scratch);
         self.lock_for_inst(reg);
-        self.inst_scratch.push(reg);
+        self.s.inst_scratch.push(reg);
         Ok(reg)
     }
 
     /// Releases a scratch register before the end of the instruction.
     pub fn free_scratch(&mut self, reg: Reg) {
-        if let Some(idx) = self.inst_scratch.iter().position(|&r| r == reg) {
-            self.inst_scratch.swap_remove(idx);
+        if let Some(idx) = self.s.inst_scratch.iter().position(|&r| r == reg) {
+            self.s.inst_scratch.swap_remove(idx);
         }
         if self.regfile.owner(reg) == Some(RegOwner::Scratch) {
             self.regfile.clear(reg);
@@ -867,10 +975,10 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// register the instruction's result ended up in).
     pub fn set_result_reg(&mut self, v: ValueRef, part: u32, reg: Reg) {
         self.ensure_assignment(v);
-        if let Some(idx) = self.inst_scratch.iter().position(|&r| r == reg) {
-            self.inst_scratch.swap_remove(idx);
+        if let Some(idx) = self.s.inst_scratch.iter().position(|&r| r == reg) {
+            self.s.inst_scratch.swap_remove(idx);
         }
-        let a = self.assignments.get_mut(v).unwrap();
+        let a = self.s.assignments.get_mut(v).unwrap();
         a.parts[part as usize].reg = Some(reg);
         a.parts[part as usize].in_mem = false;
         self.regfile.set_owner(reg, RegOwner::Value(v, part));
@@ -880,16 +988,16 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// Marks the end of an instruction: releases operand locks and scratch
     /// registers and frees values whose last use was in this instruction.
     pub fn end_inst(&mut self) {
-        for reg in std::mem::take(&mut self.inst_scratch) {
+        for reg in std::mem::take(&mut self.s.inst_scratch) {
             if self.regfile.owner(reg) == Some(RegOwner::Scratch) {
                 self.regfile.clear(reg);
             }
         }
         self.regfile.unlock_all();
-        self.inst_locked.clear();
-        let dead = std::mem::take(&mut self.maybe_dead);
+        self.s.inst_locked.clear();
+        let dead = std::mem::take(&mut self.s.maybe_dead);
         for v in dead {
-            if let Some(a) = self.assignments.get(v) {
+            if let Some(a) = self.s.assignments.get(v) {
                 if a.remaining_uses == 0 && a.last_pos == self.cur_pos && !a.last_full {
                     self.free_value(v);
                 }
@@ -899,7 +1007,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
     fn lock_for_inst(&mut self, reg: Reg) {
         self.regfile.lock(reg);
-        self.inst_locked.push(reg);
+        self.s.inst_locked.push(reg);
     }
 
     // ---- register allocation ------------------------------------------------------
@@ -925,7 +1033,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         match self.regfile.owner(reg) {
             Some(RegOwner::Value(v, p)) => {
                 self.spill_part_if_needed(v, p)?;
-                if let Some(a) = self.assignments.get_mut(v) {
+                if let Some(a) = self.s.assignments.get_mut(v) {
                     a.parts[p as usize].reg = None;
                 }
                 self.regfile.clear(reg);
@@ -938,7 +1046,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     }
 
     fn spill_part_if_needed(&mut self, v: ValueRef, p: u32) -> Result<()> {
-        let Some(a) = self.assignments.get(v) else {
+        let Some(a) = self.s.assignments.get(v) else {
             return Ok(());
         };
         let ps = a.parts[p as usize];
@@ -950,17 +1058,20 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         }
         let Some(reg) = ps.reg else { return Ok(()) };
         let off = self.ensure_frame_slot(v);
-        let a = self.assignments.get(v).unwrap();
+        let a = self.s.assignments.get(v).unwrap();
         let part_off = off + a.part_offset(p);
         self.target
             .emit_frame_store(self.buf, ps.bank, ps.size, part_off, reg);
         self.stats.spills += 1;
-        self.assignments.get_mut(v).unwrap().parts[p as usize].in_mem = true;
+        self.s.assignments.get_mut(v).unwrap().parts[p as usize].in_mem = true;
         Ok(())
     }
 
     fn spill_all_register_values(&mut self) -> Result<()> {
-        for (reg, v, p) in self.regfile.value_owned_regs() {
+        self.s.owned_regs.clear();
+        self.regfile.value_owned_into(&mut self.s.owned_regs);
+        for i in 0..self.s.owned_regs.len() {
+            let (reg, v, p) = self.s.owned_regs[i];
             if self.regfile.is_fixed(reg) {
                 continue;
             }
@@ -977,7 +1088,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     pub fn spill_before_branch(&mut self) -> Result<()> {
         let block = self.cur_block();
         let succs = self.adapter.block_succs(block);
-        let need = succs.iter().any(|s| !self.succ_keeps_state(*s));
+        let need = succs.iter().any(|&s| !self.succ_keeps_state(s));
         if need {
             self.spill_all_register_values()?;
         }
@@ -1001,27 +1112,42 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// [`FuncCodeGen::finish_terminator`] (called automatically at the end of
     /// the block).
     pub fn branch_target(&mut self, succ: BlockRef) -> Result<Label> {
-        let moves = self.phi_moves_for_edge(succ)?;
-        let succ_label = self.block_label(succ);
-        if moves.is_empty() {
-            return Ok(succ_label);
-        }
-        let label = self.buf.new_label();
-        self.pending_edges.push(PendingEdge {
-            label,
-            succ_label,
-            moves,
-        });
-        Ok(label)
+        let mut moves = std::mem::take(&mut self.s.move_scratch);
+        moves.clear();
+        let result = self.phi_moves_for_edge(succ, &mut moves);
+        let out = match result {
+            Err(e) => Err(e),
+            Ok(()) if moves.is_empty() => Ok(self.block_label(succ)),
+            Ok(()) => {
+                let succ_label = self.block_label(succ);
+                let label = self.buf.new_label();
+                let start = self.s.edge_moves.len() as u32;
+                self.s.edge_moves.extend_from_slice(&moves);
+                self.s.pending_edges.push(PendingEdge {
+                    label,
+                    succ_label,
+                    moves_start: start,
+                    moves_end: start + moves.len() as u32,
+                });
+                Ok(label)
+            }
+        };
+        self.s.move_scratch = moves;
+        out
     }
 
     /// Finishes the terminator along the "fallthrough" edge: emits phi moves
     /// inline and a jump to `succ` unless the block can fall through.
     pub fn terminator_fallthrough(&mut self, succ: BlockRef) -> Result<()> {
-        let moves = self.phi_moves_for_edge(succ)?;
-        self.emit_parallel_moves(&moves)?;
+        let mut moves = std::mem::take(&mut self.s.move_scratch);
+        moves.clear();
+        let result = self
+            .phi_moves_for_edge(succ, &mut moves)
+            .and_then(|()| self.emit_parallel_moves(&moves));
+        self.s.move_scratch = moves;
+        result?;
         let succ_pos = self.analysis.pos(succ);
-        let fallthrough = succ_pos == self.cur_pos + 1 && self.pending_edges.is_empty();
+        let fallthrough = succ_pos == self.cur_pos + 1 && self.s.pending_edges.is_empty();
         if !fallthrough {
             let label = self.block_label(succ);
             self.target.emit_jump(self.buf, label);
@@ -1032,20 +1158,32 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// Emits any pending critical-edge blocks. Called automatically after the
     /// last instruction of each block; calling it again is a no-op.
     pub fn finish_terminator(&mut self) -> Result<()> {
-        let edges = std::mem::take(&mut self.pending_edges);
-        for e in edges {
+        let edges = std::mem::take(&mut self.s.pending_edges);
+        let edge_moves = std::mem::take(&mut self.s.edge_moves);
+        let mut result = Ok(());
+        for e in &edges {
             self.buf.bind_label(e.label);
-            self.emit_parallel_moves(&e.moves)?;
+            let moves = &edge_moves[e.moves_start as usize..e.moves_end as usize];
+            if let Err(err) = self.emit_parallel_moves(moves) {
+                result = Err(err);
+                break;
+            }
             self.target.emit_jump(self.buf, e.succ_label);
         }
-        Ok(())
+        // hand the buffers back (cleared) so their capacity is reused
+        self.s.pending_edges = edges;
+        self.s.pending_edges.clear();
+        self.s.edge_moves = edge_moves;
+        self.s.edge_moves.clear();
+        result
     }
 
-    fn phi_moves_for_edge(&mut self, succ: BlockRef) -> Result<Vec<MoveDesc>> {
+    /// Computes the phi moves of the edge `cur_block -> succ` into `out`.
+    fn phi_moves_for_edge(&mut self, succ: BlockRef, out: &mut Vec<MoveDesc>) -> Result<()> {
         let pred = self.cur_block();
-        let mut moves = Vec::new();
-        for phi in self.adapter.block_phis(succ) {
-            let incoming = self.adapter.phi_incoming(phi);
+        let adapter = self.adapter;
+        for &phi in adapter.block_phis(succ) {
+            let incoming = adapter.phi_incoming(phi);
             let Some(inc) = incoming.iter().find(|i| i.block == pred) else {
                 return Err(Error::InvalidIr(format!(
                     "phi {:?} has no incoming value for predecessor {:?}",
@@ -1057,13 +1195,13 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 continue;
             }
             self.ensure_assignment(phi);
-            let nparts = self.adapter.val_part_count(phi);
+            let nparts = adapter.val_part_count(phi);
             for p in 0..nparts {
-                let bank = self.adapter.val_part_bank(phi, p);
-                let size = self.adapter.val_part_size(phi, p).max(1);
+                let bank = adapter.val_part_bank(phi, p);
+                let size = adapter.val_part_size(phi, p).max(1);
                 // destination: fixed register or stack slot
                 let dst = {
-                    let fixed_reg = self.assignments.get(phi).and_then(|a| {
+                    let fixed_reg = self.s.assignments.get(phi).and_then(|a| {
                         let ps = &a.parts[p as usize];
                         if ps.fixed {
                             ps.reg
@@ -1075,14 +1213,14 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                         Some(r) => MoveLoc::Reg(r),
                         None => {
                             let off = self.ensure_frame_slot(phi);
-                            let a = self.assignments.get(phi).unwrap();
+                            let a = self.s.assignments.get(phi).unwrap();
                             MoveLoc::Frame(off + a.part_offset(p))
                         }
                     }
                 };
                 let src = self.canonical_loc(src_val, p)?;
                 if src != dst {
-                    moves.push(MoveDesc {
+                    out.push(MoveDesc {
                         dst,
                         src,
                         bank,
@@ -1091,7 +1229,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 }
             }
         }
-        Ok(moves)
+        Ok(())
     }
 
     /// Canonical (stable) location of a value part: constant, fixed/current
@@ -1101,7 +1239,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             return Ok(MoveLoc::Const(self.adapter.val_const_data(v, part)));
         }
         self.ensure_assignment(v);
-        let a = self.assignments.get(v).unwrap();
+        let a = self.s.assignments.get(v).unwrap();
         let ps = a.parts[part as usize];
         if let Some(r) = ps.reg {
             return Ok(MoveLoc::Reg(r));
@@ -1130,41 +1268,51 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         if let Some(off) = self.cycle_temp {
             return off;
         }
-        let off = self.frame.alloc(8, 8);
+        let off = self.s.frame.alloc(8, 8);
         self.cycle_temp = Some(off);
         off
     }
 
     fn emit_parallel_moves(&mut self, moves: &[MoveDesc]) -> Result<()> {
-        let mut pending: Vec<MoveDesc> = moves.iter().filter(|m| m.dst != m.src).cloned().collect();
+        let mut pending = std::mem::take(&mut self.s.pm_pending);
+        pending.clear();
+        pending.extend(moves.iter().filter(|m| m.dst != m.src).copied());
+        let mut result = Ok(());
         while !pending.is_empty() {
             let ready = pending
                 .iter()
                 .position(|m| !pending.iter().any(|o| o.src == m.dst));
-            match ready {
+            let step = match ready {
                 Some(i) => {
                     let m = pending.swap_remove(i);
-                    self.emit_move(&m)?;
+                    self.emit_move(&m)
                 }
                 None => {
                     // break a cycle: park the first move's source in a temp slot
-                    let m0 = pending[0].clone();
+                    let m0 = pending[0];
                     let temp = MoveLoc::Frame(self.cycle_temp_slot());
-                    self.emit_move(&MoveDesc {
+                    let parked = self.emit_move(&MoveDesc {
                         dst: temp,
                         src: m0.src,
                         bank: m0.bank,
                         size: m0.size,
-                    })?;
+                    });
                     for m in pending.iter_mut() {
                         if m.src == m0.src {
                             m.src = temp;
                         }
                     }
+                    parked
                 }
+            };
+            if let Err(e) = step {
+                result = Err(e);
+                break;
             }
         }
-        Ok(())
+        pending.clear();
+        self.s.pm_pending = pending;
+        result
     }
 
     fn emit_move(&mut self, m: &MoveDesc) -> Result<()> {
@@ -1217,33 +1365,47 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// the epilogue and return.
     pub fn emit_return(&mut self, parts: &[ValuePartRef]) -> Result<()> {
         let cc = self.target.call_conv();
-        let desc: Vec<(RegBank, u32)> = parts.iter().map(|p| (p.bank, p.size)).collect();
-        let regs = cc
-            .assign_rets(&desc)
-            .ok_or_else(|| Error::Unsupported("return value does not fit in registers".into()))?;
+        self.s.parts_desc.clear();
+        self.s
+            .parts_desc
+            .extend(parts.iter().map(|p| (p.bank, p.size)));
+        self.s.ret_regs.clear();
+        if !cc.assign_rets_into(&self.s.parts_desc, &mut self.s.ret_regs) {
+            return Err(Error::Unsupported(
+                "return value does not fit in registers".into(),
+            ));
+        }
         // Materialize sources into registers first so the parallel move only
         // deals with registers and constants.
-        let mut moves = Vec::new();
-        for (p, dst) in parts.iter().zip(regs.iter()) {
+        let mut moves = std::mem::take(&mut self.s.move_scratch);
+        moves.clear();
+        let mut prep = Ok(());
+        for (i, p) in parts.iter().enumerate() {
+            let dst = self.s.ret_regs[i];
             let src = if p.is_const {
                 MoveLoc::Const(p.const_val)
             } else {
                 match self.val_cur_reg(p) {
                     Some(r) => MoveLoc::Reg(r),
-                    None => {
-                        let r = self.val_as_reg(p)?;
-                        MoveLoc::Reg(r)
-                    }
+                    None => match self.val_as_reg(p) {
+                        Ok(r) => MoveLoc::Reg(r),
+                        Err(e) => {
+                            prep = Err(e);
+                            break;
+                        }
+                    },
                 }
             };
             moves.push(MoveDesc {
-                dst: MoveLoc::Reg(*dst),
+                dst: MoveLoc::Reg(dst),
                 src,
                 bank: p.bank,
                 size: p.size,
             });
         }
-        self.emit_parallel_moves(&moves)?;
+        let result = prep.and_then(|()| self.emit_parallel_moves(&moves));
+        self.s.move_scratch = moves;
+        result?;
         self.target
             .emit_epilogue_and_ret(self.buf, &mut self.frame_state);
         self.state_valid_next = false;
@@ -1270,12 +1432,16 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         rets: &[(ValueRef, u32)],
         vararg_fp_count: Option<u8>,
     ) -> Result<()> {
-        let cc = self.target.call_conv().clone();
+        let target = self.target;
+        let cc = target.call_conv();
 
         // 1. spill caller-saved registers holding values that live past the
         //    call. The register associations stay valid until the call so
         //    argument values that only live in registers can still be read.
-        for (reg, v, p) in self.regfile.value_owned_regs() {
+        self.s.owned_regs.clear();
+        self.regfile.value_owned_into(&mut self.s.owned_regs);
+        for i in 0..self.s.owned_regs.len() {
+            let (reg, v, p) = self.s.owned_regs[i];
             if !cc.caller_saved.contains(reg) {
                 continue;
             }
@@ -1283,17 +1449,21 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         }
 
         // 2. assign argument locations
-        let desc: Vec<(RegBank, u32)> = args.iter().map(|a| (a.bank, a.size)).collect();
-        let assign = cc.assign_args(&desc);
-        let stack_bytes = (assign.stack_bytes + cc.stack_align - 1) & !(cc.stack_align - 1);
+        self.s.parts_desc.clear();
+        self.s
+            .parts_desc
+            .extend(args.iter().map(|a| (a.bank, a.size)));
+        self.s.arg_locs.clear();
+        let arg_stack_bytes = cc.assign_args_into(&self.s.parts_desc, &mut self.s.arg_locs);
+        let stack_bytes = (arg_stack_bytes + cc.stack_align - 1) & !(cc.stack_align - 1);
         if stack_bytes > 0 {
             self.target.emit_sp_adjust(self.buf, -(stack_bytes as i32));
         }
 
         // 3. stack arguments: materialize through the scratch register
         //    (argument registers are still untouched here).
-        for (arg, loc) in args.iter().zip(assign.locs.iter()) {
-            if let ArgLoc::Stack(off) = *loc {
+        for (i, arg) in args.iter().enumerate() {
+            if let ArgLoc::Stack(off) = self.s.arg_locs[i] {
                 let scratch = match arg.bank {
                     RegBank::GP => self.target.scratch_gp(),
                     RegBank::FP => self.target.scratch_fp(),
@@ -1319,10 +1489,13 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         //    registers, so this is a parallel-move problem; values that are
         //    trivially recomputable are materialized afterwards (their
         //    sources cannot be clobbered by the moves).
-        let mut moves = Vec::new();
-        let mut recompute_args = Vec::new();
-        for (arg, loc) in args.iter().zip(assign.locs.iter()) {
-            let ArgLoc::Reg(r) = *loc else { continue };
+        let mut moves = std::mem::take(&mut self.s.move_scratch);
+        moves.clear();
+        self.s.recompute_args.clear();
+        for (i, arg) in args.iter().enumerate() {
+            let ArgLoc::Reg(r) = self.s.arg_locs[i] else {
+                continue;
+            };
             if arg.is_const {
                 moves.push(MoveDesc {
                     dst: MoveLoc::Reg(r),
@@ -1332,7 +1505,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 });
                 continue;
             }
-            let a = self.assignments.get(arg.val);
+            let a = self.s.assignments.get(arg.val);
             let ps = a.map(|a| a.parts[arg.part as usize]);
             match ps {
                 Some(ps) if ps.reg.is_some() => moves.push(MoveDesc {
@@ -1341,7 +1514,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                     bank: arg.bank,
                     size: arg.size,
                 }),
-                Some(ps) if ps.recompute.is_some() => recompute_args.push((r, arg.clone())),
+                Some(ps) if ps.recompute.is_some() => self.s.recompute_args.push((r, *arg)),
                 Some(ps) if ps.in_mem => {
                     let a = a.unwrap();
                     moves.push(MoveDesc {
@@ -1359,8 +1532,11 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
                 }),
             }
         }
-        self.emit_parallel_moves(&moves)?;
-        for (r, arg) in recompute_args {
+        let moved = self.emit_parallel_moves(&moves);
+        self.s.move_scratch = moves;
+        moved?;
+        for i in 0..self.s.recompute_args.len() {
+            let (r, arg) = self.s.recompute_args[i];
             self.materialize_into(r, &arg)?;
         }
 
@@ -1374,11 +1550,14 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             CallTarget::Sym(sym) => self.target.emit_call_sym(self.buf, sym),
             CallTarget::Indirect(_) => self.target.emit_call_reg(self.buf, indirect.unwrap()),
         }
-        for (reg, v, p) in self.regfile.value_owned_regs() {
+        self.s.owned_regs.clear();
+        self.regfile.value_owned_into(&mut self.s.owned_regs);
+        for i in 0..self.s.owned_regs.len() {
+            let (reg, v, p) = self.s.owned_regs[i];
             if !cc.caller_saved.contains(reg) {
                 continue;
             }
-            if let Some(a) = self.assignments.get_mut(v) {
+            if let Some(a) = self.s.assignments.get_mut(v) {
                 a.parts[p as usize].reg = None;
             }
             self.regfile.clear(reg);
@@ -1390,25 +1569,26 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
         // 6. bind results to the return registers
         if !rets.is_empty() {
-            let rdesc: Vec<(RegBank, u32)> = rets
-                .iter()
-                .map(|(v, p)| {
-                    (
-                        self.adapter.val_part_bank(*v, *p),
-                        self.adapter.val_part_size(*v, *p),
-                    )
-                })
-                .collect();
-            let regs = cc.assign_rets(&rdesc).ok_or_else(|| {
-                Error::Unsupported("call result does not fit in registers".into())
-            })?;
-            for ((v, p), r) in rets.iter().zip(regs.iter()) {
-                self.ensure_assignment(*v);
-                let a = self.assignments.get_mut(*v).unwrap();
-                a.parts[*p as usize].reg = Some(*r);
-                a.parts[*p as usize].in_mem = false;
-                self.regfile.set_owner(*r, RegOwner::Value(*v, *p));
-                self.lock_for_inst(*r);
+            let adapter = self.adapter;
+            self.s.parts_desc.clear();
+            self.s.parts_desc.extend(
+                rets.iter()
+                    .map(|&(v, p)| (adapter.val_part_bank(v, p), adapter.val_part_size(v, p))),
+            );
+            self.s.ret_regs.clear();
+            if !cc.assign_rets_into(&self.s.parts_desc, &mut self.s.ret_regs) {
+                return Err(Error::Unsupported(
+                    "call result does not fit in registers".into(),
+                ));
+            }
+            for (i, &(v, p)) in rets.iter().enumerate() {
+                let r = self.s.ret_regs[i];
+                self.ensure_assignment(v);
+                let a = self.s.assignments.get_mut(v).unwrap();
+                a.parts[p as usize].reg = Some(r);
+                a.parts[p as usize].in_mem = false;
+                self.regfile.set_owner(r, RegOwner::Value(v, p));
+                self.lock_for_inst(r);
             }
         }
         Ok(())
@@ -1423,7 +1603,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             return Ok(());
         }
         self.ensure_assignment(p.val);
-        let a = self.assignments.get(p.val).unwrap();
+        let a = self.s.assignments.get(p.val).unwrap();
         let ps = a.parts[p.part as usize];
         if let Some(r) = ps.reg {
             if r != dst {
@@ -1477,7 +1657,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// value is dead or has a memory copy (see [`FuncCodeGen::ensure_spilled`]).
     pub fn forget_reg(&mut self, reg: Reg) {
         if let Some(RegOwner::Value(v, p)) = self.regfile.owner(reg) {
-            if let Some(a) = self.assignments.get_mut(v) {
+            if let Some(a) = self.s.assignments.get_mut(v) {
                 a.parts[p as usize].reg = None;
             }
         }
@@ -1491,7 +1671,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     pub fn take_reg_for_result(&mut self, v: ValueRef, part: u32, reg: Reg) {
         self.forget_reg(reg);
         self.ensure_assignment(v);
-        let a = self.assignments.get_mut(v).unwrap();
+        let a = self.s.assignments.get_mut(v).unwrap();
         a.parts[part as usize].reg = Some(reg);
         a.parts[part as usize].in_mem = false;
         self.regfile.set_owner(reg, RegOwner::Value(v, part));
@@ -1511,7 +1691,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     /// Allocates raw frame space (e.g. for dynamic temporary storage) and
     /// returns its frame offset.
     pub fn alloc_frame_space(&mut self, size: u32, align: u32) -> i32 {
-        self.frame.alloc(size, align)
+        self.s.frame.alloc(size, align)
     }
 }
 
@@ -1657,6 +1837,16 @@ mod tests {
         phis: PhiList,
         num_args: u32,
         num_values: usize,
+        // dense index tables built by switch_func
+        idx_args: Vec<ValueRef>,
+        idx_succs: Vec<Vec<BlockRef>>,
+        idx_phis: Vec<Vec<ValueRef>>,
+        idx_insts: Vec<Vec<InstRef>>,
+        idx_ops: Vec<Vec<ValueRef>>,
+        idx_res: Vec<Vec<ValueRef>>,
+        idx_phi_inc: Vec<Vec<PhiIncoming>>,
+        /// flat instruction index -> (block, index within block)
+        inst_index: Vec<(u32, u32)>,
     }
 
     impl MiniIr {
@@ -1666,6 +1856,14 @@ mod tests {
                 phis: vec![Vec::new(); num_blocks],
                 num_args,
                 num_values: num_args as usize,
+                idx_args: Vec::new(),
+                idx_succs: Vec::new(),
+                idx_phis: Vec::new(),
+                idx_insts: Vec::new(),
+                idx_ops: Vec::new(),
+                idx_res: Vec::new(),
+                idx_phi_inc: Vec::new(),
+                inst_index: Vec::new(),
             }
         }
         fn push(&mut self, block: u32, op: MiniOp) {
@@ -1679,17 +1877,17 @@ mod tests {
             self.phis[block as usize].push((val, inc));
         }
         fn op(&self, inst: InstRef) -> &MiniOp {
-            let (b, i) = (inst.0 / 1000, inst.0 % 1000);
+            let (b, i) = self.inst_index[inst.idx()];
             &self.blocks[b as usize][i as usize]
         }
     }
 
     impl IrAdapter for MiniIr {
-        fn funcs(&self) -> Vec<FuncRef> {
-            vec![FuncRef(0)]
+        fn func_count(&self) -> usize {
+            1
         }
-        fn func_name(&self, _: FuncRef) -> String {
-            "mini".into()
+        fn func_name(&self, _: FuncRef) -> &str {
+            "mini"
         }
         fn func_linkage(&self, _: FuncRef) -> Linkage {
             Linkage::External
@@ -1697,70 +1895,97 @@ mod tests {
         fn func_is_definition(&self, _: FuncRef) -> bool {
             true
         }
-        fn switch_func(&mut self, _: FuncRef) {}
+        fn switch_func(&mut self, _: FuncRef) {
+            self.idx_args = (0..self.num_args).map(ValueRef).collect();
+            self.idx_succs = self
+                .blocks
+                .iter()
+                .map(|blk| {
+                    let mut out = Vec::new();
+                    for op in blk {
+                        match op {
+                            MiniOp::Jump(t) => out.push(BlockRef(*t)),
+                            MiniOp::Branch(_, t, f) => {
+                                out.push(BlockRef(*t));
+                                out.push(BlockRef(*f));
+                            }
+                            _ => {}
+                        }
+                    }
+                    out
+                })
+                .collect();
+            self.idx_phis = self
+                .phis
+                .iter()
+                .map(|p| p.iter().map(|&(v, _)| ValueRef(v)).collect())
+                .collect();
+            self.idx_phi_inc = vec![Vec::new(); self.num_values];
+            for blk in &self.phis {
+                for (v, inc) in blk {
+                    self.idx_phi_inc[*v as usize] = inc
+                        .iter()
+                        .map(|&(b, val)| PhiIncoming {
+                            block: BlockRef(b),
+                            value: ValueRef(val),
+                        })
+                        .collect();
+                }
+            }
+            self.idx_insts.clear();
+            self.idx_ops.clear();
+            self.idx_res.clear();
+            self.inst_index.clear();
+            let mut next = 0u32;
+            for (bi, blk) in self.blocks.iter().enumerate() {
+                let mut refs = Vec::new();
+                for (ii, op) in blk.iter().enumerate() {
+                    refs.push(InstRef(next));
+                    next += 1;
+                    self.inst_index.push((bi as u32, ii as u32));
+                    self.idx_ops.push(match op {
+                        MiniOp::Add(_, ops) => ops.iter().map(|&v| ValueRef(v)).collect(),
+                        MiniOp::Branch(c, _, _) => vec![ValueRef(*c)],
+                        MiniOp::Ret(Some(v)) => vec![ValueRef(*v)],
+                        _ => Vec::new(),
+                    });
+                    self.idx_res.push(match op {
+                        MiniOp::Add(r, _) => vec![ValueRef(*r)],
+                        _ => Vec::new(),
+                    });
+                }
+                self.idx_insts.push(refs);
+            }
+        }
         fn value_count(&self) -> usize {
             self.num_values
         }
-        fn args(&self) -> Vec<ValueRef> {
-            (0..self.num_args).map(ValueRef).collect()
+        fn inst_count(&self) -> usize {
+            self.inst_index.len()
         }
-        fn blocks(&self) -> Vec<BlockRef> {
-            (0..self.blocks.len() as u32).map(BlockRef).collect()
+        fn args(&self) -> &[ValueRef] {
+            &self.idx_args
         }
-        fn block_succs(&self, block: BlockRef) -> Vec<BlockRef> {
-            let mut out = Vec::new();
-            for op in &self.blocks[block.idx()] {
-                match op {
-                    MiniOp::Jump(t) => out.push(BlockRef(*t)),
-                    MiniOp::Branch(_, t, f) => {
-                        out.push(BlockRef(*t));
-                        out.push(BlockRef(*f));
-                    }
-                    _ => {}
-                }
-            }
-            out
+        fn block_count(&self) -> usize {
+            self.blocks.len()
         }
-        fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
-            self.phis[block.idx()]
-                .iter()
-                .map(|&(v, _)| ValueRef(v))
-                .collect()
+        fn block_succs(&self, block: BlockRef) -> &[BlockRef] {
+            &self.idx_succs[block.idx()]
         }
-        fn block_insts(&self, block: BlockRef) -> Vec<InstRef> {
-            (0..self.blocks[block.idx()].len() as u32)
-                .map(|i| InstRef(block.0 * 1000 + i))
-                .collect()
+        fn block_phis(&self, block: BlockRef) -> &[ValueRef] {
+            &self.idx_phis[block.idx()]
         }
-        fn phi_incoming(&self, phi: ValueRef) -> Vec<PhiIncoming> {
-            for blk in &self.phis {
-                for (v, inc) in blk {
-                    if *v == phi.0 {
-                        return inc
-                            .iter()
-                            .map(|&(b, val)| PhiIncoming {
-                                block: BlockRef(b),
-                                value: ValueRef(val),
-                            })
-                            .collect();
-                    }
-                }
-            }
-            Vec::new()
+        fn block_insts(&self, block: BlockRef) -> &[InstRef] {
+            &self.idx_insts[block.idx()]
         }
-        fn inst_operands(&self, inst: InstRef) -> Vec<ValueRef> {
-            match self.op(inst) {
-                MiniOp::Add(_, ops) => ops.iter().map(|&v| ValueRef(v)).collect(),
-                MiniOp::Branch(c, _, _) => vec![ValueRef(*c)],
-                MiniOp::Ret(Some(v)) => vec![ValueRef(*v)],
-                _ => Vec::new(),
-            }
+        fn phi_incoming(&self, phi: ValueRef) -> &[PhiIncoming] {
+            &self.idx_phi_inc[phi.idx()]
         }
-        fn inst_results(&self, inst: InstRef) -> Vec<ValueRef> {
-            match self.op(inst) {
-                MiniOp::Add(r, _) => vec![ValueRef(*r)],
-                _ => Vec::new(),
-            }
+        fn inst_operands(&self, inst: InstRef) -> &[ValueRef] {
+            &self.idx_ops[inst.idx()]
+        }
+        fn inst_results(&self, inst: InstRef) -> &[ValueRef] {
+            &self.idx_res[inst.idx()]
         }
         fn val_part_count(&self, _: ValueRef) -> u32 {
             1

@@ -35,6 +35,7 @@
 pub mod adapter;
 pub mod analysis;
 pub mod assignments;
+pub mod bitset;
 pub mod callconv;
 pub mod codebuf;
 pub mod codegen;
@@ -47,7 +48,7 @@ pub mod target;
 pub mod timing;
 
 pub use adapter::{BlockRef, FuncRef, IrAdapter, Linkage, ValueRef};
-pub use analysis::{Analysis, LoopInfo};
-pub use codegen::{CodeGen, CompileOptions, CompiledModule};
+pub use analysis::{Analysis, Analyzer, LoopInfo};
+pub use codegen::{CodeGen, CompileOptions, CompileSession, CompiledModule};
 pub use error::{Error, Result};
 pub use regs::{Reg, RegBank};

@@ -36,19 +36,51 @@ pub struct RegFile {
     clock: [usize; 2],
 }
 
+impl Default for RegFile {
+    /// An empty register file with no allocatable registers; configure it
+    /// with [`RegFile::configure`] before use.
+    fn default() -> RegFile {
+        RegFile::new(&[], &[])
+    }
+}
+
 impl RegFile {
     /// Creates a register file with the given allocatable registers per bank
     /// (in allocation preference order).
     pub fn new(gp: &[Reg], fp: &[Reg]) -> RegFile {
-        let mut state = [RegState::default(); 64];
-        for &r in gp.iter().chain(fp.iter()) {
-            state[r.compact()].allocatable = true;
-        }
-        RegFile {
-            state,
-            allocatable: [gp.to_vec(), fp.to_vec()],
+        let mut f = RegFile {
+            state: [RegState::default(); 64],
+            allocatable: [Vec::new(), Vec::new()],
             clock: [0, 0],
+        };
+        f.configure(gp, fp);
+        f
+    }
+
+    /// Reconfigures the register file for a (possibly different) target,
+    /// clearing all ownership state but keeping buffer capacity. Used by
+    /// compile sessions that reuse one `RegFile` across functions.
+    pub fn configure(&mut self, gp: &[Reg], fp: &[Reg]) {
+        self.state = [RegState::default(); 64];
+        self.allocatable[0].clear();
+        self.allocatable[0].extend_from_slice(gp);
+        self.allocatable[1].clear();
+        self.allocatable[1].extend_from_slice(fp);
+        for &r in gp.iter().chain(fp.iter()) {
+            self.state[r.compact()].allocatable = true;
         }
+        self.clock = [0, 0];
+    }
+
+    /// Clears ownership, locks and pinning of every register (start of a new
+    /// function), keeping the allocatable sets.
+    pub fn reset(&mut self) {
+        for s in self.state.iter_mut() {
+            s.owner = None;
+            s.lock_count = 0;
+            s.fixed = false;
+        }
+        self.clock = [0, 0];
     }
 
     /// The allocatable registers of a bank, in allocation order.
@@ -155,6 +187,14 @@ impl RegFile {
     /// before branches or calls).
     pub fn value_owned_regs(&self) -> Vec<(Reg, ValueRef, u32)> {
         let mut out = Vec::new();
+        self.value_owned_into(&mut out);
+        out
+    }
+
+    /// Appends all registers currently owned by value parts to `out`
+    /// (allocation-free variant of [`RegFile::value_owned_regs`] for callers
+    /// with a reusable scratch buffer).
+    pub fn value_owned_into(&self, out: &mut Vec<(Reg, ValueRef, u32)>) {
         for bank in RegBank::ALL {
             for &r in &self.allocatable[bank.index()] {
                 if let Some(RegOwner::Value(v, p)) = self.state[r.compact()].owner {
@@ -162,7 +202,6 @@ impl RegFile {
                 }
             }
         }
-        out
     }
 
     /// Clears ownership of every non-fixed register (register state reset at
@@ -170,18 +209,24 @@ impl RegFile {
     /// registers and their owners so the caller can update assignments.
     pub fn reset_non_fixed(&mut self) -> Vec<(Reg, RegOwner)> {
         let mut cleared = Vec::new();
+        self.reset_non_fixed_into(&mut cleared);
+        cleared
+    }
+
+    /// Allocation-free variant of [`RegFile::reset_non_fixed`]: appends the
+    /// cleared registers and their owners to `out`.
+    pub fn reset_non_fixed_into(&mut self, out: &mut Vec<(Reg, RegOwner)>) {
         for bank in RegBank::ALL {
             for &r in &self.allocatable[bank.index()] {
                 let s = &mut self.state[r.compact()];
                 if !s.fixed {
                     if let Some(o) = s.owner.take() {
-                        cleared.push((r, o));
+                        out.push((r, o));
                     }
                     s.lock_count = 0;
                 }
             }
         }
-        cleared
     }
 }
 

@@ -2,15 +2,19 @@
 
 use crate::ir::{Block, FuncId, Inst, Module, Type, Value, ValueDef};
 use tpde_core::adapter::{
-    ArgInfo, BlockRef, FuncRef, InstRef, IrAdapter, Linkage, PhiIncoming, StackVarDesc, ValueRef,
+    BlockRef, FuncRef, InstRef, IrAdapter, Linkage, PhiIncoming, StackVarDesc, ValueRef,
 };
 use tpde_core::regs::RegBank;
 
 /// Adapter exposing a [`Module`] to the TPDE framework.
 ///
-/// The IR already numbers values, blocks and functions densely, so the
-/// adapter is a thin view; `switch_func` only builds the flat instruction
-/// index (the framework refers to instructions by dense ids).
+/// The IR already numbers values, blocks and functions densely, so
+/// `switch_func` only has to pre-index the current function into flat slice
+/// tables (instruction lists, operands, results, successors, phis, use
+/// counts). All tables are `clear()`ed — never dropped — between functions,
+/// so after the largest function of a module has been indexed once, the
+/// compile loop performs no adapter allocations (see the `tpde_core::adapter`
+/// module docs).
 pub struct LlvmAdapter<'m> {
     /// The module being compiled.
     pub module: &'m Module,
@@ -19,6 +23,35 @@ pub struct LlvmAdapter<'m> {
     inst_index: Vec<(u32, u32)>,
     /// Per block: (first flat index, count).
     block_ranges: Vec<(u32, u32)>,
+    /// Per block: instruction references (sliced per block).
+    inst_refs: Vec<InstRef>,
+    /// All operand lists back to back; per-instruction range below.
+    operands: Vec<ValueRef>,
+    /// Per instruction: (start, len) into `operands`.
+    operand_ranges: Vec<(u32, u32)>,
+    /// All result lists back to back (0 or 1 entries per instruction).
+    results: Vec<ValueRef>,
+    /// Per instruction: (start, len) into `results`.
+    result_ranges: Vec<(u32, u32)>,
+    /// All successor lists back to back; per-block range below.
+    succs: Vec<BlockRef>,
+    /// Per block: (start, len) into `succs`.
+    succ_ranges: Vec<(u32, u32)>,
+    /// All phi lists back to back; per-block range below.
+    phis: Vec<ValueRef>,
+    /// Per block: (start, len) into `phis`.
+    phi_ranges: Vec<(u32, u32)>,
+    /// All phi incoming edges back to back; per-value range below.
+    phi_inc: Vec<PhiIncoming>,
+    /// Per value: (start, len) into `phi_inc` (len 0 for non-phis).
+    phi_inc_ranges: Vec<(u32, u32)>,
+    /// Argument values of the current function.
+    args: Vec<ValueRef>,
+    /// Static stack variables of the current function.
+    stack_vars: Vec<StackVarDesc>,
+    /// Per value: number of uses in the current function (operands and phi
+    /// incoming edges). Replaces a per-query walk over the whole function.
+    use_counts: Vec<u32>,
 }
 
 impl<'m> LlvmAdapter<'m> {
@@ -29,6 +62,20 @@ impl<'m> LlvmAdapter<'m> {
             cur: FuncId(0),
             inst_index: Vec::new(),
             block_ranges: Vec::new(),
+            inst_refs: Vec::new(),
+            operands: Vec::new(),
+            operand_ranges: Vec::new(),
+            results: Vec::new(),
+            result_ranges: Vec::new(),
+            succs: Vec::new(),
+            succ_ranges: Vec::new(),
+            phis: Vec::new(),
+            phi_ranges: Vec::new(),
+            phi_inc: Vec::new(),
+            phi_inc_ranges: Vec::new(),
+            args: Vec::new(),
+            stack_vars: Vec::new(),
+            use_counts: Vec::new(),
         }
     }
 
@@ -61,19 +108,13 @@ impl<'m> LlvmAdapter<'m> {
     }
 
     /// Number of uses of a value within the current function (used for the
-    /// single-use check of compare/branch fusion).
+    /// single-use check of compare/branch fusion). Precomputed in
+    /// `switch_func`, so this is a table lookup.
     pub fn count_uses(&self, v: Value) -> usize {
-        let f = self.cur_func();
-        let mut n = 0;
-        for b in &f.blocks {
-            for phi in &b.phis {
-                n += phi.incoming.iter().filter(|(_, val)| *val == v).count();
-            }
-            for inst in &b.insts {
-                n += inst.operands().iter().filter(|val| **val == v).count();
-            }
-        }
-        n
+        self.use_counts
+            .get(v.0 as usize)
+            .copied()
+            .unwrap_or_default() as usize
     }
 }
 
@@ -86,12 +127,12 @@ fn bank_of(ty: Type) -> RegBank {
 }
 
 impl<'m> IrAdapter for LlvmAdapter<'m> {
-    fn funcs(&self) -> Vec<FuncRef> {
-        (0..self.module.funcs.len() as u32).map(FuncRef).collect()
+    fn func_count(&self) -> usize {
+        self.module.funcs.len()
     }
 
-    fn func_name(&self, func: FuncRef) -> String {
-        self.module.funcs[func.idx()].name.clone()
+    fn func_name(&self, func: FuncRef) -> &str {
+        &self.module.funcs[func.idx()].name
     }
 
     fn func_linkage(&self, func: FuncRef) -> Linkage {
@@ -110,13 +151,82 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
         self.cur = FuncId(func.0);
         self.inst_index.clear();
         self.block_ranges.clear();
+        self.inst_refs.clear();
+        self.operands.clear();
+        self.operand_ranges.clear();
+        self.results.clear();
+        self.result_ranges.clear();
+        self.succs.clear();
+        self.succ_ranges.clear();
+        self.phis.clear();
+        self.phi_ranges.clear();
+        self.phi_inc.clear();
+        self.phi_inc_ranges.clear();
+        self.args.clear();
+        self.stack_vars.clear();
+        self.use_counts.clear();
+
         let f = self.cur_func();
-        for (bi, b) in f.blocks.iter().enumerate() {
+        self.use_counts.resize(f.value_count(), 0);
+        self.phi_inc_ranges.resize(f.value_count(), (0, 0));
+        self.args.extend((0..f.params.len() as u32).map(ValueRef));
+        self.stack_vars
+            .extend(f.stack_slots.iter().zip(f.stack_slot_values.iter()).map(
+                |(&(size, align), &v)| StackVarDesc {
+                    value: ValueRef(v.0),
+                    size,
+                    align,
+                },
+            ));
+
+        for b in &f.blocks {
+            // instructions: dense flat numbering
             let start = self.inst_index.len() as u32;
-            for ii in 0..b.insts.len() {
-                self.inst_index.push((bi as u32, ii as u32));
+            for (ii, inst) in b.insts.iter().enumerate() {
+                self.inst_refs.push(InstRef(self.inst_index.len() as u32));
+                self.inst_index
+                    .push((self.block_ranges.len() as u32, ii as u32));
+                let op_start = self.operands.len() as u32;
+                inst.visit_operands(|v| {
+                    self.operands.push(ValueRef(v.0));
+                    self.use_counts[v.0 as usize] += 1;
+                });
+                self.operand_ranges
+                    .push((op_start, self.operands.len() as u32 - op_start));
+                let res_start = self.results.len() as u32;
+                if let Some(r) = inst.result() {
+                    self.results.push(ValueRef(r.0));
+                }
+                self.result_ranges
+                    .push((res_start, self.results.len() as u32 - res_start));
             }
             self.block_ranges.push((start, b.insts.len() as u32));
+
+            // successors (from the terminator)
+            let succ_start = self.succs.len() as u32;
+            if let Some(t) = b.insts.last() {
+                t.visit_successors(|s| self.succs.push(BlockRef(s.0)));
+            }
+            self.succ_ranges
+                .push((succ_start, self.succs.len() as u32 - succ_start));
+
+            // phis and their incoming edges
+            let phi_start = self.phis.len() as u32;
+            for p in &b.phis {
+                self.phis.push(ValueRef(p.res.0));
+                let inc_start = self.phi_inc.len() as u32;
+                for (blk, v) in &p.incoming {
+                    self.phi_inc.push(PhiIncoming {
+                        block: BlockRef(blk.0),
+                        value: ValueRef(v.0),
+                    });
+                    self.use_counts[v.0 as usize] += 1;
+                }
+                self.phi_inc_ranges[p.res.0 as usize] =
+                    (inc_start, self.phi_inc.len() as u32 - inc_start);
+            }
+            self.phi_ranges
+                .push((phi_start, self.phis.len() as u32 - phi_start));
         }
     }
 
@@ -124,88 +234,50 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
         self.cur_func().value_count()
     }
 
-    fn args(&self) -> Vec<ValueRef> {
-        (0..self.cur_func().params.len() as u32)
-            .map(ValueRef)
-            .collect()
+    fn inst_count(&self) -> usize {
+        self.inst_index.len()
     }
 
-    fn arg_info(&self) -> Vec<ArgInfo> {
-        self.args().iter().map(|_| ArgInfo::default()).collect()
+    fn args(&self) -> &[ValueRef] {
+        &self.args
     }
 
-    fn static_stack_vars(&self) -> Vec<StackVarDesc> {
-        let f = self.cur_func();
-        f.stack_slots
-            .iter()
-            .zip(f.stack_slot_values.iter())
-            .map(|(&(size, align), &v)| StackVarDesc {
-                value: ValueRef(v.0),
-                size,
-                align,
-            })
-            .collect()
+    fn static_stack_vars(&self) -> &[StackVarDesc] {
+        &self.stack_vars
     }
 
-    fn blocks(&self) -> Vec<BlockRef> {
-        (0..self.cur_func().blocks.len() as u32)
-            .map(BlockRef)
-            .collect()
+    fn block_count(&self) -> usize {
+        self.block_ranges.len()
     }
 
-    fn block_succs(&self, block: BlockRef) -> Vec<BlockRef> {
-        let b = &self.cur_func().blocks[block.idx()];
-        match b.insts.last() {
-            Some(t) => t.successors().iter().map(|s| BlockRef(s.0)).collect(),
-            None => Vec::new(),
-        }
+    fn block_succs(&self, block: BlockRef) -> &[BlockRef] {
+        let (start, len) = self.succ_ranges[block.idx()];
+        &self.succs[start as usize..(start + len) as usize]
     }
 
-    fn block_phis(&self, block: BlockRef) -> Vec<ValueRef> {
-        self.cur_func().blocks[block.idx()]
-            .phis
-            .iter()
-            .map(|p| ValueRef(p.res.0))
-            .collect()
+    fn block_phis(&self, block: BlockRef) -> &[ValueRef] {
+        let (start, len) = self.phi_ranges[block.idx()];
+        &self.phis[start as usize..(start + len) as usize]
     }
 
-    fn block_insts(&self, block: BlockRef) -> Vec<InstRef> {
-        let (start, count) = self.block_ranges[block.idx()];
-        (start..start + count).map(InstRef).collect()
+    fn block_insts(&self, block: BlockRef) -> &[InstRef] {
+        let (start, len) = self.block_ranges[block.idx()];
+        &self.inst_refs[start as usize..(start + len) as usize]
     }
 
-    fn phi_incoming(&self, phi: ValueRef) -> Vec<PhiIncoming> {
-        let f = self.cur_func();
-        for b in &f.blocks {
-            for p in &b.phis {
-                if p.res.0 == phi.0 {
-                    return p
-                        .incoming
-                        .iter()
-                        .map(|(blk, v)| PhiIncoming {
-                            block: BlockRef(blk.0),
-                            value: ValueRef(v.0),
-                        })
-                        .collect();
-                }
-            }
-        }
-        Vec::new()
+    fn phi_incoming(&self, phi: ValueRef) -> &[PhiIncoming] {
+        let (start, len) = self.phi_inc_ranges[phi.idx()];
+        &self.phi_inc[start as usize..(start + len) as usize]
     }
 
-    fn inst_operands(&self, inst: InstRef) -> Vec<ValueRef> {
-        self.inst(inst)
-            .operands()
-            .iter()
-            .map(|v| ValueRef(v.0))
-            .collect()
+    fn inst_operands(&self, inst: InstRef) -> &[ValueRef] {
+        let (start, len) = self.operand_ranges[inst.idx()];
+        &self.operands[start as usize..(start + len) as usize]
     }
 
-    fn inst_results(&self, inst: InstRef) -> Vec<ValueRef> {
-        self.inst(inst)
-            .result()
-            .map(|v| vec![ValueRef(v.0)])
-            .unwrap_or_default()
+    fn inst_results(&self, inst: InstRef) -> &[ValueRef] {
+        let (start, len) = self.result_ranges[inst.idx()];
+        &self.results[start as usize..(start + len) as usize]
     }
 
     fn val_part_count(&self, _val: ValueRef) -> u32 {

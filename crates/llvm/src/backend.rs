@@ -20,7 +20,13 @@ use tpde_snippets::{AsmOperand, SnippetEmitter};
 
 /// The instruction compiler for the LLVM-IR-like IR, generic over the target
 /// through the snippet-encoder abstraction.
-pub struct LlvmInstCompiler;
+///
+/// Holds a reusable call-argument buffer so compiling a call instruction
+/// does not allocate in steady state.
+#[derive(Default)]
+pub struct LlvmInstCompiler {
+    arg_refs: Vec<tpde_core::codegen::ValuePartRef>,
+}
 
 impl LlvmInstCompiler {
     fn operand<'m, T: SnippetEmitter>(
@@ -37,8 +43,11 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
         cg: &mut FuncCodeGen<'_, LlvmAdapter<'m>, T>,
         inst: InstRef,
     ) -> Result<()> {
-        let ir = cg.adapter.inst(inst).clone();
-        match ir {
+        // `inst()` borrows from the module ('m), not from the adapter
+        // borrow, so no clone is needed before mutating `cg`.
+        let adapter = cg.adapter;
+        let ir: &'m Inst = adapter.inst(inst);
+        match *ir {
             Inst::Bin {
                 op,
                 ty,
@@ -263,25 +272,29 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                 callee,
                 res,
                 ret_ty,
-                args,
+                ref args,
             } => {
-                let name = cg.adapter.module.funcs[callee.0 as usize].name.clone();
-                let internal = cg.adapter.module.funcs[callee.0 as usize].internal;
-                let binding = if internal {
+                let f = &adapter.module.funcs[callee.0 as usize];
+                let binding = if f.internal {
                     SymbolBinding::Local
                 } else {
                     SymbolBinding::Global
                 };
-                let sym = cg.buf.declare_symbol(&name, binding, true);
-                let mut arg_refs = Vec::with_capacity(args.len());
-                for a in &args {
-                    arg_refs.push(cg.val_ref(value_ref(*a), 0)?);
+                let sym = cg.buf.declare_symbol(&f.name, binding, true);
+                self.arg_refs.clear();
+                for a in args {
+                    let r = cg.val_ref(value_ref(*a), 0)?;
+                    self.arg_refs.push(r);
                 }
-                let rets: Vec<_> = match res {
-                    Some(r) if ret_ty != Type::Void => vec![(value_ref(r), 0)],
-                    _ => vec![],
+                let ret_slot;
+                let rets: &[_] = match res {
+                    Some(r) if ret_ty != Type::Void => {
+                        ret_slot = [(value_ref(r), 0)];
+                        &ret_slot
+                    }
+                    _ => &[],
                 };
-                cg.emit_call(CallTarget::Sym(sym), &arg_refs, &rets, None)
+                cg.emit_call(CallTarget::Sym(sym), &self.arg_refs, rets, None)
             }
             Inst::Br { target } => T::enc_jump(cg, block_ref(target)),
             Inst::CondBr {
@@ -322,5 +335,19 @@ pub fn compile_with_target<T: Target + SnippetEmitter>(
 ) -> Result<CompiledModule> {
     let mut adapter = LlvmAdapter::new(module);
     let cg = CodeGen::new(target, opts.clone());
-    cg.compile_module(&mut adapter, &mut LlvmInstCompiler)
+    cg.compile_module(&mut adapter, &mut LlvmInstCompiler::default())
+}
+
+/// Like [`compile_with_target`], but reuses the given compile session's
+/// working memory. Drivers compiling many modules (JIT-style workloads)
+/// keep one session so the steady-state compile loop is allocation-free.
+pub fn compile_with_session<T: Target + SnippetEmitter>(
+    module: &Module,
+    target: T,
+    opts: &CompileOptions,
+    session: &mut tpde_core::codegen::CompileSession,
+) -> Result<CompiledModule> {
+    let mut adapter = LlvmAdapter::new(module);
+    let cg = CodeGen::new(target, opts.clone());
+    cg.compile_module_with(session, &mut adapter, &mut LlvmInstCompiler::default())
 }

@@ -221,45 +221,84 @@ impl Inst {
         }
     }
 
-    /// The operand values read by this instruction.
-    pub fn operands(&self) -> Vec<Value> {
+    /// Calls `f` for every operand value read by this instruction, in
+    /// order. Allocation-free variant of [`Inst::operands`] for hot paths
+    /// (the adapter's per-function indexing).
+    pub fn visit_operands(&self, mut f: impl FnMut(Value)) {
         match self {
             Inst::Bin { lhs, rhs, .. }
             | Inst::Div { lhs, rhs, .. }
             | Inst::Shift { lhs, rhs, .. }
             | Inst::Icmp { lhs, rhs, .. }
             | Inst::Fbin { lhs, rhs, .. }
-            | Inst::Fcmp { lhs, rhs, .. } => vec![*lhs, *rhs],
+            | Inst::Fcmp { lhs, rhs, .. } => {
+                f(*lhs);
+                f(*rhs);
+            }
             Inst::Fneg { v, .. }
             | Inst::Cast { v, .. }
             | Inst::IntToFp { v, .. }
             | Inst::FpToInt { v, .. }
-            | Inst::FpConvert { v, .. } => vec![*v],
-            Inst::Load { addr, .. } => vec![*addr],
-            Inst::Store { addr, value, .. } => vec![*addr, *value],
-            Inst::Gep { base, index, .. } => match index {
-                Some(i) => vec![*base, *i],
-                None => vec![*base],
-            },
+            | Inst::FpConvert { v, .. } => f(*v),
+            Inst::Load { addr, .. } => f(*addr),
+            Inst::Store { addr, value, .. } => {
+                f(*addr);
+                f(*value);
+            }
+            Inst::Gep { base, index, .. } => {
+                f(*base);
+                if let Some(i) = index {
+                    f(*i);
+                }
+            }
             Inst::Select {
                 cond, tval, fval, ..
-            } => vec![*cond, *tval, *fval],
-            Inst::Call { args, .. } => args.clone(),
-            Inst::CondBr { cond, .. } => vec![*cond],
-            Inst::Ret { value } => value.iter().copied().collect(),
-            Inst::Br { .. } => Vec::new(),
+            } => {
+                f(*cond);
+                f(*tval);
+                f(*fval);
+            }
+            Inst::Call { args, .. } => args.iter().for_each(|a| f(*a)),
+            Inst::CondBr { cond, .. } => f(*cond),
+            Inst::Ret { value } => {
+                if let Some(v) = value {
+                    f(*v);
+                }
+            }
+            Inst::Br { .. } => {}
         }
     }
 
-    /// Successor blocks if this is a terminator.
-    pub fn successors(&self) -> Vec<Block> {
+    /// Calls `f` for every successor block if this is a terminator.
+    /// Allocation-free variant of [`Inst::successors`].
+    pub fn visit_successors(&self, mut f: impl FnMut(Block)) {
         match self {
-            Inst::Br { target } => vec![*target],
+            Inst::Br { target } => f(*target),
             Inst::CondBr {
                 if_true, if_false, ..
-            } => vec![*if_true, *if_false],
-            _ => Vec::new(),
+            } => {
+                f(*if_true);
+                f(*if_false);
+            }
+            _ => {}
         }
+    }
+
+    /// The operand values read by this instruction.
+    /// Convenience wrapper over [`Inst::visit_operands`] (the single source
+    /// of truth for the operand list).
+    pub fn operands(&self) -> Vec<Value> {
+        let mut out = Vec::new();
+        self.visit_operands(|v| out.push(v));
+        out
+    }
+
+    /// Successor blocks if this is a terminator.
+    /// Convenience wrapper over [`Inst::visit_successors`].
+    pub fn successors(&self) -> Vec<Block> {
+        let mut out = Vec::new();
+        self.visit_successors(|b| out.push(b));
+        out
     }
 
     /// Whether this is a terminator instruction.
