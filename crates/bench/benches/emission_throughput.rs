@@ -1,0 +1,111 @@
+//! Pure-emission throughput (bytes of machine code per second) on a
+//! synthetic long function, for both encoders.
+//!
+//! This is the regression tripwire for the `CodeBuffer` emission layer: the
+//! backend benches measure the whole compile pipeline, so a slowdown in the
+//! batched instruction writes, the back-branch short-circuit or the fixup
+//! pool would be diluted there. Here nothing but encoder calls runs, so
+//! bytes/sec tracks the emission layer directly.
+//!
+//! Pass `--quick` (the CI smoke mode) to scale the synthetic function down.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+use tpde_core::codebuf::CodeBuffer;
+use tpde_enc::{a64, x64};
+use x64::{Alu, Cond, Gp, Mem, Shift};
+
+/// Encodes one synthetic "function": `blocks` loop bodies of a realistic
+/// load/ALU/store/compare mix, each ending in a back-branch to its own block
+/// head (immediate displacement encoding) plus a short forward branch every
+/// fourth block (exercising the fixup pool), then resolves and recycles the
+/// function's fixups.
+fn encode_x64(buf: &mut CodeBuffer, blocks: usize) -> u64 {
+    buf.text_mut().clear();
+    for i in 0..blocks {
+        let head = buf.new_label();
+        buf.bind_label(head);
+        let slot = -(((i % 64) as i32 + 1) * 8);
+        x64::mov_rm(buf, 8, Gp::RAX, Mem::base_disp(Gp::RBP, slot));
+        x64::alu_rr(buf, Alu::Add, 8, Gp::RAX, Gp::RCX);
+        x64::alu_ri(buf, Alu::Add, 8, Gp::RAX, 0x1234);
+        x64::imul_rri(buf, 8, Gp::RDX, Gp::RAX, 77);
+        x64::mov_mr(buf, 8, Mem::sib(Gp::RBP, Gp::RDX, 8, -16), Gp::RDX);
+        x64::shift_ri(buf, Shift::Shl, 8, Gp::RDX, 3);
+        x64::mov_ri(buf, 8, Gp::RSI, 0xdead_beef);
+        x64::alu_rr(buf, Alu::Cmp, 8, Gp::RAX, Gp::RSI);
+        if i % 4 == 3 {
+            let skip = buf.new_label();
+            x64::jcc_label(buf, Cond::E, skip); // forward: fixup pool
+            x64::nops(buf, 2);
+            buf.bind_label(skip);
+        }
+        x64::jcc_label(buf, Cond::NE, head); // backward: immediate encoding
+    }
+    x64::ret(buf);
+    buf.finish_func_fixups().expect("all labels bound");
+    buf.text_offset()
+}
+
+/// AArch64 flavour of the same synthetic function.
+fn encode_a64(buf: &mut CodeBuffer, blocks: usize) -> u64 {
+    buf.text_mut().clear();
+    for i in 0..blocks {
+        let head = buf.new_label();
+        buf.bind_label(head);
+        let slot = ((i % 64) as i32 + 1) * 8;
+        a64::ldr(buf, 8, 0, a64::FP, slot);
+        a64::add_rr(buf, true, 0, 0, 1);
+        a64::add_imm(buf, true, 0, 0, 0x123);
+        a64::madd(buf, true, 2, 0, 3, 4);
+        a64::str(buf, 8, 2, a64::FP, slot);
+        a64::lsl_imm(buf, true, 2, 2, 3);
+        a64::mov_imm64(buf, 5, 0xdead_beef_1234);
+        a64::cmp_rr(buf, true, 0, 5);
+        if i % 4 == 3 {
+            let skip = buf.new_label();
+            a64::bcond_label(buf, a64::Cond::Eq, skip); // forward: fixup pool
+            a64::nop(buf);
+            buf.bind_label(skip);
+        }
+        a64::bcond_label(buf, a64::Cond::Ne, head); // backward: immediate
+    }
+    a64::ret(buf);
+    buf.finish_func_fixups().expect("all labels bound");
+    buf.text_offset()
+}
+
+fn bench_emission_throughput(c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let blocks = if quick { 2_000 } else { 50_000 };
+    let mut group = c.benchmark_group("emission_throughput");
+    group.sample_size(if quick { 5 } else { 20 });
+
+    type EncodeFn = fn(&mut CodeBuffer, usize) -> u64;
+    let encoders: [(&str, EncodeFn); 2] = [("x64", encode_x64), ("a64", encode_a64)];
+    for (name, encode) in encoders {
+        let mut buf = CodeBuffer::new();
+        group.bench_with_input(BenchmarkId::new(name, blocks), &blocks, |b, &n| {
+            b.iter(|| black_box(encode(&mut buf, n)))
+        });
+
+        // Reported number: steady-state bytes/sec with a reused buffer.
+        let mut buf = CodeBuffer::new();
+        let bytes = encode(&mut buf, blocks); // warm the buffer capacity
+        let reps = if quick { 3u32 } else { 10 };
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(encode(&mut buf, blocks));
+        }
+        let per_encode = start.elapsed() / reps;
+        let bytes_per_sec = bytes as f64 / per_encode.as_secs_f64();
+        println!(
+            "emission_throughput/{name}  {bytes} bytes in {per_encode:?}  => {:.2} MB/sec",
+            bytes_per_sec / 1e6
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emission_throughput);
+criterion_main!(benches);

@@ -4,7 +4,10 @@
 //! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]`
 //! (`--quick` scales down the workload inputs for a fast smoke run;
 //! `--json` additionally writes the per-workload compile-time speedups to
-//! `BENCH_compile.json` so the perf trajectory can be tracked across PRs).
+//! `BENCH_compile.json`). The JSON file carries a `history` array with one
+//! geomean entry per git commit: each run appends (or, for the same SHA,
+//! replaces) its entry instead of overwriting the trajectory, so the file
+//! records the compile-time speedup across PRs.
 
 use std::time::Instant;
 use tpde_bench::{geomean, measure, scaled, Backend};
@@ -13,7 +16,43 @@ use tpde_core::timing::Phase;
 use tpde_llvm::workloads::{build_workload, spec_workloads, IrStyle};
 use tpde_llvm::{compile_baseline, compile_copy_patch, compile_x64};
 
-/// Writes the machine-readable compile-time speedup report.
+/// The current git commit (short SHA), or `"unknown"` outside a checkout.
+fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Extracts the per-PR history entry lines from a previously written report
+/// (the lines inside the `"history": [...]` array), dropping any entry for
+/// `current_sha` so a re-run replaces its own entry instead of duplicating
+/// it.
+fn read_history(path: &str, current_sha: &str) -> Vec<String> {
+    let Ok(old) = std::fs::read_to_string(path) else {
+        return Vec::new();
+    };
+    let Some(start) = old.find("\"history\": [") else {
+        return Vec::new();
+    };
+    let sha_marker = format!("\"sha\": \"{current_sha}\"");
+    old[start..]
+        .lines()
+        .skip(1)
+        .take_while(|l| l.trim_start().starts_with('{'))
+        .map(|l| l.trim().trim_end_matches(',').to_string())
+        .filter(|l| !l.contains(&sha_marker))
+        .collect()
+}
+
+/// Writes the machine-readable compile-time speedup report, appending this
+/// run's geomeans to the per-commit history carried over from the previous
+/// report.
 ///
 /// Hand-rolled JSON (the container has no serde); numbers use enough digits
 /// for diffing across PRs.
@@ -24,6 +63,13 @@ fn write_json(
     geo: (f64, f64, f64),
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
+    let sha = git_sha();
+    let mut history = read_history(path, &sha);
+    history.push(format!(
+        "{{\"sha\": \"{sha}\", \"quick\": {quick}, \"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}}}",
+        geo.0, geo.1, geo.2
+    ));
+
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(
@@ -41,9 +87,15 @@ fn write_json(
     out.push_str("  ],\n");
     let _ = writeln!(
         out,
-        "  \"geomean\": {{\"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}}}",
+        "  \"geomean\": {{\"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}}},",
         geo.0, geo.1, geo.2
     );
+    out.push_str("  \"history\": [\n");
+    for (i, entry) in history.iter().enumerate() {
+        let comma = if i + 1 < history.len() { "," } else { "" };
+        let _ = writeln!(out, "    {entry}{comma}");
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     std::fs::write(path, out)
 }

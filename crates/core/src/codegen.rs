@@ -13,7 +13,7 @@ use crate::analysis::{Analysis, Analyzer};
 use crate::assignments::{Assignment, AssignmentTable, FrameAlloc, PartList, PartState, Recompute};
 use crate::bitset::DenseBitSet;
 use crate::callconv::ArgLoc;
-use crate::codebuf::{CodeBuffer, Label, SectionKind, SymbolBinding, SymbolId};
+use crate::codebuf::{CodeBuffer, FixupPool, Label, SectionKind, SymbolBinding, SymbolId};
 use crate::error::{Error, Result};
 use crate::regalloc::{RegFile, RegOwner};
 use crate::regs::{Reg, RegBank, RegSet};
@@ -212,6 +212,9 @@ pub struct CompileSession {
     analysis: Analysis,
     regfile: RegFile,
     scratch: FuncScratch,
+    /// Label/fixup storage, lent to each module's [`CodeBuffer`] and
+    /// recycled at every function boundary (see [`crate::codebuf`]).
+    fixups: FixupPool,
 }
 
 impl CompileSession {
@@ -272,6 +275,9 @@ impl<T: Target> CodeGen<T> {
         compiler: &mut C,
     ) -> Result<CompiledModule> {
         let mut buf = CodeBuffer::new();
+        // Lend the session's recycled label/fixup pool to this module's
+        // buffer so the steady-state loop reuses its allocations.
+        buf.adopt_fixup_pool(std::mem::take(&mut session.fixups));
         let mut stats = CompileStats::default();
         let mut timings = PassTimings::new();
 
@@ -292,46 +298,54 @@ impl<T: Target> CodeGen<T> {
             syms.push(buf.declare_symbol(adapter.func_name(f), binding, true));
         }
 
-        for (i, &sym) in syms.iter().enumerate() {
-            let f = FuncRef(i as u32);
-            if !adapter.func_is_definition(f) {
-                continue;
-            }
-            adapter.switch_func(f);
-            let CompileSession {
-                analyzer,
-                analysis,
-                regfile,
-                scratch,
-            } = &mut *session;
-            timings.time(Phase::Analysis, || {
-                analyzer.analyze_into(&*adapter, analysis)
-            })?;
-            let cg_start = Instant::now();
-            let func_off = buf.text_offset();
-            buf.define_symbol(sym, SectionKind::Text, func_off, 0);
-            {
-                let mut fcg = FuncCodeGen::new(
-                    &*adapter,
-                    &self.target,
-                    &mut buf,
+        // The body runs in a closure so the pool is handed back to the
+        // session even when a function fails to compile.
+        let result = (|| -> Result<()> {
+            for (i, &sym) in syms.iter().enumerate() {
+                let f = FuncRef(i as u32);
+                if !adapter.func_is_definition(f) {
+                    continue;
+                }
+                adapter.switch_func(f);
+                let CompileSession {
+                    analyzer,
                     analysis,
-                    &self.opts,
-                    &mut stats,
-                    sym,
-                    scratch,
                     regfile,
-                );
-                fcg.compile_function(compiler)?;
+                    scratch,
+                    fixups: _,
+                } = &mut *session;
+                timings.time(Phase::Analysis, || {
+                    analyzer.analyze_into(&*adapter, analysis)
+                })?;
+                let cg_start = Instant::now();
+                let func_off = buf.text_offset();
+                buf.define_symbol(sym, SectionKind::Text, func_off, 0);
+                {
+                    let mut fcg = FuncCodeGen::new(
+                        &*adapter,
+                        &self.target,
+                        &mut buf,
+                        analysis,
+                        &self.opts,
+                        &mut stats,
+                        sym,
+                        scratch,
+                        regfile,
+                    );
+                    fcg.compile_function(compiler)?;
+                }
+                let size = buf.text_offset() - func_off;
+                buf.set_symbol_size(sym, size);
+                buf.finish_func_fixups()?;
+                timings.add(Phase::CodeGen, cg_start.elapsed());
+                adapter.finalize_func();
+                stats.funcs += 1;
             }
-            let size = buf.text_offset() - func_off;
-            buf.set_symbol_size(sym, size);
-            buf.resolve_fixups()?;
-            timings.add(Phase::CodeGen, cg_start.elapsed());
-            adapter.finalize_func();
-            stats.funcs += 1;
-        }
+            Ok(())
+        })();
 
+        session.fixups = buf.release_fixup_pool();
+        result?;
         Ok(CompiledModule {
             buf,
             stats,

@@ -7,7 +7,7 @@
 //! `tpde-x64emu` emulator rather than being mapped executable into the host
 //! process, which keeps the test suite portable and deterministic.
 
-use crate::codebuf::{CodeBuffer, RelocKind, SectionKind};
+use crate::codebuf::{CodeBuffer, RelocKind, SectionKind, SymbolId};
 use crate::error::{Error, Result};
 use std::collections::HashMap;
 
@@ -101,20 +101,21 @@ pub fn link_in_memory(
     let mut sym_addr = vec![0u64; buf.symbols().len()];
     let mut next_external = EXTERNAL_CALLOUT_BASE;
     for (i, sym) in buf.symbols().iter().enumerate() {
+        let name = buf.symbol_name(SymbolId(i as u32));
         let a = match sym.section {
             Some(kind) => {
                 let a = sec_addr[&kind] + sym.offset;
-                symbols.insert(sym.name.clone(), a);
+                symbols.insert(name.to_string(), a);
                 a
             }
             None => {
-                if let Some(a) = resolve(&sym.name) {
-                    externals.insert(sym.name.clone(), a);
+                if let Some(a) = resolve(name) {
+                    externals.insert(name.to_string(), a);
                     a
                 } else {
                     let a = next_external;
                     next_external += 16;
-                    externals.insert(sym.name.clone(), a);
+                    externals.insert(name.to_string(), a);
                     a
                 }
             }

@@ -142,8 +142,8 @@ pub fn write_elf_object(buf: &CodeBuffer, machine: ElfMachine) -> Result<Vec<u8>
     // Map CodeBuffer SymbolId -> ELF symbol table index (assigned after we
     // know how many locals there are).
     let mut user_syms: Vec<(bool, ElfSym)> = Vec::new(); // (is_local, sym)
-    for sym in buf.symbols() {
-        let name = strtab.add(&sym.name);
+    for (i, sym) in buf.symbols().iter().enumerate() {
+        let name = strtab.add(buf.symbol_name(crate::codebuf::SymbolId(i as u32)));
         let stype: u8 = if sym.is_func { 2 } else { 1 }; // FUNC / OBJECT
         let bind: u8 = match sym.binding {
             SymbolBinding::Local => 0,

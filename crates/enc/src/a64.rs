@@ -6,10 +6,20 @@
 //! unscaled), load/store pairs for the prologue, branches, compares,
 //! conditional select, and scalar floating-point operations.
 //!
+//! Every instruction is committed as one whole little-endian word;
+//! multi-instruction sequences (`mov_imm64`, `adr_sym`) are assembled in an
+//! on-stack [`tpde_core::codebuf::InstBuf`] window and committed with a
+//! single batched write. Branches to labels that are already bound
+//! (back-edges) encode their displacement immediately; forward branches go
+//! through the code buffer's fixup machinery.
+//!
 //! Registers are architectural numbers (`0..=30`; 31 is `xzr`/`wzr` or `sp`
 //! depending on the instruction, as in the ISA).
 
-use tpde_core::codebuf::{CodeBuffer, FixupKind, Label, Reloc, RelocKind, SectionKind, SymbolId};
+use tpde_core::codebuf::{
+    branch19_imm, branch26_imm, CodeBuffer, FixupKind, InstBuf, Label, Reloc, RelocKind,
+    SectionKind, SymbolId,
+};
 
 /// The zero register / stack pointer number.
 pub const ZR: u8 = 31;
@@ -91,20 +101,22 @@ pub fn mov_sp(buf: &mut CodeBuffer, rd: u8, rn: u8) {
     add_imm(buf, true, rd, rn, 0);
 }
 
+pub(crate) fn movz_word(is64: bool, rd: u8, imm16: u16, hw: u8) -> u32 {
+    sf(is64) | 0x5280_0000 | ((hw as u32) << 21) | ((imm16 as u32) << 5) | rd as u32
+}
+
+fn movk_word(is64: bool, rd: u8, imm16: u16, hw: u8) -> u32 {
+    sf(is64) | 0x7280_0000 | ((hw as u32) << 21) | ((imm16 as u32) << 5) | rd as u32
+}
+
 /// `movz rd, #imm16, lsl #(hw*16)`.
 pub fn movz(buf: &mut CodeBuffer, is64: bool, rd: u8, imm16: u16, hw: u8) {
-    emit(
-        buf,
-        sf(is64) | 0x5280_0000 | ((hw as u32) << 21) | ((imm16 as u32) << 5) | rd as u32,
-    );
+    emit(buf, movz_word(is64, rd, imm16, hw));
 }
 
 /// `movk rd, #imm16, lsl #(hw*16)`.
 pub fn movk(buf: &mut CodeBuffer, is64: bool, rd: u8, imm16: u16, hw: u8) {
-    emit(
-        buf,
-        sf(is64) | 0x7280_0000 | ((hw as u32) << 21) | ((imm16 as u32) << 5) | rd as u32,
-    );
+    emit(buf, movk_word(is64, rd, imm16, hw));
 }
 
 /// `movn rd, #imm16, lsl #(hw*16)`.
@@ -116,27 +128,29 @@ pub fn movn(buf: &mut CodeBuffer, is64: bool, rd: u8, imm16: u16, hw: u8) {
 }
 
 /// Materializes an arbitrary 64-bit constant using `movz`/`movk` (1–4
-/// instructions).
+/// instructions), committed as one batched write.
 pub fn mov_imm64(buf: &mut CodeBuffer, rd: u8, value: u64) {
     if value == 0 {
         movz(buf, true, rd, 0, 0);
         return;
     }
+    let mut seq = InstBuf::new();
     let mut first = true;
     for hw in 0..4u8 {
         let chunk = ((value >> (hw * 16)) & 0xffff) as u16;
         if chunk != 0 || (hw == 3 && first) {
             if first {
-                movz(buf, true, rd, chunk, hw);
+                seq.push_u32(movz_word(true, rd, chunk, hw));
                 first = false;
             } else {
-                movk(buf, true, rd, chunk, hw);
+                seq.push_u32(movk_word(true, rd, chunk, hw));
             }
         }
     }
     if first {
-        movz(buf, true, rd, 0, 0);
+        seq.push_u32(movz_word(true, rd, 0, 0));
     }
+    buf.emit_inst(seq);
 }
 
 // --- integer arithmetic --------------------------------------------------------------
@@ -567,26 +581,43 @@ pub fn ldp(buf: &mut CodeBuffer, rt: u8, rt2: u8, rn: u8, offset: i32) {
 
 // --- branches ------------------------------------------------------------------------------
 
-/// `b label`.
+/// `b label`. Back-edges (bound labels) encode their displacement
+/// immediately; forward references record a fixup.
 pub fn b_label(buf: &mut CodeBuffer, label: Label) {
     let off = buf.text_offset();
+    if let Some(target) = buf.label_offset(label) {
+        if let Ok(imm) = branch26_imm(off, target) {
+            emit(buf, 0x1400_0000 | imm);
+            return;
+        }
+    }
     emit(buf, 0x1400_0000);
     buf.add_fixup(off, label, FixupKind::A64Branch26);
 }
 
+/// Commits a branch19-class instruction word: immediate encoding for bound
+/// labels whose displacement fits, fixup otherwise.
+fn emit_branch19(buf: &mut CodeBuffer, word: u32, label: Label) {
+    let off = buf.text_offset();
+    if let Some(target) = buf.label_offset(label) {
+        if let Ok(imm) = branch19_imm(off, target) {
+            emit(buf, word | (imm << 5));
+            return;
+        }
+    }
+    emit(buf, word);
+    buf.add_fixup(off, label, FixupKind::A64Branch19);
+}
+
 /// `b.cond label`.
 pub fn bcond_label(buf: &mut CodeBuffer, cond: Cond, label: Label) {
-    let off = buf.text_offset();
-    emit(buf, 0x5400_0000 | cond as u32);
-    buf.add_fixup(off, label, FixupKind::A64Branch19);
+    emit_branch19(buf, 0x5400_0000 | cond as u32, label);
 }
 
 /// `cbz rt, label` / `cbnz rt, label`.
 pub fn cbz_label(buf: &mut CodeBuffer, is64: bool, nonzero: bool, rt: u8, label: Label) {
-    let off = buf.text_offset();
     let op = if nonzero { 0x3500_0000 } else { 0x3400_0000 };
-    emit(buf, sf(is64) | op | rt as u32);
-    buf.add_fixup(off, label, FixupKind::A64Branch19);
+    emit_branch19(buf, sf(is64) | op | rt as u32, label);
 }
 
 /// `bl sym` (with a CALL26 relocation).
@@ -627,7 +658,10 @@ pub fn nop(buf: &mut CodeBuffer) {
 /// we emit `adrp`+`add` instead, which is the conventional approach.
 pub fn adr_sym(buf: &mut CodeBuffer, rd: u8, sym: SymbolId) {
     let off = buf.text_offset();
-    emit(buf, 0x9000_0000 | rd as u32); // adrp rd, sym
+    let mut seq = InstBuf::new();
+    seq.push_u32(0x9000_0000 | rd as u32); // adrp rd, sym
+    seq.push_u32(0x9100_0000 | ((rd as u32) << 5) | rd as u32); // add rd, rd, #lo12
+    buf.emit_inst(seq);
     buf.add_reloc(Reloc {
         section: SectionKind::Text,
         offset: off,
@@ -635,11 +669,9 @@ pub fn adr_sym(buf: &mut CodeBuffer, rd: u8, sym: SymbolId) {
         kind: RelocKind::AdrpPage,
         addend: 0,
     });
-    let off2 = buf.text_offset();
-    emit(buf, 0x9100_0000 | ((rd as u32) << 5) | rd as u32); // add rd, rd, #lo12
     buf.add_reloc(Reloc {
         section: SectionKind::Text,
-        offset: off2,
+        offset: off + 4,
         symbol: sym,
         kind: RelocKind::AddLo12,
         addend: 0,

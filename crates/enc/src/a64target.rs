@@ -178,13 +178,13 @@ impl Target for A64Target {
         assert!(size < 65536, "frame larger than 64 KiB not supported");
         for &off in &frame.frame_size_patches {
             // patch the imm16 of the movz (bits 5..21)
-            let mut tmp = CodeBuffer::new();
-            a64::movz(&mut tmp, true, 16, size as u16, 0);
-            buf.patch_text(off, tmp.text());
+            let word = crate::a64::movz_word(true, 16, size as u16, 0);
+            buf.patch_text(off, &word.to_le_bytes());
         }
-        let mut emit_area = |area: Option<(u64, u64)>, is_save: bool| {
+        let mut tmp = CodeBuffer::new();
+        let mut emit_area = |tmp: &mut CodeBuffer, area: Option<(u64, u64)>, is_save: bool| {
             let Some((start, _)) = area else { return };
-            let mut tmp = CodeBuffer::new();
+            tmp.text_mut().clear();
             for (idx, reg) in GP_SAVE_ORDER
                 .iter()
                 .map(|&i| Reg::new(RegBank::GP, i))
@@ -196,17 +196,17 @@ impl Target for A64Target {
                 }
                 let off = Self::save_slot_off(idx);
                 match (reg.bank(), is_save) {
-                    (RegBank::GP, true) => a64::str(&mut tmp, 8, reg.index(), a64::FP, off),
-                    (RegBank::GP, false) => a64::ldr(&mut tmp, 8, reg.index(), a64::FP, off),
-                    (RegBank::FP, true) => a64::str_fp(&mut tmp, 8, reg.index(), a64::FP, off),
-                    (RegBank::FP, false) => a64::ldr_fp(&mut tmp, 8, reg.index(), a64::FP, off),
+                    (RegBank::GP, true) => a64::str(tmp, 8, reg.index(), a64::FP, off),
+                    (RegBank::GP, false) => a64::ldr(tmp, 8, reg.index(), a64::FP, off),
+                    (RegBank::FP, true) => a64::str_fp(tmp, 8, reg.index(), a64::FP, off),
+                    (RegBank::FP, false) => a64::ldr_fp(tmp, 8, reg.index(), a64::FP, off),
                 }
             }
             buf.patch_text(start, tmp.text());
         };
-        emit_area(frame.save_area, true);
+        emit_area(&mut tmp, frame.save_area, true);
         for &(start, len) in &frame.restore_areas {
-            emit_area(Some((start, len)), false);
+            emit_area(&mut tmp, Some((start, len)), false);
         }
     }
 

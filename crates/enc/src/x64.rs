@@ -6,11 +6,17 @@
 //! and divide, conditional set/move, branches, calls, and SSE2 scalar
 //! floating-point operations.
 //!
-//! All functions append at the current end of the text section. Branches to
-//! labels emit `rel32` displacements patched through the code buffer's fixup
-//! mechanism.
+//! All functions append at the current end of the text section. Each
+//! encoder assembles its instruction into an on-stack
+//! [`tpde_core::codebuf::InstBuf`] window and commits it with a single
+//! batched write (see the reserve/commit contract in
+//! [`tpde_core::codebuf`]). Branches to labels that are already bound
+//! (back-edges) encode their `rel32` displacement immediately; forward
+//! branches are patched through the code buffer's fixup mechanism.
 
-use tpde_core::codebuf::{CodeBuffer, FixupKind, Label, Reloc, RelocKind, SectionKind, SymbolId};
+use tpde_core::codebuf::{
+    CodeBuffer, FixupKind, InstBuf, Label, Reloc, RelocKind, SectionKind, SymbolId,
+};
 use tpde_core::regs::{Reg, RegBank};
 
 /// A general-purpose register (architectural number 0–15).
@@ -171,16 +177,16 @@ pub enum Alu {
 
 // --- low-level helpers -------------------------------------------------------
 
-fn op_size_prefix(buf: &mut CodeBuffer, size: u32) {
+fn op_size_prefix(i: &mut InstBuf, size: u32) {
     if size == 2 {
-        buf.emit_u8(0x66);
+        i.push_u8(0x66);
     }
 }
 
-/// Emits a REX prefix if needed. `r`, `x`, `b` are the high bits of the
+/// Pushes a REX prefix if needed. `r`, `x`, `b` are the high bits of the
 /// reg field, index and base/rm. `force` requires a REX byte even without
 /// bits (for spl/bpl/sil/dil access).
-fn rex(buf: &mut CodeBuffer, w: bool, r: bool, x: bool, b: bool, force: bool) {
+fn rex(i: &mut InstBuf, w: bool, r: bool, x: bool, b: bool, force: bool) {
     let mut v = 0x40u8;
     if w {
         v |= 8;
@@ -195,7 +201,7 @@ fn rex(buf: &mut CodeBuffer, w: bool, r: bool, x: bool, b: bool, force: bool) {
         v |= 1;
     }
     if v != 0x40 || force {
-        buf.emit_u8(v);
+        i.push_u8(v);
     }
 }
 
@@ -203,17 +209,17 @@ fn needs_rex8(reg: u8) -> bool {
     (4..8).contains(&reg)
 }
 
-fn modrm(buf: &mut CodeBuffer, md: u8, reg: u8, rm: u8) {
-    buf.emit_u8((md << 6) | ((reg & 7) << 3) | (rm & 7));
+fn modrm(i: &mut InstBuf, md: u8, reg: u8, rm: u8) {
+    i.push_u8((md << 6) | ((reg & 7) << 3) | (rm & 7));
 }
 
-/// Emits ModRM (+ SIB + displacement) for a register-direct operand.
-fn modrm_rr(buf: &mut CodeBuffer, reg: u8, rm: u8) {
-    modrm(buf, 3, reg, rm);
+/// Pushes ModRM for a register-direct operand.
+fn modrm_rr(i: &mut InstBuf, reg: u8, rm: u8) {
+    modrm(i, 3, reg, rm);
 }
 
-/// Emits ModRM/SIB/disp for a memory operand with `reg` in the reg field.
-fn modrm_mem(buf: &mut CodeBuffer, reg: u8, mem: Mem) {
+/// Pushes ModRM/SIB/disp for a memory operand with `reg` in the reg field.
+fn modrm_mem(i: &mut InstBuf, reg: u8, mem: Mem) {
     let base = mem.base;
     let disp = mem.disp;
     // choose mod encoding
@@ -228,10 +234,10 @@ fn modrm_mem(buf: &mut CodeBuffer, reg: u8, mem: Mem) {
         None => {
             if base.lo() == 4 {
                 // rsp/r12 base requires SIB
-                modrm(buf, md, reg, 4);
-                buf.emit_u8(0x24); // scale=0, index=100 (none), base=rsp
+                modrm(i, md, reg, 4);
+                i.push_u8(0x24); // scale=0, index=100 (none), base=rsp
             } else {
-                modrm(buf, md, reg, base.lo());
+                modrm(i, md, reg, base.lo());
             }
         }
         Some((index, scale)) => {
@@ -242,290 +248,313 @@ fn modrm_mem(buf: &mut CodeBuffer, reg: u8, mem: Mem) {
                 8 => 3,
                 _ => unreachable!(),
             };
-            modrm(buf, md, reg, 4);
-            buf.emit_u8((ss << 6) | (index.lo() << 3) | base.lo());
+            modrm(i, md, reg, 4);
+            i.push_u8((ss << 6) | (index.lo() << 3) | base.lo());
         }
     }
     match disp_bytes {
         0 => {}
-        1 => buf.emit_u8(disp as i8 as u8),
-        _ => buf.text_mut().extend_from_slice(&disp.to_le_bytes()),
+        1 => i.push_u8(disp as i8 as u8),
+        _ => i.push_i32(disp),
     }
 }
 
-fn rex_for_rm(buf: &mut CodeBuffer, size: u32, reg: u8, rm: u8) {
-    op_size_prefix(buf, size);
+fn rex_for_rm(i: &mut InstBuf, size: u32, reg: u8, rm: u8) {
+    op_size_prefix(i, size);
     let force = size == 1 && (needs_rex8(reg) || needs_rex8(rm));
-    rex(buf, size == 8, reg >= 8, false, rm >= 8, force);
+    rex(i, size == 8, reg >= 8, false, rm >= 8, force);
 }
 
-fn rex_for_mem(buf: &mut CodeBuffer, size: u32, reg: u8, mem: Mem) {
-    op_size_prefix(buf, size);
-    let x = mem.index.is_some_and(|(i, _)| i.hi());
+fn rex_for_mem(i: &mut InstBuf, size: u32, reg: u8, mem: Mem) {
+    op_size_prefix(i, size);
+    let x = mem.index.is_some_and(|(idx, _)| idx.hi());
     let force = size == 1 && needs_rex8(reg);
-    rex(buf, size == 8, reg >= 8, x, mem.base.hi(), force);
+    rex(i, size == 8, reg >= 8, x, mem.base.hi(), force);
 }
 
 // --- moves --------------------------------------------------------------------
 
 /// `mov dst, src` (register to register).
 pub fn mov_rr(buf: &mut CodeBuffer, size: u32, dst: Gp, src: Gp) {
-    rex_for_rm(buf, size, src.0, dst.0);
-    buf.emit_u8(if size == 1 { 0x88 } else { 0x89 });
-    modrm_rr(buf, src.0, dst.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, src.0, dst.0);
+    i.push_u8(if size == 1 { 0x88 } else { 0x89 });
+    modrm_rr(&mut i, src.0, dst.0);
+    buf.emit_inst(i);
 }
 
 /// `mov dst, imm`. Chooses the shortest usable encoding
 /// (`mov r32, imm32`, sign-extended `imm32`, or `movabs`).
 pub fn mov_ri(buf: &mut CodeBuffer, size: u32, dst: Gp, imm: u64) {
+    let mut i = InstBuf::new();
     if size <= 4 || imm <= u32::MAX as u64 {
         // 32-bit move zero-extends to 64 bits
-        rex(buf, false, false, false, dst.hi(), false);
-        buf.emit_u8(0xb8 + dst.lo());
-        buf.text_mut()
-            .extend_from_slice(&(imm as u32).to_le_bytes());
+        rex(&mut i, false, false, false, dst.hi(), false);
+        i.push_u8(0xb8 + dst.lo());
+        i.push_u32(imm as u32);
     } else if (imm as i64) >= i32::MIN as i64 && (imm as i64) <= i32::MAX as i64 {
-        rex(buf, true, false, false, dst.hi(), false);
-        buf.emit_u8(0xc7);
-        modrm_rr(buf, 0, dst.0);
-        buf.text_mut()
-            .extend_from_slice(&(imm as u32).to_le_bytes());
+        rex(&mut i, true, false, false, dst.hi(), false);
+        i.push_u8(0xc7);
+        modrm_rr(&mut i, 0, dst.0);
+        i.push_u32(imm as u32);
     } else {
-        rex(buf, true, false, false, dst.hi(), false);
-        buf.emit_u8(0xb8 + dst.lo());
-        buf.text_mut().extend_from_slice(&imm.to_le_bytes());
+        rex(&mut i, true, false, false, dst.hi(), false);
+        i.push_u8(0xb8 + dst.lo());
+        i.push_u64(imm);
     }
+    buf.emit_inst(i);
 }
 
 /// `mov dst, [mem]` (load).
 pub fn mov_rm(buf: &mut CodeBuffer, size: u32, dst: Gp, mem: Mem) {
-    rex_for_mem(buf, size, dst.0, mem);
-    buf.emit_u8(if size == 1 { 0x8a } else { 0x8b });
-    modrm_mem(buf, dst.0, mem);
+    let mut i = InstBuf::new();
+    rex_for_mem(&mut i, size, dst.0, mem);
+    i.push_u8(if size == 1 { 0x8a } else { 0x8b });
+    modrm_mem(&mut i, dst.0, mem);
+    buf.emit_inst(i);
 }
 
 /// `mov [mem], src` (store).
 pub fn mov_mr(buf: &mut CodeBuffer, size: u32, mem: Mem, src: Gp) {
-    rex_for_mem(buf, size, src.0, mem);
-    buf.emit_u8(if size == 1 { 0x88 } else { 0x89 });
-    modrm_mem(buf, src.0, mem);
+    let mut i = InstBuf::new();
+    rex_for_mem(&mut i, size, src.0, mem);
+    i.push_u8(if size == 1 { 0x88 } else { 0x89 });
+    modrm_mem(&mut i, src.0, mem);
+    buf.emit_inst(i);
 }
 
 /// `mov dword/qword ptr [mem], imm32` (sign-extended for 64-bit).
 pub fn mov_mi(buf: &mut CodeBuffer, size: u32, mem: Mem, imm: i32) {
-    rex_for_mem(buf, size, 0, mem);
-    buf.emit_u8(if size == 1 { 0xc6 } else { 0xc7 });
-    modrm_mem(buf, 0, mem);
+    let mut i = InstBuf::new();
+    rex_for_mem(&mut i, size, 0, mem);
+    i.push_u8(if size == 1 { 0xc6 } else { 0xc7 });
+    modrm_mem(&mut i, 0, mem);
     match size {
-        1 => buf.emit_u8(imm as u8),
-        2 => buf
-            .text_mut()
-            .extend_from_slice(&(imm as u16).to_le_bytes()),
-        _ => buf.text_mut().extend_from_slice(&imm.to_le_bytes()),
+        1 => i.push_u8(imm as u8),
+        2 => i.push_u16(imm as u16),
+        _ => i.push_i32(imm),
     }
+    buf.emit_inst(i);
 }
 
 /// `movzx dst, src` where `src` is an 8- or 16-bit register.
 pub fn movzx_rr(buf: &mut CodeBuffer, dst: Gp, src: Gp, from_size: u32) {
+    let mut i = InstBuf::new();
     let force = from_size == 1 && needs_rex8(src.0);
-    rex(buf, false, dst.hi(), false, src.hi(), force);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(if from_size == 1 { 0xb6 } else { 0xb7 });
-    modrm_rr(buf, dst.0, src.0);
+    rex(&mut i, false, dst.hi(), false, src.hi(), force);
+    i.push_u8(0x0f);
+    i.push_u8(if from_size == 1 { 0xb6 } else { 0xb7 });
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 /// `movzx dst, <size> ptr [mem]` (zero-extending load, 8/16 bit).
 pub fn movzx_rm(buf: &mut CodeBuffer, dst: Gp, mem: Mem, from_size: u32) {
-    let x = mem.index.is_some_and(|(i, _)| i.hi());
-    rex(buf, false, dst.hi(), x, mem.base.hi(), false);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(if from_size == 1 { 0xb6 } else { 0xb7 });
-    modrm_mem(buf, dst.0, mem);
+    let mut i = InstBuf::new();
+    let x = mem.index.is_some_and(|(idx, _)| idx.hi());
+    rex(&mut i, false, dst.hi(), x, mem.base.hi(), false);
+    i.push_u8(0x0f);
+    i.push_u8(if from_size == 1 { 0xb6 } else { 0xb7 });
+    modrm_mem(&mut i, dst.0, mem);
+    buf.emit_inst(i);
+}
+
+fn movsx_opcode(i: &mut InstBuf, from_size: u32) {
+    match from_size {
+        1 => {
+            i.push_u8(0x0f);
+            i.push_u8(0xbe);
+        }
+        2 => {
+            i.push_u8(0x0f);
+            i.push_u8(0xbf);
+        }
+        4 => i.push_u8(0x63), // movsxd
+        _ => panic!("invalid movsx source size"),
+    }
 }
 
 /// `movsx dst, src` (sign extension from 8, 16 or 32 bits to `to_size`).
 pub fn movsx_rr(buf: &mut CodeBuffer, to_size: u32, dst: Gp, src: Gp, from_size: u32) {
+    let mut i = InstBuf::new();
     let force = from_size == 1 && needs_rex8(src.0);
-    rex(buf, to_size == 8, dst.hi(), false, src.hi(), force);
-    match from_size {
-        1 => {
-            buf.emit_u8(0x0f);
-            buf.emit_u8(0xbe);
-        }
-        2 => {
-            buf.emit_u8(0x0f);
-            buf.emit_u8(0xbf);
-        }
-        4 => buf.emit_u8(0x63), // movsxd
-        _ => panic!("invalid movsx source size"),
-    }
-    modrm_rr(buf, dst.0, src.0);
+    rex(&mut i, to_size == 8, dst.hi(), false, src.hi(), force);
+    movsx_opcode(&mut i, from_size);
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 /// `movsx dst, <size> ptr [mem]` (sign-extending load).
 pub fn movsx_rm(buf: &mut CodeBuffer, to_size: u32, dst: Gp, mem: Mem, from_size: u32) {
-    let x = mem.index.is_some_and(|(i, _)| i.hi());
-    rex(buf, to_size == 8, dst.hi(), x, mem.base.hi(), false);
-    match from_size {
-        1 => {
-            buf.emit_u8(0x0f);
-            buf.emit_u8(0xbe);
-        }
-        2 => {
-            buf.emit_u8(0x0f);
-            buf.emit_u8(0xbf);
-        }
-        4 => buf.emit_u8(0x63),
-        _ => panic!("invalid movsx source size"),
-    }
-    modrm_mem(buf, dst.0, mem);
+    let mut i = InstBuf::new();
+    let x = mem.index.is_some_and(|(idx, _)| idx.hi());
+    rex(&mut i, to_size == 8, dst.hi(), x, mem.base.hi(), false);
+    movsx_opcode(&mut i, from_size);
+    modrm_mem(&mut i, dst.0, mem);
+    buf.emit_inst(i);
 }
 
 /// `lea dst, [mem]`.
 pub fn lea(buf: &mut CodeBuffer, dst: Gp, mem: Mem) {
-    rex_for_mem(buf, 8, dst.0, mem);
-    buf.emit_u8(0x8d);
-    modrm_mem(buf, dst.0, mem);
+    let mut i = InstBuf::new();
+    rex_for_mem(&mut i, 8, dst.0, mem);
+    i.push_u8(0x8d);
+    modrm_mem(&mut i, dst.0, mem);
+    buf.emit_inst(i);
 }
 
 // --- ALU ------------------------------------------------------------------------
 
 /// `op dst, src` (register-register ALU operation).
 pub fn alu_rr(buf: &mut CodeBuffer, op: Alu, size: u32, dst: Gp, src: Gp) {
-    rex_for_rm(buf, size, src.0, dst.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, src.0, dst.0);
     let base = (op as u8) * 8;
-    buf.emit_u8(if size == 1 { base } else { base + 1 });
-    modrm_rr(buf, src.0, dst.0);
+    i.push_u8(if size == 1 { base } else { base + 1 });
+    modrm_rr(&mut i, src.0, dst.0);
+    buf.emit_inst(i);
 }
 
 /// `op dst, imm` (immediate ALU operation; chooses imm8 when possible).
 pub fn alu_ri(buf: &mut CodeBuffer, op: Alu, size: u32, dst: Gp, imm: i32) {
-    rex_for_rm(buf, size, 0, dst.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, 0, dst.0);
     if size == 1 {
-        buf.emit_u8(0x80);
-        modrm_rr(buf, op as u8, dst.0);
-        buf.emit_u8(imm as u8);
+        i.push_u8(0x80);
+        modrm_rr(&mut i, op as u8, dst.0);
+        i.push_u8(imm as u8);
     } else if (-128..=127).contains(&imm) {
-        buf.emit_u8(0x83);
-        modrm_rr(buf, op as u8, dst.0);
-        buf.emit_u8(imm as u8);
+        i.push_u8(0x83);
+        modrm_rr(&mut i, op as u8, dst.0);
+        i.push_u8(imm as u8);
     } else {
-        buf.emit_u8(0x81);
-        modrm_rr(buf, op as u8, dst.0);
+        i.push_u8(0x81);
+        modrm_rr(&mut i, op as u8, dst.0);
         if size == 2 {
-            buf.text_mut()
-                .extend_from_slice(&(imm as u16).to_le_bytes());
+            i.push_u16(imm as u16);
         } else {
-            buf.text_mut().extend_from_slice(&imm.to_le_bytes());
+            i.push_i32(imm);
         }
     }
+    buf.emit_inst(i);
 }
 
 /// `op dst, [mem]`.
 pub fn alu_rm(buf: &mut CodeBuffer, op: Alu, size: u32, dst: Gp, mem: Mem) {
-    rex_for_mem(buf, size, dst.0, mem);
+    let mut i = InstBuf::new();
+    rex_for_mem(&mut i, size, dst.0, mem);
     let base = (op as u8) * 8;
-    buf.emit_u8(if size == 1 { base + 2 } else { base + 3 });
-    modrm_mem(buf, dst.0, mem);
+    i.push_u8(if size == 1 { base + 2 } else { base + 3 });
+    modrm_mem(&mut i, dst.0, mem);
+    buf.emit_inst(i);
 }
 
 /// `op [mem], src`.
 pub fn alu_mr(buf: &mut CodeBuffer, op: Alu, size: u32, mem: Mem, src: Gp) {
-    rex_for_mem(buf, size, src.0, mem);
+    let mut i = InstBuf::new();
+    rex_for_mem(&mut i, size, src.0, mem);
     let base = (op as u8) * 8;
-    buf.emit_u8(if size == 1 { base } else { base + 1 });
-    modrm_mem(buf, src.0, mem);
+    i.push_u8(if size == 1 { base } else { base + 1 });
+    modrm_mem(&mut i, src.0, mem);
+    buf.emit_inst(i);
 }
 
 /// `test dst, src`.
 pub fn test_rr(buf: &mut CodeBuffer, size: u32, dst: Gp, src: Gp) {
-    rex_for_rm(buf, size, src.0, dst.0);
-    buf.emit_u8(if size == 1 { 0x84 } else { 0x85 });
-    modrm_rr(buf, src.0, dst.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, src.0, dst.0);
+    i.push_u8(if size == 1 { 0x84 } else { 0x85 });
+    modrm_rr(&mut i, src.0, dst.0);
+    buf.emit_inst(i);
 }
 
 /// `test dst, imm32`.
 pub fn test_ri(buf: &mut CodeBuffer, size: u32, dst: Gp, imm: i32) {
-    rex_for_rm(buf, size, 0, dst.0);
-    buf.emit_u8(if size == 1 { 0xf6 } else { 0xf7 });
-    modrm_rr(buf, 0, dst.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, 0, dst.0);
+    i.push_u8(if size == 1 { 0xf6 } else { 0xf7 });
+    modrm_rr(&mut i, 0, dst.0);
     if size == 1 {
-        buf.emit_u8(imm as u8);
+        i.push_u8(imm as u8);
     } else {
-        buf.text_mut().extend_from_slice(&imm.to_le_bytes());
+        i.push_i32(imm);
     }
+    buf.emit_inst(i);
 }
 
 /// `imul dst, src` (two-operand signed multiply).
 pub fn imul_rr(buf: &mut CodeBuffer, size: u32, dst: Gp, src: Gp) {
-    rex_for_rm(buf, size, dst.0, src.0);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0xaf);
-    modrm_rr(buf, dst.0, src.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, dst.0, src.0);
+    i.push_u8(0x0f);
+    i.push_u8(0xaf);
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 /// `imul dst, src, imm32`.
 pub fn imul_rri(buf: &mut CodeBuffer, size: u32, dst: Gp, src: Gp, imm: i32) {
-    rex_for_rm(buf, size, dst.0, src.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, dst.0, src.0);
     if (-128..=127).contains(&imm) {
-        buf.emit_u8(0x6b);
-        modrm_rr(buf, dst.0, src.0);
-        buf.emit_u8(imm as u8);
+        i.push_u8(0x6b);
+        modrm_rr(&mut i, dst.0, src.0);
+        i.push_u8(imm as u8);
     } else {
-        buf.emit_u8(0x69);
-        modrm_rr(buf, dst.0, src.0);
-        buf.text_mut().extend_from_slice(&imm.to_le_bytes());
+        i.push_u8(0x69);
+        modrm_rr(&mut i, dst.0, src.0);
+        i.push_i32(imm);
     }
+    buf.emit_inst(i);
+}
+
+/// Single-operand `0xf6/0xf7` group instruction (`neg`, `not`, `mul`, ...).
+fn grp3(buf: &mut CodeBuffer, size: u32, ext: u8, rm: Gp) {
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, 0, rm.0);
+    i.push_u8(if size == 1 { 0xf6 } else { 0xf7 });
+    modrm_rr(&mut i, ext, rm.0);
+    buf.emit_inst(i);
 }
 
 /// `neg dst`.
 pub fn neg(buf: &mut CodeBuffer, size: u32, dst: Gp) {
-    rex_for_rm(buf, size, 0, dst.0);
-    buf.emit_u8(if size == 1 { 0xf6 } else { 0xf7 });
-    modrm_rr(buf, 3, dst.0);
+    grp3(buf, size, 3, dst);
 }
 
 /// `not dst`.
 pub fn not(buf: &mut CodeBuffer, size: u32, dst: Gp) {
-    rex_for_rm(buf, size, 0, dst.0);
-    buf.emit_u8(if size == 1 { 0xf6 } else { 0xf7 });
-    modrm_rr(buf, 2, dst.0);
+    grp3(buf, size, 2, dst);
 }
 
 /// `mul src` (unsigned widening multiply of rax by src into rdx:rax).
 pub fn mul_unsigned(buf: &mut CodeBuffer, size: u32, src: Gp) {
-    rex_for_rm(buf, size, 0, src.0);
-    buf.emit_u8(if size == 1 { 0xf6 } else { 0xf7 });
-    modrm_rr(buf, 4, src.0);
+    grp3(buf, size, 4, src);
 }
 
 /// `imul src` (signed widening multiply into rdx:rax).
 pub fn imul_wide(buf: &mut CodeBuffer, size: u32, src: Gp) {
-    rex_for_rm(buf, size, 0, src.0);
-    buf.emit_u8(if size == 1 { 0xf6 } else { 0xf7 });
-    modrm_rr(buf, 5, src.0);
+    grp3(buf, size, 5, src);
 }
 
 /// `div src` (unsigned divide of rdx:rax).
 pub fn div(buf: &mut CodeBuffer, size: u32, src: Gp) {
-    rex_for_rm(buf, size, 0, src.0);
-    buf.emit_u8(if size == 1 { 0xf6 } else { 0xf7 });
-    modrm_rr(buf, 6, src.0);
+    grp3(buf, size, 6, src);
 }
 
 /// `idiv src` (signed divide of rdx:rax).
 pub fn idiv(buf: &mut CodeBuffer, size: u32, src: Gp) {
-    rex_for_rm(buf, size, 0, src.0);
-    buf.emit_u8(if size == 1 { 0xf6 } else { 0xf7 });
-    modrm_rr(buf, 7, src.0);
+    grp3(buf, size, 7, src);
 }
 
 /// `cdq` (size 4) / `cqo` (size 8): sign-extend rax into rdx.
 pub fn cqo(buf: &mut CodeBuffer, size: u32) {
+    let mut i = InstBuf::new();
     if size == 8 {
-        buf.emit_u8(0x48);
+        i.push_u8(0x48);
     }
-    buf.emit_u8(0x99);
+    i.push_u8(0x99);
+    buf.emit_inst(i);
 }
 
 /// Shift kinds for [`shift_ri`] / [`shift_cl`].
@@ -541,72 +570,101 @@ pub enum Shift {
 
 /// `shl/shr/sar dst, imm`.
 pub fn shift_ri(buf: &mut CodeBuffer, kind: Shift, size: u32, dst: Gp, imm: u8) {
-    rex_for_rm(buf, size, 0, dst.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, 0, dst.0);
     if imm == 1 {
-        buf.emit_u8(if size == 1 { 0xd0 } else { 0xd1 });
-        modrm_rr(buf, kind as u8, dst.0);
+        i.push_u8(if size == 1 { 0xd0 } else { 0xd1 });
+        modrm_rr(&mut i, kind as u8, dst.0);
     } else {
-        buf.emit_u8(if size == 1 { 0xc0 } else { 0xc1 });
-        modrm_rr(buf, kind as u8, dst.0);
-        buf.emit_u8(imm);
+        i.push_u8(if size == 1 { 0xc0 } else { 0xc1 });
+        modrm_rr(&mut i, kind as u8, dst.0);
+        i.push_u8(imm);
     }
+    buf.emit_inst(i);
 }
 
 /// `shl/shr/sar dst, cl`.
 pub fn shift_cl(buf: &mut CodeBuffer, kind: Shift, size: u32, dst: Gp) {
-    rex_for_rm(buf, size, 0, dst.0);
-    buf.emit_u8(if size == 1 { 0xd2 } else { 0xd3 });
-    modrm_rr(buf, kind as u8, dst.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size, 0, dst.0);
+    i.push_u8(if size == 1 { 0xd2 } else { 0xd3 });
+    modrm_rr(&mut i, kind as u8, dst.0);
+    buf.emit_inst(i);
 }
 
 /// `setcc dst` (8-bit destination).
 pub fn setcc(buf: &mut CodeBuffer, cc: Cond, dst: Gp) {
+    let mut i = InstBuf::new();
     let force = needs_rex8(dst.0);
-    rex(buf, false, false, false, dst.hi(), force);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0x90 + cc as u8);
-    modrm_rr(buf, 0, dst.0);
+    rex(&mut i, false, false, false, dst.hi(), force);
+    i.push_u8(0x0f);
+    i.push_u8(0x90 + cc as u8);
+    modrm_rr(&mut i, 0, dst.0);
+    buf.emit_inst(i);
 }
 
 /// `cmovcc dst, src`.
 pub fn cmovcc(buf: &mut CodeBuffer, cc: Cond, size: u32, dst: Gp, src: Gp) {
-    rex_for_rm(buf, size.max(4), dst.0, src.0);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0x40 + cc as u8);
-    modrm_rr(buf, dst.0, src.0);
+    let mut i = InstBuf::new();
+    rex_for_rm(&mut i, size.max(4), dst.0, src.0);
+    i.push_u8(0x0f);
+    i.push_u8(0x40 + cc as u8);
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 // --- control flow -----------------------------------------------------------------
 
-/// `jmp label` (rel32, fixed up later).
-pub fn jmp_label(buf: &mut CodeBuffer, label: Label) {
-    buf.emit_u8(0xe9);
-    let off = buf.text_offset();
-    buf.emit_u32(0);
-    buf.add_fixup(off, label, FixupKind::X64Rel32);
+/// Commits a branch whose rel32 field starts at `i.len()` bytes into the
+/// window. Already-bound labels (back-edges) get their displacement encoded
+/// immediately; forward references record a fixup.
+fn emit_rel32_branch(buf: &mut CodeBuffer, mut i: InstBuf, label: Label) {
+    let field_off = buf.text_offset() + i.len() as u64;
+    if let Some(target) = buf.label_offset(label) {
+        if let Ok(disp) = i32::try_from(target as i64 - (field_off + 4) as i64) {
+            i.push_i32(disp);
+            buf.emit_inst(i);
+            return;
+        }
+    }
+    i.push_u32(0);
+    buf.emit_inst(i);
+    buf.add_fixup(field_off, label, FixupKind::X64Rel32);
 }
 
-/// `jcc label` (rel32, fixed up later).
+/// `jmp label` (rel32; encoded immediately for bound labels, fixed up
+/// otherwise).
+pub fn jmp_label(buf: &mut CodeBuffer, label: Label) {
+    let mut i = InstBuf::new();
+    i.push_u8(0xe9);
+    emit_rel32_branch(buf, i, label);
+}
+
+/// `jcc label` (rel32; encoded immediately for bound labels, fixed up
+/// otherwise).
 pub fn jcc_label(buf: &mut CodeBuffer, cc: Cond, label: Label) {
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0x80 + cc as u8);
-    let off = buf.text_offset();
-    buf.emit_u32(0);
-    buf.add_fixup(off, label, FixupKind::X64Rel32);
+    let mut i = InstBuf::new();
+    i.push_u8(0x0f);
+    i.push_u8(0x80 + cc as u8);
+    emit_rel32_branch(buf, i, label);
 }
 
 /// `jmp reg` (indirect).
 pub fn jmp_reg(buf: &mut CodeBuffer, reg: Gp) {
-    rex(buf, false, false, false, reg.hi(), false);
-    buf.emit_u8(0xff);
-    modrm_rr(buf, 4, reg.0);
+    let mut i = InstBuf::new();
+    rex(&mut i, false, false, false, reg.hi(), false);
+    i.push_u8(0xff);
+    modrm_rr(&mut i, 4, reg.0);
+    buf.emit_inst(i);
 }
 
 /// `call sym` (rel32 with a PC-relative relocation).
 pub fn call_sym(buf: &mut CodeBuffer, sym: SymbolId) {
-    buf.emit_u8(0xe8);
-    let off = buf.text_offset();
-    buf.emit_u32(0);
+    let mut i = InstBuf::new();
+    i.push_u8(0xe8);
+    let off = buf.text_offset() + 1;
+    i.push_u32(0);
+    buf.emit_inst(i);
     buf.add_reloc(Reloc {
         section: SectionKind::Text,
         offset: off,
@@ -618,9 +676,11 @@ pub fn call_sym(buf: &mut CodeBuffer, sym: SymbolId) {
 
 /// `call reg` (indirect).
 pub fn call_reg(buf: &mut CodeBuffer, reg: Gp) {
-    rex(buf, false, false, false, reg.hi(), false);
-    buf.emit_u8(0xff);
-    modrm_rr(buf, 2, reg.0);
+    let mut i = InstBuf::new();
+    rex(&mut i, false, false, false, reg.hi(), false);
+    i.push_u8(0xff);
+    modrm_rr(&mut i, 2, reg.0);
+    buf.emit_inst(i);
 }
 
 /// `ret`.
@@ -630,29 +690,35 @@ pub fn ret(buf: &mut CodeBuffer) {
 
 /// `push reg`.
 pub fn push_r(buf: &mut CodeBuffer, reg: Gp) {
-    rex(buf, false, false, false, reg.hi(), false);
-    buf.emit_u8(0x50 + reg.lo());
+    let mut i = InstBuf::new();
+    rex(&mut i, false, false, false, reg.hi(), false);
+    i.push_u8(0x50 + reg.lo());
+    buf.emit_inst(i);
 }
 
 /// `pop reg`.
 pub fn pop_r(buf: &mut CodeBuffer, reg: Gp) {
-    rex(buf, false, false, false, reg.hi(), false);
-    buf.emit_u8(0x58 + reg.lo());
+    let mut i = InstBuf::new();
+    rex(&mut i, false, false, false, reg.hi(), false);
+    i.push_u8(0x58 + reg.lo());
+    buf.emit_inst(i);
 }
 
-/// Emits `len` bytes of (single-byte) NOPs.
+/// Emits `len` bytes of (single-byte) NOPs with one resize.
 pub fn nops(buf: &mut CodeBuffer, len: usize) {
-    for _ in 0..len {
-        buf.emit_u8(0x90);
-    }
+    let text = buf.text_mut();
+    let new_len = text.len() + len;
+    text.resize(new_len, 0x90);
 }
 
 /// Loads the address of `sym` into `dst` via `movabs` + absolute relocation.
 pub fn mov_sym_abs(buf: &mut CodeBuffer, dst: Gp, sym: SymbolId, addend: i64) {
-    rex(buf, true, false, false, dst.hi(), false);
-    buf.emit_u8(0xb8 + dst.lo());
-    let off = buf.text_offset();
-    buf.text_mut().extend_from_slice(&0u64.to_le_bytes());
+    let mut i = InstBuf::new();
+    rex(&mut i, true, false, false, dst.hi(), false);
+    i.push_u8(0xb8 + dst.lo());
+    let off = buf.text_offset() + i.len() as u64;
+    i.push_u64(0);
+    buf.emit_inst(i);
     buf.add_reloc(Reloc {
         section: SectionKind::Text,
         offset: off,
@@ -664,28 +730,32 @@ pub fn mov_sym_abs(buf: &mut CodeBuffer, dst: Gp, sym: SymbolId, addend: i64) {
 
 // --- SSE scalar floating point ------------------------------------------------------
 
-fn sse_prefix(buf: &mut CodeBuffer, prefix: u8, w: bool, r: bool, x: bool, b: bool) {
+fn sse_prefix(i: &mut InstBuf, prefix: u8, w: bool, r: bool, x: bool, b: bool) {
     if prefix != 0 {
-        buf.emit_u8(prefix);
+        i.push_u8(prefix);
     }
-    rex(buf, w, r, x, b, false);
-    buf.emit_u8(0x0f);
+    rex(i, w, r, x, b, false);
+    i.push_u8(0x0f);
 }
 
 /// Scalar SSE op `xmm, xmm` with the given mandatory prefix and opcode
 /// (e.g. `addsd` = prefix `0xF2`, opcode `0x58`).
 pub fn sse_rr(buf: &mut CodeBuffer, prefix: u8, opcode: u8, dst: Xmm, src: Xmm) {
-    sse_prefix(buf, prefix, false, dst.hi(), false, src.hi());
-    buf.emit_u8(opcode);
-    modrm_rr(buf, dst.0, src.0);
+    let mut i = InstBuf::new();
+    sse_prefix(&mut i, prefix, false, dst.hi(), false, src.hi());
+    i.push_u8(opcode);
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 /// Scalar SSE op `xmm, [mem]`.
 pub fn sse_rm(buf: &mut CodeBuffer, prefix: u8, opcode: u8, dst: Xmm, mem: Mem) {
-    let x = mem.index.is_some_and(|(i, _)| i.hi());
-    sse_prefix(buf, prefix, false, dst.hi(), x, mem.base.hi());
-    buf.emit_u8(opcode);
-    modrm_mem(buf, dst.0, mem);
+    let mut i = InstBuf::new();
+    let x = mem.index.is_some_and(|(idx, _)| idx.hi());
+    sse_prefix(&mut i, prefix, false, dst.hi(), x, mem.base.hi());
+    i.push_u8(opcode);
+    modrm_mem(&mut i, dst.0, mem);
+    buf.emit_inst(i);
 }
 
 /// `movsd dst, [mem]` / `movss` when `size == 4`.
@@ -696,11 +766,13 @@ pub fn fp_load(buf: &mut CodeBuffer, size: u32, dst: Xmm, mem: Mem) {
 
 /// `movsd [mem], src` / `movss` when `size == 4`.
 pub fn fp_store(buf: &mut CodeBuffer, size: u32, mem: Mem, src: Xmm) {
+    let mut i = InstBuf::new();
     let prefix = if size == 4 { 0xf3 } else { 0xf2 };
-    let x = mem.index.is_some_and(|(i, _)| i.hi());
-    sse_prefix(buf, prefix, false, src.hi(), x, mem.base.hi());
-    buf.emit_u8(0x11);
-    modrm_mem(buf, src.0, mem);
+    let x = mem.index.is_some_and(|(idx, _)| idx.hi());
+    sse_prefix(&mut i, prefix, false, src.hi(), x, mem.base.hi());
+    i.push_u8(0x11);
+    modrm_mem(&mut i, src.0, mem);
+    buf.emit_inst(i);
 }
 
 /// `movsd/movss dst, src` (register move).
@@ -730,24 +802,24 @@ pub fn fp_xor(buf: &mut CodeBuffer, size: u32, dst: Xmm, src: Xmm) {
 
 /// `cvtsi2sd/cvtsi2ss dst, src` (integer to FP; `int_size` 4 or 8).
 pub fn cvt_int_to_fp(buf: &mut CodeBuffer, fp_size: u32, int_size: u32, dst: Xmm, src: Gp) {
-    let prefix = if fp_size == 4 { 0xf3 } else { 0xf2 };
-    if prefix != 0 {
-        buf.emit_u8(prefix);
-    }
-    rex(buf, int_size == 8, dst.hi(), false, src.hi(), false);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0x2a);
-    modrm_rr(buf, dst.0, src.0);
+    let mut i = InstBuf::new();
+    i.push_u8(if fp_size == 4 { 0xf3 } else { 0xf2 });
+    rex(&mut i, int_size == 8, dst.hi(), false, src.hi(), false);
+    i.push_u8(0x0f);
+    i.push_u8(0x2a);
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 /// `cvttsd2si/cvttss2si dst, src` (FP to integer, truncating).
 pub fn cvt_fp_to_int(buf: &mut CodeBuffer, fp_size: u32, int_size: u32, dst: Gp, src: Xmm) {
-    let prefix = if fp_size == 4 { 0xf3 } else { 0xf2 };
-    buf.emit_u8(prefix);
-    rex(buf, int_size == 8, dst.hi(), false, src.hi(), false);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0x2c);
-    modrm_rr(buf, dst.0, src.0);
+    let mut i = InstBuf::new();
+    i.push_u8(if fp_size == 4 { 0xf3 } else { 0xf2 });
+    rex(&mut i, int_size == 8, dst.hi(), false, src.hi(), false);
+    i.push_u8(0x0f);
+    i.push_u8(0x2c);
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 /// `cvtsd2ss` (`to_size` 4) or `cvtss2sd` (`to_size` 8).
@@ -758,20 +830,24 @@ pub fn cvt_fp_to_fp(buf: &mut CodeBuffer, to_size: u32, dst: Xmm, src: Xmm) {
 
 /// `movq xmm, gp` (raw 64-bit bit move).
 pub fn movq_xr(buf: &mut CodeBuffer, dst: Xmm, src: Gp) {
-    buf.emit_u8(0x66);
-    rex(buf, true, dst.hi(), false, src.hi(), false);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0x6e);
-    modrm_rr(buf, dst.0, src.0);
+    let mut i = InstBuf::new();
+    i.push_u8(0x66);
+    rex(&mut i, true, dst.hi(), false, src.hi(), false);
+    i.push_u8(0x0f);
+    i.push_u8(0x6e);
+    modrm_rr(&mut i, dst.0, src.0);
+    buf.emit_inst(i);
 }
 
 /// `movq gp, xmm` (raw 64-bit bit move).
 pub fn movq_rx(buf: &mut CodeBuffer, dst: Gp, src: Xmm) {
-    buf.emit_u8(0x66);
-    rex(buf, true, src.hi(), false, dst.hi(), false);
-    buf.emit_u8(0x0f);
-    buf.emit_u8(0x7e);
-    modrm_rr(buf, src.0, dst.0);
+    let mut i = InstBuf::new();
+    i.push_u8(0x66);
+    rex(&mut i, true, src.hi(), false, dst.hi(), false);
+    i.push_u8(0x0f);
+    i.push_u8(0x7e);
+    modrm_rr(&mut i, src.0, dst.0);
+    buf.emit_inst(i);
 }
 
 /// `movd xmm, gp32` / `movd gp32, xmm` are provided through

@@ -2,7 +2,7 @@
 
 use crate::x64::{self, Alu, Gp, Mem, Xmm};
 use tpde_core::callconv::{sysv_x64, CallConv};
-use tpde_core::codebuf::{CodeBuffer, Label, SymbolId};
+use tpde_core::codebuf::{CodeBuffer, InstBuf, Label, SymbolId};
 use tpde_core::regs::{Reg, RegBank, RegSet};
 use tpde_core::target::{FrameState, Target, TargetArch};
 
@@ -101,11 +101,13 @@ impl Target for X64Target {
         x64::push_r(buf, Gp::RBP);
         x64::mov_rr(buf, 8, Gp::RBP, Gp::RSP);
         // sub rsp, imm32 (patched)
-        buf.emit_u8(0x48);
-        buf.emit_u8(0x81);
-        buf.emit_u8(0xec);
-        let patch = buf.text_offset();
-        buf.emit_u32(0);
+        let mut i = InstBuf::new();
+        i.push_u8(0x48);
+        i.push_u8(0x81);
+        i.push_u8(0xec);
+        let patch = buf.text_offset() + i.len() as u64;
+        i.push_u32(0);
+        buf.emit_inst(i);
         // reserved callee-save area (patched at finish)
         let save_area = buf.text_offset();
         x64::nops(buf, SAVE_ORDER.len() * SAVE_INSN_LEN);
@@ -140,29 +142,29 @@ impl Target for X64Target {
         for &off in &frame.frame_size_patches {
             buf.patch_text(off, &size.to_le_bytes());
         }
-        // saves
-        let mut emit_area = |area: Option<(u64, u64)>, is_save: bool| {
+        // saves: encode the used-register subset into one scratch buffer and
+        // patch it over the nop-filled area in a single write
+        let mut tmp = CodeBuffer::new();
+        let mut emit_area = |tmp: &mut CodeBuffer, area: Option<(u64, u64)>, is_save: bool| {
             let Some((start, _len)) = area else { return };
-            let mut insns: Vec<u8> = Vec::new();
+            tmp.text_mut().clear();
             for (idx, &regno) in SAVE_ORDER.iter().enumerate() {
                 let reg = Reg::new(RegBank::GP, regno);
                 if !used_callee_saved.contains(reg) {
                     continue;
                 }
-                let mut tmp = CodeBuffer::new();
                 let mem = Mem::base_disp(Gp::RBP, Self::save_slot_off(idx));
                 if is_save {
-                    x64::mov_mr(&mut tmp, 8, mem, Gp(regno));
+                    x64::mov_mr(tmp, 8, mem, Gp(regno));
                 } else {
-                    x64::mov_rm(&mut tmp, 8, Gp(regno), mem);
+                    x64::mov_rm(tmp, 8, Gp(regno), mem);
                 }
-                insns.extend_from_slice(tmp.text());
             }
-            buf.patch_text(start, &insns);
+            buf.patch_text(start, tmp.text());
         };
-        emit_area(frame.save_area, true);
+        emit_area(&mut tmp, frame.save_area, true);
         for &(start, len) in &frame.restore_areas {
-            emit_area(Some((start, len)), false);
+            emit_area(&mut tmp, Some((start, len)), false);
         }
     }
 

@@ -21,11 +21,17 @@ use tpde_snippets::{AsmOperand, SnippetEmitter};
 /// The instruction compiler for the LLVM-IR-like IR, generic over the target
 /// through the snippet-encoder abstraction.
 ///
-/// Holds a reusable call-argument buffer so compiling a call instruction
-/// does not allocate in steady state.
+/// Holds a reusable call-argument buffer and a per-module callee symbol
+/// cache so compiling a call instruction does not allocate or re-intern the
+/// callee name in steady state.
 #[derive(Default)]
 pub struct LlvmInstCompiler {
     arg_refs: Vec<tpde_core::codegen::ValuePartRef>,
+    /// Cached `SymbolId` per IR function index, filled on first call. The
+    /// ids belong to one module's `CodeBuffer`, so the cache is tagged with
+    /// the module's address and dropped when a different module shows up.
+    callee_syms: Vec<Option<tpde_core::codebuf::SymbolId>>,
+    callee_syms_module: usize,
 }
 
 impl LlvmInstCompiler {
@@ -274,13 +280,28 @@ impl<'m, T: SnippetEmitter> InstCompiler<LlvmAdapter<'m>, T> for LlvmInstCompile
                 ret_ty,
                 ref args,
             } => {
-                let f = &adapter.module.funcs[callee.0 as usize];
-                let binding = if f.internal {
-                    SymbolBinding::Local
-                } else {
-                    SymbolBinding::Global
+                let module_tag = adapter.module as *const Module as usize;
+                if self.callee_syms_module != module_tag {
+                    self.callee_syms.clear();
+                    self.callee_syms_module = module_tag;
+                }
+                if self.callee_syms.len() <= callee.0 as usize {
+                    self.callee_syms.resize(adapter.module.funcs.len(), None);
+                }
+                let sym = match self.callee_syms[callee.0 as usize] {
+                    Some(sym) => sym,
+                    None => {
+                        let f = &adapter.module.funcs[callee.0 as usize];
+                        let binding = if f.internal {
+                            SymbolBinding::Local
+                        } else {
+                            SymbolBinding::Global
+                        };
+                        let sym = cg.buf.declare_symbol(&f.name, binding, true);
+                        self.callee_syms[callee.0 as usize] = Some(sym);
+                        sym
+                    }
                 };
-                let sym = cg.buf.declare_symbol(&f.name, binding, true);
                 self.arg_refs.clear();
                 for a in args {
                     let r = cg.val_ref(value_ref(*a), 0)?;

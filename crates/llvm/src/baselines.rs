@@ -519,7 +519,7 @@ pub fn compile_copy_patch(module: &Module) -> Result<BaselineOutput> {
         buf.define_symbol(sym, SectionKind::Text, start, 0);
         compile_function_stacky(module, f, &mut buf)?;
         buf.set_symbol_size(sym, buf.text_offset() - start);
-        buf.resolve_fixups()?;
+        buf.finish_func_fixups()?;
         insts += f.inst_count();
     }
     Ok(BaselineOutput { buf, insts })
@@ -641,7 +641,7 @@ pub fn compile_baseline(module: &Module, opt_level: u32) -> Result<BaselineOutpu
             emit_inst(module, f, &ctx, &mut buf, &m.inst, &epilogue)?;
         }
         buf.set_symbol_size(sym, buf.text_offset() - start);
-        buf.resolve_fixups()?;
+        buf.finish_func_fixups()?;
         insts += f.inst_count();
     }
     Ok(BaselineOutput { buf, insts })
