@@ -1,16 +1,21 @@
 //! Regenerates the paper's evaluation figures (5a, 5b, 6, 7, 8a, 8b) plus
 //! the ablation studies, printing one table per figure.
 //!
-//! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]`
-//! (`--quick` scales down the workload inputs for a fast smoke run;
-//! `--json` additionally writes the per-workload compile-time speedups to
-//! `BENCH_compile.json`). The JSON file carries a `history` array with one
-//! geomean entry per git commit: each run appends (or, for the same SHA,
-//! replaces) its entry instead of overwriting the trajectory, so the file
-//! records the compile-time speedup across PRs.
+//! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]
+//! [--threads N]` (`--quick` scales down the workload inputs for a fast
+//! smoke run; `--json` additionally writes the per-workload compile-time
+//! speedups to `BENCH_compile.json`; `--threads N` also measures the
+//! function-sharded parallel pipeline on an enlarged copy of the largest
+//! workload, for 1..N workers, verifying the output stays byte-identical to
+//! the sequential compiler). The JSON file carries a `history` array with
+//! one geomean entry per git commit: each run appends (or, for the same
+//! SHA, replaces) its entry instead of overwriting the trajectory, so the
+//! file records the compile-time speedup across PRs; `--threads` runs add
+//! `par_tN` speedup fields to their entry.
 
 use std::time::Instant;
-use tpde_bench::{geomean, measure, scaled, Backend};
+use tpde_bench::{geomean, measure, measure_parallel, scaled, Backend};
+use tpde_core::codebuf::assert_identical;
 use tpde_core::codegen::CompileOptions;
 use tpde_core::timing::Phase;
 use tpde_llvm::workloads::{build_workload, spec_workloads, IrStyle};
@@ -32,22 +37,59 @@ fn git_sha() -> String {
 /// Extracts the per-PR history entry lines from a previously written report
 /// (the lines inside the `"history": [...]` array), dropping any entry for
 /// `current_sha` so a re-run replaces its own entry instead of duplicating
-/// it.
-fn read_history(path: &str, current_sha: &str) -> Vec<String> {
+/// it. The dropped entry (if any) is returned separately so fields the new
+/// run did not measure (e.g. `par_tN`) can be carried over.
+fn read_history(path: &str, current_sha: &str) -> (Vec<String>, Option<String>) {
     let Ok(old) = std::fs::read_to_string(path) else {
-        return Vec::new();
+        return (Vec::new(), None);
     };
     let Some(start) = old.find("\"history\": [") else {
-        return Vec::new();
+        return (Vec::new(), None);
     };
     let sha_marker = format!("\"sha\": \"{current_sha}\"");
-    old[start..]
+    let mut kept = Vec::new();
+    let mut replaced = None;
+    for l in old[start..]
         .lines()
         .skip(1)
         .take_while(|l| l.trim_start().starts_with('{'))
         .map(|l| l.trim().trim_end_matches(',').to_string())
-        .filter(|l| !l.contains(&sha_marker))
-        .collect()
+    {
+        if l.contains(&sha_marker) {
+            replaced = Some(l);
+        } else {
+            kept.push(l);
+        }
+    }
+    (kept, replaced)
+}
+
+/// Collects the `"par_tN": <value>` fields of a history entry line, so a
+/// re-run that did not measure thread scaling keeps the previously recorded
+/// numbers instead of silently erasing them.
+fn salvage_par_fields(entry: &str) -> String {
+    let mut out = String::new();
+    let mut rest = entry;
+    while let Some(i) = rest.find("\"par_t") {
+        let field = &rest[i..];
+        let end = field
+            .find([',', '}'])
+            .unwrap_or(field.len())
+            .min(field.len());
+        out.push_str(", ");
+        out.push_str(field[..end].trim());
+        rest = &field[end..];
+    }
+    out
+}
+
+/// Thread-scaling results of the parallel pipeline (`--threads N`).
+struct ParallelReport {
+    workload: String,
+    funcs: u32,
+    seq_ms: f64,
+    /// (worker count, best-of compile ms, speedup over sequential)
+    points: Vec<(usize, f64, f64)>,
 }
 
 /// Writes the machine-readable compile-time speedup report, appending this
@@ -61,14 +103,30 @@ fn write_json(
     quick: bool,
     rows: &[(&str, f64, f64, f64)],
     geo: (f64, f64, f64),
+    par: Option<&ParallelReport>,
 ) -> std::io::Result<()> {
     use std::fmt::Write as _;
     let sha = git_sha();
-    let mut history = read_history(path, &sha);
-    history.push(format!(
-        "{{\"sha\": \"{sha}\", \"quick\": {quick}, \"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}}}",
+    let (mut history, replaced) = read_history(path, &sha);
+    let mut entry = format!(
+        "{{\"sha\": \"{sha}\", \"quick\": {quick}, \"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}",
         geo.0, geo.1, geo.2
-    ));
+    );
+    match par {
+        Some(p) => {
+            for (t, _, speedup) in &p.points {
+                let _ = write!(entry, ", \"par_t{t}\": {speedup:.4}");
+            }
+        }
+        // no thread scaling this run: keep the same-SHA entry's numbers
+        None => {
+            if let Some(old) = &replaced {
+                entry.push_str(&salvage_par_fields(old));
+            }
+        }
+    }
+    entry.push('}');
+    history.push(entry);
 
     let mut out = String::new();
     out.push_str("{\n");
@@ -90,6 +148,21 @@ fn write_json(
         "  \"geomean\": {{\"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}}},",
         geo.0, geo.1, geo.2
     );
+    if let Some(p) = par {
+        let _ = writeln!(
+            out,
+            "  \"parallel\": {{\"workload\": \"{}\", \"funcs\": {}, \"seq_ms\": {:.4}, \"points\": [",
+            p.workload, p.funcs, p.seq_ms
+        );
+        for (i, (t, ms, speedup)) in p.points.iter().enumerate() {
+            let comma = if i + 1 < p.points.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"threads\": {t}, \"ms\": {ms:.4}, \"speedup\": {speedup:.4}}}{comma}"
+            );
+        }
+        out.push_str("  ]},\n");
+    }
     out.push_str("  \"history\": [\n");
     for (i, entry) in history.iter().enumerate() {
         let comma = if i + 1 < history.len() { "," } else { "" };
@@ -100,9 +173,76 @@ fn write_json(
     std::fs::write(path, out)
 }
 
+/// Measures the thread-scaling curve of the parallel pipeline on an
+/// enlarged copy of the largest workload (more cloned hot functions, so the
+/// per-compile work is large enough to amortize worker startup), verifying
+/// the parallel text stays byte-identical to the sequential compiler.
+fn thread_scaling(quick: bool, max_threads: usize) -> ParallelReport {
+    let base = spec_workloads()
+        .into_iter()
+        .max_by_key(|w| w.funcs)
+        .expect("workloads");
+    let mult = if quick { 8 } else { 32 };
+    let w = tpde_llvm::workloads::Workload {
+        funcs: base.funcs * mult,
+        ..base
+    };
+    let module = build_workload(&w, IrStyle::O0);
+    let reps = 3;
+    let mut seq_best = std::time::Duration::MAX;
+    let mut seq_buf = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let c = compile_x64(&module, &CompileOptions::default()).expect("sequential compile");
+        seq_best = seq_best.min(start.elapsed());
+        seq_buf = Some(c.buf);
+    }
+    let seq_buf = seq_buf.unwrap();
+    let seq_ms = seq_best.as_secs_f64() * 1000.0;
+
+    println!("\n== Thread scaling: function-sharded parallel compilation");
+    println!(
+        "   workload {} x{mult} funcs = {} functions, sequential compile {:.3} ms (best of {reps})",
+        base.name, w.funcs, seq_ms
+    );
+    println!("{:<10} {:>12} {:>12}", "workers", "compile ms", "speedup");
+    let mut counts = Vec::new();
+    let mut t = 1;
+    while t < max_threads {
+        counts.push(t);
+        t *= 2;
+    }
+    counts.push(max_threads);
+    let mut points = Vec::new();
+    for &t in &counts {
+        let (best, buf) = measure_parallel(&module, t, reps);
+        assert_identical(&seq_buf, &buf, &format!("{t} workers"));
+        let ms = best.as_secs_f64() * 1000.0;
+        let speedup = seq_ms / ms;
+        println!("{t:<10} {ms:>12.3} {speedup:>11.2}x");
+        points.push((t, ms, speedup));
+    }
+    println!("   (scaling is bounded by the host's cores; determinism is checked every run)");
+    ParallelReport {
+        workload: base.name.to_string(),
+        funcs: w.funcs,
+        seq_ms,
+        points,
+    }
+}
+
 fn main() {
-    let quick = std::env::args().any(|a| a == "--quick");
-    let json = std::env::args().any(|a| a == "--json");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let threads: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--threads requires a positive integer worker count");
+                std::process::exit(2);
+            })
+    });
     let scale = if quick { 2_000 } else { 50_000 };
     let workloads: Vec<_> = spec_workloads()
         .iter()
@@ -161,9 +301,16 @@ fn main() {
         geomean(&sp_a64),
         geomean(&sp_cp)
     );
+    let par_report = threads.map(|n| thread_scaling(quick, n.max(1)));
     if json {
         let geo = (geomean(&sp_x64), geomean(&sp_a64), geomean(&sp_cp));
-        match write_json("BENCH_compile.json", quick, &json_rows, geo) {
+        match write_json(
+            "BENCH_compile.json",
+            quick,
+            &json_rows,
+            geo,
+            par_report.as_ref(),
+        ) {
             Ok(()) => println!("(wrote BENCH_compile.json)"),
             Err(e) => eprintln!("failed to write BENCH_compile.json: {e}"),
         }

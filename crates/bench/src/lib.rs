@@ -120,6 +120,29 @@ pub fn compile_only(backend: Backend, module: &Module) -> Duration {
     compile(backend, module, &CompileOptions::default()).1
 }
 
+/// Best-of-`reps` wall-clock parallel compile time, plus the compiled buffer
+/// of the last repetition (for determinism checks against the sequential
+/// output).
+pub fn measure_parallel(
+    module: &Module,
+    threads: usize,
+    reps: u32,
+) -> (Duration, tpde_core::codebuf::CodeBuffer) {
+    let mut best = Duration::MAX;
+    let mut buf = None;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let c = tpde_llvm::compile_x64_parallel(module, &CompileOptions::default(), threads)
+            .expect("parallel compile");
+        let t = start.elapsed();
+        if t < best {
+            best = t;
+        }
+        buf = Some(c.buf);
+    }
+    (best, buf.unwrap())
+}
+
 /// Builds a module for a scaled-down copy of a workload (smaller inputs for
 /// fast benchmarking).
 pub fn scaled(w: &Workload, input: u64) -> Workload {

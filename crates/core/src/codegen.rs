@@ -65,6 +65,19 @@ pub struct CompileStats {
     pub moves: usize,
 }
 
+impl CompileStats {
+    /// Adds another set of counters (used to combine per-worker statistics
+    /// of a parallel compile; the sums are independent of worker order).
+    pub fn merge(&mut self, other: &CompileStats) {
+        self.funcs += other.funcs;
+        self.blocks += other.blocks;
+        self.insts += other.insts;
+        self.spills += other.spills;
+        self.reloads += other.reloads;
+        self.moves += other.moves;
+    }
+}
+
 /// A compiled module: the filled code buffer plus statistics and timings.
 #[derive(Debug)]
 pub struct CompiledModule {
@@ -214,7 +227,7 @@ pub struct CompileSession {
     scratch: FuncScratch,
     /// Label/fixup storage, lent to each module's [`CodeBuffer`] and
     /// recycled at every function boundary (see [`crate::codebuf`]).
-    fixups: FixupPool,
+    pub(crate) fixups: FixupPool,
 }
 
 impl CompileSession {
@@ -281,22 +294,8 @@ impl<T: Target> CodeGen<T> {
         let mut stats = CompileStats::default();
         let mut timings = PassTimings::new();
 
-        session.regfile.configure(
-            self.target.allocatable_regs(RegBank::GP),
-            self.target.allocatable_regs(RegBank::FP),
-        );
-
-        let nfuncs = adapter.func_count();
-        let mut syms = Vec::with_capacity(nfuncs);
-        for i in 0..nfuncs {
-            let f = FuncRef(i as u32);
-            let binding = match adapter.func_linkage(f) {
-                Linkage::External => SymbolBinding::Global,
-                Linkage::Internal => SymbolBinding::Local,
-                Linkage::Weak => SymbolBinding::Weak,
-            };
-            syms.push(buf.declare_symbol(adapter.func_name(f), binding, true));
-        }
+        self.prepare_session(session);
+        let syms = declare_func_symbols(&*adapter, &mut buf);
 
         // The body runs in a closure so the pool is handed back to the
         // session even when a function fails to compile.
@@ -306,40 +305,16 @@ impl<T: Target> CodeGen<T> {
                 if !adapter.func_is_definition(f) {
                     continue;
                 }
-                adapter.switch_func(f);
-                let CompileSession {
-                    analyzer,
-                    analysis,
-                    regfile,
-                    scratch,
-                    fixups: _,
-                } = &mut *session;
-                timings.time(Phase::Analysis, || {
-                    analyzer.analyze_into(&*adapter, analysis)
-                })?;
-                let cg_start = Instant::now();
-                let func_off = buf.text_offset();
-                buf.define_symbol(sym, SectionKind::Text, func_off, 0);
-                {
-                    let mut fcg = FuncCodeGen::new(
-                        &*adapter,
-                        &self.target,
-                        &mut buf,
-                        analysis,
-                        &self.opts,
-                        &mut stats,
-                        sym,
-                        scratch,
-                        regfile,
-                    );
-                    fcg.compile_function(compiler)?;
-                }
-                let size = buf.text_offset() - func_off;
-                buf.set_symbol_size(sym, size);
-                buf.finish_func_fixups()?;
-                timings.add(Phase::CodeGen, cg_start.elapsed());
-                adapter.finalize_func();
-                stats.funcs += 1;
+                self.compile_func_into(
+                    session,
+                    adapter,
+                    compiler,
+                    &mut buf,
+                    f,
+                    sym,
+                    &mut stats,
+                    &mut timings,
+                )?;
             }
             Ok(())
         })();
@@ -352,6 +327,103 @@ impl<T: Target> CodeGen<T> {
             timings,
         })
     }
+
+    /// Configures the session's register file for this driver's target.
+    /// Called once per module by [`CodeGen::compile_module_with`]; parallel
+    /// drivers call it once per worker session before the first
+    /// [`CodeGen::compile_func_into`].
+    pub fn prepare_session(&self, session: &mut CompileSession) {
+        session.regfile.configure(
+            self.target.allocatable_regs(RegBank::GP),
+            self.target.allocatable_regs(RegBank::FP),
+        );
+    }
+
+    /// Compiles a single function into `buf`: switches the adapter to `f`,
+    /// runs the analysis pass, generates code, defines `sym` over the
+    /// emitted range and resolves the function's fixups.
+    ///
+    /// This is the self-contained per-function compilation unit the parallel
+    /// pipeline shards across workers (see [`crate::parallel`]); the
+    /// session's register file must have been configured via
+    /// [`CodeGen::prepare_session`] first, and `buf`'s fixup pool is used
+    /// as-is (callers that recycle a pool adopt/release it around this
+    /// call).
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error produced by the analysis pass, the register
+    /// allocator or the instruction compilers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compile_func_into<A: IrAdapter, C: InstCompiler<A, T>>(
+        &self,
+        session: &mut CompileSession,
+        adapter: &mut A,
+        compiler: &mut C,
+        buf: &mut CodeBuffer,
+        f: FuncRef,
+        sym: SymbolId,
+        stats: &mut CompileStats,
+        timings: &mut PassTimings,
+    ) -> Result<()> {
+        adapter.switch_func(f);
+        let CompileSession {
+            analyzer,
+            analysis,
+            regfile,
+            scratch,
+            fixups: _,
+        } = &mut *session;
+        timings.time(Phase::Analysis, || {
+            analyzer.analyze_into(&*adapter, analysis)
+        })?;
+        let cg_start = Instant::now();
+        let func_off = buf.text_offset();
+        buf.define_symbol(sym, SectionKind::Text, func_off, 0);
+        {
+            let mut fcg = FuncCodeGen::new(
+                &*adapter,
+                &self.target,
+                buf,
+                analysis,
+                &self.opts,
+                stats,
+                sym,
+                scratch,
+                regfile,
+            );
+            fcg.compile_function(compiler)?;
+        }
+        let size = buf.text_offset() - func_off;
+        buf.set_symbol_size(sym, size);
+        buf.finish_func_fixups()?;
+        timings.add(Phase::CodeGen, cg_start.elapsed());
+        adapter.finalize_func();
+        stats.funcs += 1;
+        Ok(())
+    }
+}
+
+/// Declares one symbol per module function, in function-index order, with
+/// the binding derived from the function's linkage. Returns the symbol ids;
+/// for a fresh buffer and unique function names these are `0..func_count`.
+///
+/// Used by [`CodeGen::compile_module_with`] and by the parallel pipeline,
+/// which relies on every worker shard and the merged buffer pre-declaring
+/// the identical symbol prefix.
+pub fn declare_func_symbols<A: IrAdapter>(adapter: &A, buf: &mut CodeBuffer) -> Vec<SymbolId> {
+    let nfuncs = adapter.func_count();
+    let mut syms = Vec::with_capacity(nfuncs);
+    for i in 0..nfuncs {
+        let f = FuncRef(i as u32);
+        let binding = match adapter.func_linkage(f) {
+            Linkage::External => SymbolBinding::Global,
+            Linkage::Internal => SymbolBinding::Local,
+            Linkage::Weak => SymbolBinding::Weak,
+        };
+        syms.push(buf.declare_symbol(adapter.func_name(f), binding, true));
+    }
+    syms
 }
 
 /// Per-function code-generation context handed to instruction compilers.

@@ -6,6 +6,11 @@
 //! symbol → address map. In this reproduction the image is executed by the
 //! `tpde-x64emu` emulator rather than being mapped executable into the host
 //! process, which keeps the test suite portable and deterministic.
+//!
+//! Layout and relocation application depend only on the buffer's section
+//! bytes, symbol order and relocation list, so a buffer produced by the
+//! parallel pipeline's deterministic merge ([`crate::parallel`]) maps to an
+//! image identical to the single-threaded one.
 
 use crate::codebuf::{CodeBuffer, RelocKind, SectionKind, SymbolId};
 use crate::error::{Error, Result};

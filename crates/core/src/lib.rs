@@ -21,7 +21,10 @@
 //!
 //! Machine code is emitted into a [`codebuf::CodeBuffer`], which can then be
 //! turned into an ELF relocatable object ([`obj`]) or mapped as an in-memory
-//! JIT image ([`jit`]).
+//! JIT image ([`jit`]). On multi-core hosts a module's functions can be
+//! compiled concurrently by the function-sharded [`parallel`] driver, whose
+//! deterministic shard merge produces output byte-identical to the
+//! sequential driver.
 //!
 //! ```
 //! // The `tpde-llvm` crate contains an LLVM-IR-like SSA IR with an adapter;
@@ -42,6 +45,7 @@ pub mod codegen;
 pub mod error;
 pub mod jit;
 pub mod obj;
+pub mod parallel;
 pub mod regalloc;
 pub mod regs;
 pub mod target;
@@ -51,4 +55,5 @@ pub use adapter::{BlockRef, FuncRef, IrAdapter, Linkage, ValueRef};
 pub use analysis::{Analysis, Analyzer, LoopInfo};
 pub use codegen::{CodeGen, CompileOptions, CompileSession, CompiledModule};
 pub use error::{Error, Result};
+pub use parallel::{ParallelDriver, WorkerPool};
 pub use regs::{Reg, RegBank};

@@ -4,6 +4,12 @@
 //! ELF object (`ET_REL`) for x86-64 or AArch64. Only the features the
 //! back-ends need are implemented: the four standard sections, a symbol
 //! table, and RELA relocation sections.
+//!
+//! Serialization is a pure function of the buffer's sections, symbol table
+//! and relocation list, in their stored order. Since the parallel
+//! pipeline's shard merge ([`crate::parallel`]) reproduces all three
+//! byte-for-byte, objects written from a merged buffer are identical to the
+//! single-threaded output (pinned by `crates/llvm/tests/parallel.rs`).
 
 use crate::codebuf::{CodeBuffer, RelocKind, SectionKind, SymbolBinding};
 use crate::error::{Error, Result};

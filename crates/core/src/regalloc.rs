@@ -7,6 +7,13 @@
 //! its value is spilled by the code generator. Locked registers (operands of
 //! the current instruction) and fixed registers (innermost-loop values) are
 //! never evicted.
+//!
+//! Free/locked/fixed state is mirrored in one `u64` bitmask per bank,
+//! indexed by *allocation-order position*, so the common allocation queries
+//! (`find_free`, `pick_eviction` without constraint sets) are a couple of
+//! bit operations plus a trailing-zeros count instead of a linear scan. The
+//! semantics are unchanged: `find_free` still prefers the earliest register
+//! in allocation-preference order, and eviction still rotates round-robin.
 
 use crate::adapter::ValueRef;
 use crate::regs::{Reg, RegBank, RegSet};
@@ -28,12 +35,26 @@ struct RegState {
     allocatable: bool,
 }
 
+/// Sentinel for "register is not allocatable" in the position table.
+const NO_POS: u8 = u8::MAX;
+
 /// Tracks the state of every register of both banks.
 #[derive(Debug)]
 pub struct RegFile {
     state: [RegState; 64],
     allocatable: [Vec<Reg>; 2],
     clock: [usize; 2],
+    /// Compact register number → allocation-order position (`NO_POS` if the
+    /// register is not allocatable).
+    pos_of: [u8; 64],
+    /// Bit per allocation-order position: register has no owner.
+    free: [u64; 2],
+    /// Bit per allocation-order position: `lock_count > 0`.
+    locked: [u64; 2],
+    /// Bit per allocation-order position: pinned to a value (never evicted).
+    pinned: [u64; 2],
+    /// Bit per allocation-order position: position exists.
+    all: [u64; 2],
 }
 
 impl Default for RegFile {
@@ -52,6 +73,11 @@ impl RegFile {
             state: [RegState::default(); 64],
             allocatable: [Vec::new(), Vec::new()],
             clock: [0, 0],
+            pos_of: [NO_POS; 64],
+            free: [0, 0],
+            locked: [0, 0],
+            pinned: [0, 0],
+            all: [0, 0],
         };
         f.configure(gp, fp);
         f
@@ -62,14 +88,38 @@ impl RegFile {
     /// compile sessions that reuse one `RegFile` across functions.
     pub fn configure(&mut self, gp: &[Reg], fp: &[Reg]) {
         self.state = [RegState::default(); 64];
+        self.pos_of = [NO_POS; 64];
         self.allocatable[0].clear();
         self.allocatable[0].extend_from_slice(gp);
         self.allocatable[1].clear();
         self.allocatable[1].extend_from_slice(fp);
-        for &r in gp.iter().chain(fp.iter()) {
-            self.state[r.compact()].allocatable = true;
+        for bank in 0..2 {
+            assert!(
+                self.allocatable[bank].len() <= 64,
+                "more than 64 allocatable registers in one bank"
+            );
+            for (i, &r) in self.allocatable[bank].iter().enumerate() {
+                self.state[r.compact()].allocatable = true;
+                self.pos_of[r.compact()] = i as u8;
+            }
+            let n = self.allocatable[bank].len();
+            self.all[bank] = if n == 64 { u64::MAX } else { (1u64 << n) - 1 };
+            self.free[bank] = self.all[bank];
         }
+        self.locked = [0, 0];
+        self.pinned = [0, 0];
         self.clock = [0, 0];
+    }
+
+    /// Bank index and position mask bit of a register, if it is allocatable.
+    #[inline]
+    fn pos_bit(&self, r: Reg) -> Option<(usize, u64)> {
+        let pos = self.pos_of[r.compact()];
+        if pos == NO_POS {
+            None
+        } else {
+            Some((r.bank().index(), 1u64 << pos))
+        }
     }
 
     /// Clears ownership, locks and pinning of every register (start of a new
@@ -80,6 +130,9 @@ impl RegFile {
             s.lock_count = 0;
             s.fixed = false;
         }
+        self.free = self.all;
+        self.locked = [0, 0];
+        self.pinned = [0, 0];
         self.clock = [0, 0];
     }
 
@@ -107,6 +160,9 @@ impl RegFile {
     /// Marks `r` as owned by `owner`. Does not touch lock state.
     pub fn set_owner(&mut self, r: Reg, owner: RegOwner) {
         self.state[r.compact()].owner = Some(owner);
+        if let Some((b, bit)) = self.pos_bit(r) {
+            self.free[b] &= !bit;
+        }
     }
 
     /// Marks `r` as owned by a value part and pinned (never evicted).
@@ -114,6 +170,10 @@ impl RegFile {
         let s = &mut self.state[r.compact()];
         s.owner = Some(RegOwner::Value(v, part));
         s.fixed = true;
+        if let Some((b, bit)) = self.pos_bit(r) {
+            self.free[b] &= !bit;
+            self.pinned[b] |= bit;
+        }
     }
 
     /// Clears ownership (and pinning) of a register.
@@ -122,11 +182,19 @@ impl RegFile {
         s.owner = None;
         s.fixed = false;
         s.lock_count = 0;
+        if let Some((b, bit)) = self.pos_bit(r) {
+            self.free[b] |= bit;
+            self.pinned[b] &= !bit;
+            self.locked[b] &= !bit;
+        }
     }
 
     /// Increments the lock count of a register.
     pub fn lock(&mut self, r: Reg) {
         self.state[r.compact()].lock_count += 1;
+        if let Some((b, bit)) = self.pos_bit(r) {
+            self.locked[b] |= bit;
+        }
     }
 
     /// Decrements the lock count of a register.
@@ -134,6 +202,11 @@ impl RegFile {
         let s = &mut self.state[r.compact()];
         debug_assert!(s.lock_count > 0, "unlock of unlocked register {r}");
         s.lock_count = s.lock_count.saturating_sub(1);
+        if s.lock_count == 0 {
+            if let Some((b, bit)) = self.pos_bit(r) {
+                self.locked[b] &= !bit;
+            }
+        }
     }
 
     /// Releases all locks (end of instruction).
@@ -141,16 +214,41 @@ impl RegFile {
         for s in self.state.iter_mut() {
             s.lock_count = 0;
         }
+        self.locked = [0, 0];
+    }
+
+    /// Restricts a position mask by the `exclude`/`within` register sets
+    /// (slow path; both are usually trivial on the hot path).
+    fn restrict_mask(
+        &self,
+        bank: RegBank,
+        mut mask: u64,
+        exclude: RegSet,
+        within: Option<RegSet>,
+    ) -> u64 {
+        if exclude.is_empty() && within.is_none() {
+            return mask;
+        }
+        for (i, &r) in self.allocatable[bank.index()].iter().enumerate() {
+            if exclude.contains(r) || within.is_some_and(|w| !w.contains(r)) {
+                mask &= !(1u64 << i);
+            }
+        }
+        mask
     }
 
     /// Finds a free allocatable register of `bank`, preferring the lowest
     /// allocation-order index, excluding registers in `exclude` and, if
-    /// `within` is non-empty, restricting the choice to `within`.
+    /// `within` is non-empty, restricting the choice to `within`. With no
+    /// constraint sets this is a single trailing-zeros count on the bank's
+    /// free mask.
     pub fn find_free(&self, bank: RegBank, exclude: RegSet, within: Option<RegSet>) -> Option<Reg> {
-        self.allocatable[bank.index()].iter().copied().find(|&r| {
-            let s = &self.state[r.compact()];
-            s.owner.is_none() && !exclude.contains(r) && within.is_none_or(|w| w.contains(r))
-        })
+        let m = self.restrict_mask(bank, self.free[bank.index()], exclude, within);
+        if m == 0 {
+            None
+        } else {
+            Some(self.allocatable[bank.index()][m.trailing_zeros() as usize])
+        }
     }
 
     /// Chooses a register of `bank` to evict, round-robin, skipping locked,
@@ -162,41 +260,36 @@ impl RegFile {
         exclude: RegSet,
         within: Option<RegSet>,
     ) -> Option<Reg> {
-        let regs = &self.allocatable[bank.index()];
-        if regs.is_empty() {
+        let bi = bank.index();
+        let n = self.allocatable[bi].len();
+        if n == 0 {
             return None;
         }
-        let n = regs.len();
-        let start = self.clock[bank.index()] % n;
-        for i in 0..n {
-            let r = regs[(start + i) % n];
-            let s = &self.state[r.compact()];
-            if s.lock_count == 0
-                && !s.fixed
-                && !exclude.contains(r)
-                && within.is_none_or(|w| w.contains(r))
-            {
-                self.clock[bank.index()] = (start + i + 1) % n;
-                return Some(r);
-            }
+        let base = self.all[bi] & !self.locked[bi] & !self.pinned[bi];
+        let m = self.restrict_mask(bank, base, exclude, within);
+        if m == 0 {
+            return None;
         }
-        None
+        // First candidate at or after the clock hand, wrapping around.
+        let start = self.clock[bi] % n;
+        let rotated = m & (u64::MAX << start);
+        let pos = if rotated != 0 { rotated } else { m }.trailing_zeros() as usize;
+        self.clock[bi] = (pos + 1) % n;
+        Some(self.allocatable[bi][pos])
     }
 
-    /// All registers currently owned by value parts (used when spilling
-    /// before branches or calls).
-    pub fn value_owned_regs(&self) -> Vec<(Reg, ValueRef, u32)> {
-        let mut out = Vec::new();
-        self.value_owned_into(&mut out);
-        out
-    }
-
-    /// Appends all registers currently owned by value parts to `out`
-    /// (allocation-free variant of [`RegFile::value_owned_regs`] for callers
-    /// with a reusable scratch buffer).
+    /// Appends all registers currently owned by value parts to `out` (used
+    /// when spilling before branches or calls; callers keep a reusable
+    /// scratch buffer so the query is allocation-free).
     pub fn value_owned_into(&self, out: &mut Vec<(Reg, ValueRef, u32)>) {
         for bank in RegBank::ALL {
-            for &r in &self.allocatable[bank.index()] {
+            let bi = bank.index();
+            // owned = allocatable positions that are not free
+            let mut owned = self.all[bi] & !self.free[bi];
+            while owned != 0 {
+                let pos = owned.trailing_zeros() as usize;
+                owned &= owned - 1;
+                let r = self.allocatable[bi][pos];
                 if let Some(RegOwner::Value(v, p)) = self.state[r.compact()].owner {
                     out.push((r, v, p));
                 }
@@ -205,27 +298,34 @@ impl RegFile {
     }
 
     /// Clears ownership of every non-fixed register (register state reset at
-    /// block boundaries with unknown predecessors). Returns the cleared
-    /// registers and their owners so the caller can update assignments.
-    pub fn reset_non_fixed(&mut self) -> Vec<(Reg, RegOwner)> {
-        let mut cleared = Vec::new();
-        self.reset_non_fixed_into(&mut cleared);
-        cleared
-    }
-
-    /// Allocation-free variant of [`RegFile::reset_non_fixed`]: appends the
-    /// cleared registers and their owners to `out`.
+    /// block boundaries with unknown predecessors), appending the cleared
+    /// registers and their owners to `out` so the caller can update
+    /// assignments.
     pub fn reset_non_fixed_into(&mut self, out: &mut Vec<(Reg, RegOwner)>) {
         for bank in RegBank::ALL {
-            for &r in &self.allocatable[bank.index()] {
+            let bi = bank.index();
+            let mut owned = self.all[bi] & !self.free[bi] & !self.pinned[bi];
+            while owned != 0 {
+                let pos = owned.trailing_zeros() as usize;
+                owned &= owned - 1;
+                let r = self.allocatable[bi][pos];
                 let s = &mut self.state[r.compact()];
-                if !s.fixed {
-                    if let Some(o) = s.owner.take() {
-                        out.push((r, o));
-                    }
-                    s.lock_count = 0;
+                if let Some(o) = s.owner.take() {
+                    out.push((r, o));
                 }
+                s.lock_count = 0;
             }
+            // Also release locks on non-fixed registers that had no owner.
+            let mut stale = self.all[bi] & self.locked[bi] & !self.pinned[bi];
+            while stale != 0 {
+                let pos = stale.trailing_zeros() as usize;
+                stale &= stale - 1;
+                self.state[self.allocatable[bi][pos].compact()].lock_count = 0;
+            }
+            // Every non-fixed register is now unowned; fixed registers keep
+            // their owners (set_fixed implies an owner, so pinned ⟹ !free).
+            self.free[bi] = self.all[bi] & !self.pinned[bi];
+            self.locked[bi] &= self.pinned[bi];
         }
     }
 }
@@ -242,6 +342,12 @@ mod tests {
         RegFile::new(&[gp(0), gp(1), gp(2)], &[Reg::new(RegBank::FP, 0)])
     }
 
+    fn value_owned(f: &RegFile) -> Vec<(Reg, ValueRef, u32)> {
+        let mut out = Vec::new();
+        f.value_owned_into(&mut out);
+        out
+    }
+
     #[test]
     fn find_free_prefers_lowest() {
         let mut f = file();
@@ -251,6 +357,16 @@ mod tests {
         let mut excl = RegSet::empty();
         excl.insert(gp(1));
         assert_eq!(f.find_free(RegBank::GP, excl, None), Some(gp(2)));
+    }
+
+    #[test]
+    fn find_free_prefers_allocation_order_not_register_number() {
+        // allocation preference order deliberately not sorted by number
+        let f = RegFile::new(&[gp(5), gp(1), gp(3)], &[]);
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), Some(gp(5)));
+        let mut excl = RegSet::empty();
+        excl.insert(gp(5));
+        assert_eq!(f.find_free(RegBank::GP, excl, None), Some(gp(1)));
     }
 
     #[test]
@@ -294,20 +410,28 @@ mod tests {
         let mut f = file();
         f.set_owner(gp(0), RegOwner::Value(ValueRef(0), 0));
         f.set_fixed(gp(1), ValueRef(1), 0);
-        let cleared = f.reset_non_fixed();
+        let mut cleared = Vec::new();
+        f.reset_non_fixed_into(&mut cleared);
         assert_eq!(cleared.len(), 1);
         assert_eq!(f.owner(gp(0)), None);
         assert_eq!(f.owner(gp(1)), Some(RegOwner::Value(ValueRef(1), 0)));
         assert!(f.is_fixed(gp(1)));
+        // the cleared register is free again, the fixed one is not
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), Some(gp(0)));
+        let mut within = RegSet::empty();
+        within.insert(gp(1));
+        assert_eq!(
+            f.find_free(RegBank::GP, RegSet::empty(), Some(within)),
+            None
+        );
     }
 
     #[test]
-    fn value_owned_regs_lists_only_values() {
+    fn value_owned_lists_only_values() {
         let mut f = file();
         f.set_owner(gp(0), RegOwner::Scratch);
         f.set_owner(gp(2), RegOwner::Value(ValueRef(7), 1));
-        let owned = f.value_owned_regs();
-        assert_eq!(owned, vec![(gp(2), ValueRef(7), 1)]);
+        assert_eq!(value_owned(&f), vec![(gp(2), ValueRef(7), 1)]);
     }
 
     #[test]
@@ -323,5 +447,34 @@ mod tests {
         f.lock(gp(1));
         f.unlock_all();
         assert!(!f.is_locked(gp(1)));
+    }
+
+    #[test]
+    fn masks_track_state_through_clear_and_reset() {
+        let mut f = file();
+        for i in 0..3 {
+            f.set_owner(gp(i), RegOwner::Value(ValueRef(i as u32), 0));
+        }
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), None);
+        f.clear(gp(1));
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), Some(gp(1)));
+        f.reset();
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), Some(gp(0)));
+        assert_eq!(value_owned(&f), vec![]);
+    }
+
+    #[test]
+    fn full_bank_of_64_registers_is_supported() {
+        let regs: Vec<Reg> = (0..32).map(gp).collect();
+        let mut f = RegFile::new(&regs, &[]);
+        for &r in &regs {
+            f.set_owner(r, RegOwner::Scratch);
+        }
+        assert_eq!(f.find_free(RegBank::GP, RegSet::empty(), None), None);
+        f.clear(gp(31));
+        assert_eq!(
+            f.find_free(RegBank::GP, RegSet::empty(), None),
+            Some(gp(31))
+        );
     }
 }

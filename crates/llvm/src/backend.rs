@@ -14,6 +14,7 @@ use tpde_core::codegen::{
     CallTarget, CodeGen, CompileOptions, CompiledModule, FuncCodeGen, InstCompiler,
 };
 use tpde_core::error::Result;
+use tpde_core::parallel::{ParallelDriver, WorkerPool};
 use tpde_core::target::Target;
 use tpde_enc::{A64Target, X64Target};
 use tpde_snippets::{AsmOperand, SnippetEmitter};
@@ -371,4 +372,62 @@ pub fn compile_with_session<T: Target + SnippetEmitter>(
     let mut adapter = LlvmAdapter::new(module);
     let cg = CodeGen::new(target, opts.clone());
     cg.compile_module_with(session, &mut adapter, &mut LlvmInstCompiler::default())
+}
+
+/// Compiles a module for x86-64 with functions sharded across `threads`
+/// worker threads. The output is byte-identical to [`compile_x64`] for any
+/// thread count (see [`tpde_core::parallel`] for the determinism contract).
+pub fn compile_x64_parallel(
+    module: &Module,
+    opts: &CompileOptions,
+    threads: usize,
+) -> Result<CompiledModule> {
+    compile_with_target_parallel(module, X64Target::new(), opts, threads)
+}
+
+/// Compiles a module for AArch64 with functions sharded across `threads`
+/// worker threads; byte-identical to [`compile_a64`].
+pub fn compile_a64_parallel(
+    module: &Module,
+    opts: &CompileOptions,
+    threads: usize,
+) -> Result<CompiledModule> {
+    compile_with_target_parallel(module, A64Target::new(), opts, threads)
+}
+
+/// Parallel variant of [`compile_with_target`]: every worker owns a full
+/// compile session, an [`LlvmAdapter`] that pre-indexes functions
+/// independently, and its own instruction compiler (so the per-module
+/// callee-symbol cache is worker-local).
+pub fn compile_with_target_parallel<T: Target + SnippetEmitter + Sync>(
+    module: &Module,
+    target: T,
+    opts: &CompileOptions,
+    threads: usize,
+) -> Result<CompiledModule> {
+    let cg = CodeGen::new(target, opts.clone());
+    ParallelDriver::new(threads).compile_module(
+        &cg,
+        || LlvmAdapter::new(module),
+        LlvmInstCompiler::default,
+    )
+}
+
+/// Parallel variant of [`compile_with_session`]: reuses the pool's worker
+/// sessions so the steady-state loop of every worker is allocation-free
+/// across modules.
+pub fn compile_with_pool<T: Target + SnippetEmitter + Sync>(
+    module: &Module,
+    target: T,
+    opts: &CompileOptions,
+    threads: usize,
+    pool: &mut WorkerPool,
+) -> Result<CompiledModule> {
+    let cg = CodeGen::new(target, opts.clone());
+    ParallelDriver::new(threads).compile_module_with(
+        pool,
+        &cg,
+        || LlvmAdapter::new(module),
+        LlvmInstCompiler::default,
+    )
 }

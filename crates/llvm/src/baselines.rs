@@ -499,22 +499,48 @@ fn compile_function_stacky(module: &Module, f: &Function, buf: &mut CodeBuffer) 
     Ok(())
 }
 
-/// Copy-and-patch-style compilation of a whole module (single pass, no
-/// analysis, everything through the stack).
-pub fn compile_copy_patch(module: &Module) -> Result<BaselineOutput> {
-    let mut buf = CodeBuffer::new();
-    let mut insts = 0;
+/// Declares one symbol per module function in function order (decls get a
+/// global binding, definitions follow their `internal` flag), matching what
+/// the sequential baseline loops produce. Shared with the parallel variants,
+/// which require every shard to pre-declare the identical symbol prefix.
+fn declare_baseline_symbols(module: &Module, buf: &mut CodeBuffer) {
     for f in &module.funcs {
-        if f.is_decl {
-            buf.declare_symbol(&f.name, SymbolBinding::Global, true);
-            continue;
-        }
-        let binding = if f.internal {
+        let binding = if !f.is_decl && f.internal {
             SymbolBinding::Local
         } else {
             SymbolBinding::Global
         };
-        let sym = buf.declare_symbol(&f.name, binding, true);
+        buf.declare_symbol(&f.name, binding, true);
+    }
+}
+
+/// Total instruction count of the module's defined functions.
+fn defined_inst_count(module: &Module) -> usize {
+    module
+        .funcs
+        .iter()
+        .filter(|f| !f.is_decl)
+        .map(|f| f.inst_count())
+        .sum()
+}
+
+/// Copy-and-patch-style compilation of a whole module (single pass, no
+/// analysis, everything through the stack).
+///
+/// All function symbols are declared upfront in function order (as the TPDE
+/// driver does), so the symbol table is identical to the parallel variant's
+/// even when a function calls one defined later in the module.
+pub fn compile_copy_patch(module: &Module) -> Result<BaselineOutput> {
+    let mut buf = CodeBuffer::new();
+    declare_baseline_symbols(module, &mut buf);
+    let mut insts = 0;
+    for f in &module.funcs {
+        if f.is_decl {
+            continue;
+        }
+        let sym = buf
+            .symbol_by_name(&f.name)
+            .expect("function symbol predeclared");
         let start = buf.text_offset();
         buf.define_symbol(sym, SectionKind::Text, start, 0);
         compile_function_stacky(module, f, &mut buf)?;
@@ -523,6 +549,47 @@ pub fn compile_copy_patch(module: &Module) -> Result<BaselineOutput> {
         insts += f.inst_count();
     }
     Ok(BaselineOutput { buf, insts })
+}
+
+/// Shared scaffolding of the parallel baseline variants: shards the given
+/// per-function compiler across workers through the generic
+/// [`tpde_core::parallel::compile_sharded`] harness and assembles the
+/// baseline output. Both baselines are self-contained per function (labels
+/// and fixups resolved per function, callee symbols declared at use), so
+/// the merged output is byte-identical to the sequential compilers.
+fn compile_baseline_sharded(
+    module: &Module,
+    threads: usize,
+    compile_fn: impl Fn(&Function, &mut CodeBuffer) -> Result<()> + Sync,
+) -> Result<BaselineOutput> {
+    let nfuncs = module.funcs.len();
+    let workers = threads.max(1).min(nfuncs.max(1));
+    let (_, buf) = tpde_core::parallel::compile_sharded(
+        nfuncs,
+        vec![(); workers],
+        |buf| declare_baseline_symbols(module, buf),
+        |_: &mut (), buf, fi| {
+            let f = &module.funcs[fi as usize];
+            if f.is_decl {
+                return Ok(false);
+            }
+            compile_fn(f, buf)?;
+            buf.finish_func_fixups()?;
+            Ok(true)
+        },
+    );
+    Ok(BaselineOutput {
+        buf: buf?,
+        insts: defined_inst_count(module),
+    })
+}
+
+/// Function-sharded parallel variant of [`compile_copy_patch`]; the output
+/// is byte-identical to the sequential compiler.
+pub fn compile_copy_patch_parallel(module: &Module, threads: usize) -> Result<BaselineOutput> {
+    compile_baseline_sharded(module, threads, |f, buf| {
+        compile_function_stacky(module, f, buf)
+    })
 }
 
 /// A "machine instruction" of the baseline's intermediate representation;
@@ -535,114 +602,137 @@ struct MachInst {
     operand_locs: Vec<Loc>,
 }
 
-/// Multi-pass baseline back-end (LLVM -O0 / -O1 stand-in).
+/// The multi-pass baseline's per-function compilation unit (passes 1–4).
+/// Self-contained: labels and fixups are resolved per function, callee
+/// symbols are declared at use, so the unit can run in a shard buffer.
+fn compile_function_baseline(
+    module: &Module,
+    f: &Function,
+    buf: &mut CodeBuffer,
+    opt_level: u32,
+) -> Result<()> {
+    // Pass 1: value bookkeeping (use counts), hash-map keyed.
+    let mut use_counts: HashMap<Value, u32> = HashMap::new();
+    for b in &f.blocks {
+        for phi in &b.phis {
+            for (_, v) in &phi.incoming {
+                *use_counts.entry(*v).or_default() += 1;
+            }
+        }
+        for inst in &b.insts {
+            for v in inst.operands() {
+                *use_counts.entry(v).or_default() += 1;
+            }
+        }
+    }
+
+    // Pass 2: "instruction selection" — materialize a machine-level copy
+    // of every instruction with resolved operand locations.
+    let ctx = FuncCtx::new(f);
+    let mut mir: Vec<MachInst> = Vec::with_capacity(f.inst_count());
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            let operand_locs = inst.operands().iter().map(|v| ctx.loc[v]).collect();
+            mir.push(MachInst {
+                inst: inst.clone(),
+                block: bi as u32,
+                operand_locs,
+            });
+        }
+    }
+
+    // Pass 3 (-O1 only): cleanup passes over the machine IR.
+    if opt_level >= 1 {
+        // constant-operand marking and a trivial redundancy scan; these
+        // walk the whole machine IR again (cost model of -O1 passes).
+        let mut const_ops = 0usize;
+        for m in &mir {
+            for l in &m.operand_locs {
+                if matches!(l, Loc::Const(_)) {
+                    const_ops += 1;
+                }
+            }
+        }
+        let mut last_def: HashMap<Value, usize> = HashMap::new();
+        for (i, m) in mir.iter().enumerate() {
+            if let Some(r) = m.inst.result() {
+                last_def.insert(r, i);
+            }
+        }
+        let _ = (const_ops, last_def);
+    }
+
+    // Pass 4: emission.
+    let mut ctx = ctx;
+    ctx.block_labels = f.blocks.iter().map(|_| buf.new_label()).collect();
+    x64::push_r(buf, Gp::RBP);
+    x64::mov_rr(buf, 8, Gp::RBP, Gp::RSP);
+    x64::alu_ri(buf, Alu::Sub, 8, Gp::RSP, ctx.frame_size);
+    let gp_args = [Gp::RDI, Gp::RSI, Gp::RDX, Gp::RCX, Gp::R8, Gp::R9];
+    let mut next_gp = 0;
+    let mut next_fp = 0;
+    for (i, ty) in f.params.iter().enumerate() {
+        let v = Value(i as u32);
+        if ty.is_fp() {
+            ctx.store_fp(buf, v, Xmm(next_fp), 8);
+            next_fp += 1;
+        } else {
+            ctx.store_gp(buf, v, gp_args[next_gp]);
+            next_gp += 1;
+        }
+    }
+    let epilogue = |buf: &mut CodeBuffer| {
+        x64::mov_rr(buf, 8, Gp::RSP, Gp::RBP);
+        x64::pop_r(buf, Gp::RBP);
+        x64::ret(buf);
+    };
+    let mut cur_block = u32::MAX;
+    for m in &mir {
+        if m.block != cur_block {
+            cur_block = m.block;
+            buf.bind_label(ctx.block_labels[cur_block as usize]);
+        }
+        if m.inst.is_terminator() {
+            for succ in m.inst.successors() {
+                emit_phi_moves(f, &ctx, buf, cur_block, succ.0);
+            }
+        }
+        emit_inst(module, f, &ctx, buf, &m.inst, &epilogue)?;
+    }
+    Ok(())
+}
+
+/// Multi-pass baseline back-end (LLVM -O0 / -O1 stand-in). Function symbols
+/// are declared upfront, like [`compile_copy_patch`].
 pub fn compile_baseline(module: &Module, opt_level: u32) -> Result<BaselineOutput> {
     let mut buf = CodeBuffer::new();
+    declare_baseline_symbols(module, &mut buf);
     let mut insts = 0;
     for f in &module.funcs {
         if f.is_decl {
-            buf.declare_symbol(&f.name, SymbolBinding::Global, true);
             continue;
         }
-        // Pass 1: value bookkeeping (use counts), hash-map keyed.
-        let mut use_counts: HashMap<Value, u32> = HashMap::new();
-        for b in &f.blocks {
-            for phi in &b.phis {
-                for (_, v) in &phi.incoming {
-                    *use_counts.entry(*v).or_default() += 1;
-                }
-            }
-            for inst in &b.insts {
-                for v in inst.operands() {
-                    *use_counts.entry(v).or_default() += 1;
-                }
-            }
-        }
-
-        // Pass 2: "instruction selection" — materialize a machine-level copy
-        // of every instruction with resolved operand locations.
-        let ctx = FuncCtx::new(f);
-        let mut mir: Vec<MachInst> = Vec::with_capacity(f.inst_count());
-        for (bi, b) in f.blocks.iter().enumerate() {
-            for inst in &b.insts {
-                let operand_locs = inst.operands().iter().map(|v| ctx.loc[v]).collect();
-                mir.push(MachInst {
-                    inst: inst.clone(),
-                    block: bi as u32,
-                    operand_locs,
-                });
-            }
-        }
-
-        // Pass 3 (-O1 only): cleanup passes over the machine IR.
-        if opt_level >= 1 {
-            // constant-operand marking and a trivial redundancy scan; these
-            // walk the whole machine IR again (cost model of -O1 passes).
-            let mut const_ops = 0usize;
-            for m in &mir {
-                for l in &m.operand_locs {
-                    if matches!(l, Loc::Const(_)) {
-                        const_ops += 1;
-                    }
-                }
-            }
-            let mut last_def: HashMap<Value, usize> = HashMap::new();
-            for (i, m) in mir.iter().enumerate() {
-                if let Some(r) = m.inst.result() {
-                    last_def.insert(r, i);
-                }
-            }
-            let _ = (const_ops, last_def);
-        }
-
-        // Pass 4: emission.
-        let binding = if f.internal {
-            SymbolBinding::Local
-        } else {
-            SymbolBinding::Global
-        };
-        let sym = buf.declare_symbol(&f.name, binding, true);
+        let sym = buf
+            .symbol_by_name(&f.name)
+            .expect("function symbol predeclared");
         let start = buf.text_offset();
         buf.define_symbol(sym, SectionKind::Text, start, 0);
-        let mut ctx = ctx;
-        ctx.block_labels = f.blocks.iter().map(|_| buf.new_label()).collect();
-        x64::push_r(&mut buf, Gp::RBP);
-        x64::mov_rr(&mut buf, 8, Gp::RBP, Gp::RSP);
-        x64::alu_ri(&mut buf, Alu::Sub, 8, Gp::RSP, ctx.frame_size);
-        let gp_args = [Gp::RDI, Gp::RSI, Gp::RDX, Gp::RCX, Gp::R8, Gp::R9];
-        let mut next_gp = 0;
-        let mut next_fp = 0;
-        for (i, ty) in f.params.iter().enumerate() {
-            let v = Value(i as u32);
-            if ty.is_fp() {
-                ctx.store_fp(&mut buf, v, Xmm(next_fp), 8);
-                next_fp += 1;
-            } else {
-                ctx.store_gp(&mut buf, v, gp_args[next_gp]);
-                next_gp += 1;
-            }
-        }
-        let epilogue = |buf: &mut CodeBuffer| {
-            x64::mov_rr(buf, 8, Gp::RSP, Gp::RBP);
-            x64::pop_r(buf, Gp::RBP);
-            x64::ret(buf);
-        };
-        let mut cur_block = u32::MAX;
-        for m in &mir {
-            if m.block != cur_block {
-                cur_block = m.block;
-                buf.bind_label(ctx.block_labels[cur_block as usize]);
-            }
-            if m.inst.is_terminator() {
-                for succ in m.inst.successors() {
-                    emit_phi_moves(f, &ctx, &mut buf, cur_block, succ.0);
-                }
-            }
-            emit_inst(module, f, &ctx, &mut buf, &m.inst, &epilogue)?;
-        }
+        compile_function_baseline(module, f, &mut buf, opt_level)?;
         buf.set_symbol_size(sym, buf.text_offset() - start);
         buf.finish_func_fixups()?;
         insts += f.inst_count();
     }
     Ok(BaselineOutput { buf, insts })
+}
+
+/// Function-sharded parallel variant of [`compile_baseline`]; byte-identical
+/// output for any thread count.
+pub fn compile_baseline_parallel(
+    module: &Module,
+    opt_level: u32,
+    threads: usize,
+) -> Result<BaselineOutput> {
+    compile_baseline_sharded(module, threads, |f, buf| {
+        compile_function_baseline(module, f, buf, opt_level)
+    })
 }

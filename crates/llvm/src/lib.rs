@@ -26,5 +26,7 @@ pub mod baselines;
 pub mod ir;
 pub mod workloads;
 
-pub use backend::{compile_a64, compile_x64};
-pub use baselines::{compile_baseline, compile_copy_patch};
+pub use backend::{compile_a64, compile_a64_parallel, compile_x64, compile_x64_parallel};
+pub use baselines::{
+    compile_baseline, compile_baseline_parallel, compile_copy_patch, compile_copy_patch_parallel,
+};
