@@ -2,24 +2,35 @@
 //! the ablation studies, printing one table per figure.
 //!
 //! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]
-//! [--threads N]` (`--quick` scales down the workload inputs for a fast
-//! smoke run; `--json` additionally writes the per-workload compile-time
-//! speedups to `BENCH_compile.json`; `--threads N` also measures the
-//! function-sharded parallel pipeline on an enlarged copy of the largest
-//! workload, for 1..N workers, verifying the output stays byte-identical to
-//! the sequential compiler). The JSON file carries a `history` array with
-//! one geomean entry per git commit: each run appends (or, for the same
-//! SHA, replaces) its entry instead of overwriting the trajectory, so the
-//! file records the compile-time speedup across PRs; `--threads` runs add
-//! `par_tN` speedup fields to their entry.
+//! [--threads N] [--service] [--gate [PCT]]` (`--quick` scales down the
+//! workload inputs for a fast smoke run; `--json` additionally writes the
+//! per-workload compile-time speedups to `BENCH_compile.json`; `--threads N`
+//! also measures the function-sharded parallel pipeline on an enlarged copy
+//! of the largest workload, for 1..N workers, verifying the output stays
+//! byte-identical to the sequential compiler; `--service` measures the
+//! persistent compile service's request throughput — modules/sec at 1/2/4
+//! workers, cold vs. warm cache, byte-identity asserted per request —
+//! enforcing that warm-cache repeats are at least 5× faster than cold
+//! compiles; `--gate` fails the run when this run's compile-time geomean
+//! drops more than PCT% — default 10 — below the last recorded history
+//! entry of the same mode). The JSON file carries a `history` array with
+//! one geomean entry per (git commit, mode): each run appends (or, for the
+//! same SHA and mode, replaces) its entry instead of overwriting the
+//! trajectory, so the file records the compile-time speedup across PRs;
+//! `--threads`/`--service` runs add `par_tN`/`svc_*` fields to their entry.
 
-use std::time::Instant;
-use tpde_bench::{geomean, measure, measure_parallel, scaled, Backend};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use tpde_bench::{geomean, measure, measure_parallel, scaled, service_request_modules, Backend};
 use tpde_core::codebuf::assert_identical;
 use tpde_core::codegen::CompileOptions;
+use tpde_core::service::ServiceConfig;
 use tpde_core::timing::Phase;
 use tpde_llvm::workloads::{build_workload, spec_workloads, IrStyle};
-use tpde_llvm::{compile_baseline, compile_copy_patch, compile_x64};
+use tpde_llvm::{
+    compile_baseline, compile_copy_patch, compile_service, compile_x64, ModuleRequest,
+    ServiceBackendKind,
+};
 
 /// The current git commit (short SHA), or `"unknown"` outside a checkout.
 fn git_sha() -> String {
@@ -36,10 +47,12 @@ fn git_sha() -> String {
 
 /// Extracts the per-PR history entry lines from a previously written report
 /// (the lines inside the `"history": [...]` array), dropping any entry for
-/// `current_sha` so a re-run replaces its own entry instead of duplicating
-/// it. The dropped entry (if any) is returned separately so fields the new
-/// run did not measure (e.g. `par_tN`) can be carried over.
-fn read_history(path: &str, current_sha: &str) -> (Vec<String>, Option<String>) {
+/// `current_sha` *in the same mode* (quick vs. full) so a re-run replaces
+/// its own entry instead of duplicating it — a commit can carry one full
+/// and one quick entry side by side. The dropped entry (if any) is returned
+/// separately so fields the new run did not measure (e.g. `par_tN`,
+/// `svc_*`) can be carried over.
+fn read_history(path: &str, current_sha: &str, quick: bool) -> (Vec<String>, Option<String>) {
     let Ok(old) = std::fs::read_to_string(path) else {
         return (Vec::new(), None);
     };
@@ -47,6 +60,7 @@ fn read_history(path: &str, current_sha: &str) -> (Vec<String>, Option<String>) 
         return (Vec::new(), None);
     };
     let sha_marker = format!("\"sha\": \"{current_sha}\"");
+    let quick_marker = format!("\"quick\": {quick}");
     let mut kept = Vec::new();
     let mut replaced = None;
     for l in old[start..]
@@ -55,7 +69,7 @@ fn read_history(path: &str, current_sha: &str) -> (Vec<String>, Option<String>) 
         .take_while(|l| l.trim_start().starts_with('{'))
         .map(|l| l.trim().trim_end_matches(',').to_string())
     {
-        if l.contains(&sha_marker) {
+        if l.contains(&sha_marker) && l.contains(&quick_marker) {
             replaced = Some(l);
         } else {
             kept.push(l);
@@ -64,13 +78,14 @@ fn read_history(path: &str, current_sha: &str) -> (Vec<String>, Option<String>) 
     (kept, replaced)
 }
 
-/// Collects the `"par_tN": <value>` fields of a history entry line, so a
-/// re-run that did not measure thread scaling keeps the previously recorded
-/// numbers instead of silently erasing them.
-fn salvage_par_fields(entry: &str) -> String {
+/// Collects the `"<prefix>...": <value>` fields of a history entry line, so
+/// a re-run that did not measure an optional scenario (thread scaling,
+/// service throughput) keeps the previously recorded numbers instead of
+/// silently erasing them.
+fn salvage_fields(entry: &str, prefix: &str) -> String {
     let mut out = String::new();
     let mut rest = entry;
-    while let Some(i) = rest.find("\"par_t") {
+    while let Some(i) = rest.find(prefix) {
         let field = &rest[i..];
         let end = field
             .find([',', '}'])
@@ -83,6 +98,60 @@ fn salvage_par_fields(entry: &str) -> String {
     out
 }
 
+/// Reads the numeric value of `"name": <value>` from a history entry line.
+fn read_field(entry: &str, name: &str) -> Option<f64> {
+    let marker = format!("\"{name}\": ");
+    let i = entry.find(&marker)? + marker.len();
+    let rest = &entry[i..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// The bench-regression gate: compares this run's geomeans against the most
+/// recent history entry of the same mode (quick runs against quick entries,
+/// full against full — the absolute speedups differ between modes). Returns
+/// an error message when either TPDE geomean dropped by more than
+/// `threshold` percent.
+fn check_regression(
+    prior: &[String],
+    quick: bool,
+    geo: (f64, f64, f64),
+    threshold: f64,
+) -> Result<(), String> {
+    let quick_marker = format!("\"quick\": {quick}");
+    let Some(prev) = prior.iter().rev().find(|l| l.contains(&quick_marker)) else {
+        println!(
+            "(bench gate: no previous quick={quick} entry in history; nothing to compare against)"
+        );
+        return Ok(());
+    };
+    let prev_sha = prev
+        .split("\"sha\": \"")
+        .nth(1)
+        .and_then(|s| s.split('"').next())
+        .unwrap_or("?");
+    let mut failures = Vec::new();
+    for (name, new) in [("tpde_x64", geo.0), ("tpde_a64", geo.1)] {
+        let Some(old) = read_field(prev, name) else {
+            continue;
+        };
+        let drop_pct = (old - new) / old * 100.0;
+        println!(
+            "bench gate: {name} geomean {new:.4} vs {old:.4} at {prev_sha} ({drop_pct:+.1}% drop, limit {threshold:.0}%)"
+        );
+        if drop_pct > threshold {
+            failures.push(format!(
+                "{name} geomean regressed {drop_pct:.1}% ({old:.4} -> {new:.4}, vs {prev_sha})"
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(failures.join("; "))
+    }
+}
+
 /// Thread-scaling results of the parallel pipeline (`--threads N`).
 struct ParallelReport {
     workload: String,
@@ -90,6 +159,115 @@ struct ParallelReport {
     seq_ms: f64,
     /// (worker count, best-of compile ms, speedup over sequential)
     points: Vec<(usize, f64, f64)>,
+}
+
+/// One worker-count measurement of the compile-service scenario.
+struct ServicePoint {
+    workers: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_mps: f64,
+    warm_mps: f64,
+    hit_rate: f64,
+}
+
+/// Request-throughput results of the persistent compile service
+/// (`--service`).
+struct ServiceReport {
+    modules: usize,
+    points: Vec<ServicePoint>,
+}
+
+/// Measures the persistent compile service: a mix of small (batched) and
+/// enlarged (sharded) modules is submitted as one pipelined burst per pass,
+/// cold (empty cache) and warm (every module repeated). Every response is
+/// checked byte-identical against the one-shot sequential compiler, and the
+/// warm pass must be at least 5× faster than the cold one.
+fn service_throughput(quick: bool, worker_counts: &[usize]) -> ServiceReport {
+    let mult = if quick { 8 } else { 16 };
+    let mix = service_request_modules(mult);
+    let opts = CompileOptions::default();
+    let references: Vec<_> = mix
+        .iter()
+        .map(|(_, m)| compile_x64(m, &opts).expect("one-shot reference").buf)
+        .collect();
+
+    println!("\n== Compile service: pooled multi-request throughput (modules/sec)");
+    println!(
+        "   {} modules per pass ({} small + 1 sharded large), cold cache vs. warm cache",
+        mix.len(),
+        mix.len() - 1
+    );
+    println!(
+        "{:<10} {:>10} {:>10} {:>12} {:>12} {:>10}",
+        "workers", "cold ms", "warm ms", "cold mod/s", "warm mod/s", "hit rate"
+    );
+    let mut points = Vec::new();
+    for &workers in worker_counts {
+        let svc = compile_service(ServiceConfig {
+            workers,
+            shard_threshold: 64,
+            cache_capacity: 2 * mix.len(),
+        });
+        let run_pass = |expect_hits: bool| -> Duration {
+            let start = Instant::now();
+            let tickets: Vec<_> = mix
+                .iter()
+                .map(|(_, m)| {
+                    svc.submit(ModuleRequest::new(
+                        Arc::clone(m),
+                        ServiceBackendKind::TpdeX64,
+                    ))
+                })
+                .collect();
+            let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+            let elapsed = start.elapsed();
+            for ((name, _), r) in mix.iter().zip(&responses) {
+                assert_eq!(
+                    r.timing.cache_hit, expect_hits,
+                    "{name}: unexpected cache behaviour (hit={})",
+                    r.timing.cache_hit
+                );
+            }
+            for (((name, _), r), want) in mix.iter().zip(responses).zip(&references) {
+                let buf = r.module.expect(name).buf;
+                assert_identical(want, &buf, &format!("service {name} workers={workers}"));
+            }
+            elapsed
+        };
+        let cold = run_pass(false);
+        let mut warm = Duration::MAX;
+        for _ in 0..3 {
+            warm = warm.min(run_pass(true));
+        }
+        let stats = svc.stats();
+        let cold_ms = cold.as_secs_f64() * 1000.0;
+        let warm_ms = warm.as_secs_f64() * 1000.0;
+        let cold_mps = mix.len() as f64 / cold.as_secs_f64();
+        let warm_mps = mix.len() as f64 / warm.as_secs_f64();
+        println!(
+            "{workers:<10} {cold_ms:>10.3} {warm_ms:>10.3} {cold_mps:>12.0} {warm_mps:>12.0} {:>9.0}%",
+            stats.hit_rate() * 100.0
+        );
+        assert!(
+            warm_ms * 5.0 <= cold_ms,
+            "warm-cache pass must be at least 5x faster than cold \
+             (cold {cold_ms:.3} ms, warm {warm_ms:.3} ms at {workers} workers)"
+        );
+        points.push(ServicePoint {
+            workers,
+            cold_ms,
+            warm_ms,
+            cold_mps,
+            warm_mps,
+            hit_rate: stats.hit_rate(),
+        });
+    }
+    println!("   (byte-identity vs. the one-shot compiler is asserted for every request)");
+    ServiceReport {
+        modules: mix.len(),
+        points,
+    }
 }
 
 /// Writes the machine-readable compile-time speedup report, appending this
@@ -104,10 +282,12 @@ fn write_json(
     rows: &[(&str, f64, f64, f64)],
     geo: (f64, f64, f64),
     par: Option<&ParallelReport>,
-) -> std::io::Result<()> {
+    service: Option<&ServiceReport>,
+) -> std::io::Result<Vec<String>> {
     use std::fmt::Write as _;
     let sha = git_sha();
-    let (mut history, replaced) = read_history(path, &sha);
+    let (mut history, replaced) = read_history(path, &sha, quick);
+    let prior = history.clone();
     let mut entry = format!(
         "{{\"sha\": \"{sha}\", \"quick\": {quick}, \"tpde_x64\": {:.4}, \"tpde_a64\": {:.4}, \"copy_patch\": {:.4}",
         geo.0, geo.1, geo.2
@@ -121,7 +301,23 @@ fn write_json(
         // no thread scaling this run: keep the same-SHA entry's numbers
         None => {
             if let Some(old) = &replaced {
-                entry.push_str(&salvage_par_fields(old));
+                entry.push_str(&salvage_fields(old, "\"par_t"));
+            }
+        }
+    }
+    match service {
+        Some(s) => {
+            if let Some(p) = s.points.last() {
+                let _ = write!(
+                    entry,
+                    ", \"svc_t{}_cold_mps\": {:.1}, \"svc_t{}_warm_mps\": {:.1}",
+                    p.workers, p.cold_mps, p.workers, p.warm_mps
+                );
+            }
+        }
+        None => {
+            if let Some(old) = &replaced {
+                entry.push_str(&salvage_fields(old, "\"svc_"));
             }
         }
     }
@@ -163,6 +359,22 @@ fn write_json(
         }
         out.push_str("  ]},\n");
     }
+    if let Some(s) = service {
+        let _ = writeln!(
+            out,
+            "  \"service\": {{\"modules\": {}, \"points\": [",
+            s.modules
+        );
+        for (i, p) in s.points.iter().enumerate() {
+            let comma = if i + 1 < s.points.len() { "," } else { "" };
+            let _ = writeln!(
+                out,
+                "    {{\"workers\": {}, \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"cold_mps\": {:.1}, \"warm_mps\": {:.1}, \"hit_rate\": {:.4}}}{comma}",
+                p.workers, p.cold_ms, p.warm_ms, p.cold_mps, p.warm_mps, p.hit_rate
+            );
+        }
+        out.push_str("  ]},\n");
+    }
     out.push_str("  \"history\": [\n");
     for (i, entry) in history.iter().enumerate() {
         let comma = if i + 1 < history.len() { "," } else { "" };
@@ -170,7 +382,8 @@ fn write_json(
     }
     out.push_str("  ]\n");
     out.push_str("}\n");
-    std::fs::write(path, out)
+    std::fs::write(path, out)?;
+    Ok(prior)
 }
 
 /// Measures the thread-scaling curve of the parallel pipeline on an
@@ -235,6 +448,7 @@ fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
     let json = args.iter().any(|a| a == "--json");
+    let service = args.iter().any(|a| a == "--service");
     let threads: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
         args.get(i + 1)
             .and_then(|v| v.parse().ok())
@@ -242,6 +456,12 @@ fn main() {
                 eprintln!("--threads requires a positive integer worker count");
                 std::process::exit(2);
             })
+    });
+    // `--gate` takes an optional drop threshold in percent (default 10).
+    let gate: Option<f64> = args.iter().position(|a| a == "--gate").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse::<f64>().ok())
+            .unwrap_or(10.0)
     });
     let scale = if quick { 2_000 } else { 50_000 };
     let workloads: Vec<_> = spec_workloads()
@@ -302,18 +522,37 @@ fn main() {
         geomean(&sp_cp)
     );
     let par_report = threads.map(|n| thread_scaling(quick, n.max(1)));
-    if json {
-        let geo = (geomean(&sp_x64), geomean(&sp_a64), geomean(&sp_cp));
+    let service_report = service.then(|| service_throughput(quick, &[1, 2, 4]));
+    let geo = (geomean(&sp_x64), geomean(&sp_a64), geomean(&sp_cp));
+    // The gate compares against the committed history; only `--json` runs
+    // rewrite the report file.
+    let prior = if json {
         match write_json(
             "BENCH_compile.json",
             quick,
             &json_rows,
             geo,
             par_report.as_ref(),
+            service_report.as_ref(),
         ) {
-            Ok(()) => println!("(wrote BENCH_compile.json)"),
-            Err(e) => eprintln!("failed to write BENCH_compile.json: {e}"),
+            Ok(prior) => {
+                println!("(wrote BENCH_compile.json)");
+                Some(prior)
+            }
+            Err(e) => {
+                eprintln!("failed to write BENCH_compile.json: {e}");
+                None
+            }
         }
+    } else {
+        gate.map(|_| read_history("BENCH_compile.json", &git_sha(), quick).0)
+    };
+    if let (Some(threshold), Some(prior)) = (gate, prior.as_ref()) {
+        if let Err(msg) = check_regression(prior, quick, geo, threshold) {
+            eprintln!("bench gate FAILED: {msg}");
+            std::process::exit(1);
+        }
+        println!("bench gate passed");
     }
 
     println!(

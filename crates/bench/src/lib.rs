@@ -6,7 +6,7 @@ use std::time::{Duration, Instant};
 use tpde_core::codegen::CompileOptions;
 use tpde_core::jit::link_in_memory;
 use tpde_llvm::ir::Module;
-use tpde_llvm::workloads::{build_workload, expected_result, IrStyle, Workload};
+use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
 use tpde_llvm::{compile_a64, compile_baseline, compile_copy_patch, compile_x64};
 use tpde_x64emu::run_function;
 
@@ -149,6 +149,35 @@ pub fn scaled(w: &Workload, input: u64) -> Workload {
     Workload { input, ..w.clone() }
 }
 
+/// Builds the request mix of the `figures --service` throughput scenario:
+/// every SPEC-like workload as-is (small modules, batched onto one worker)
+/// plus a `shard_mult`-times enlarged copy of the largest workload (crosses
+/// the service's shard threshold and spreads across the pool).
+pub fn service_request_modules(shard_mult: u32) -> Vec<(String, std::sync::Arc<Module>)> {
+    let mut mix: Vec<(String, std::sync::Arc<Module>)> = spec_workloads()
+        .iter()
+        .map(|w| {
+            (
+                w.name.to_string(),
+                std::sync::Arc::new(build_workload(w, IrStyle::O0)),
+            )
+        })
+        .collect();
+    let base = spec_workloads()
+        .into_iter()
+        .max_by_key(|w| w.funcs)
+        .expect("workloads");
+    let big = Workload {
+        funcs: base.funcs * shard_mult,
+        ..base.clone()
+    };
+    mix.push((
+        format!("{}x{shard_mult}", base.name),
+        std::sync::Arc::new(build_workload(&big, IrStyle::O0)),
+    ));
+    mix
+}
+
 /// Geometric mean helper used when reporting speedups.
 pub fn geomean(values: &[f64]) -> f64 {
     if values.is_empty() {
@@ -161,7 +190,6 @@ pub fn geomean(values: &[f64]) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use tpde_llvm::workloads::spec_workloads;
 
     #[test]
     fn geomean_of_identical_values() {

@@ -23,7 +23,7 @@ use std::time::Instant;
 
 /// Options controlling code generation; the non-default settings exist for
 /// the ablation studies described in DESIGN.md.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CompileOptions {
     /// Pin single-part phi values of innermost loop headers to callee-saved
     /// registers (§3.4.5).
@@ -79,7 +79,7 @@ impl CompileStats {
 }
 
 /// A compiled module: the filled code buffer plus statistics and timings.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct CompiledModule {
     /// All sections, symbols and relocations of the module.
     pub buf: CodeBuffer,
@@ -401,6 +401,49 @@ impl<T: Target> CodeGen<T> {
         adapter.finalize_func();
         stats.funcs += 1;
         Ok(())
+    }
+
+    /// The worker-side sharding unit: compiles function `f` into `buf` with
+    /// `SymbolId(f.0)` as its symbol, lending the session's recycled fixup
+    /// pool to `buf` for the duration of the call, and skips declarations
+    /// (returns `Ok(false)`).
+    ///
+    /// Both the scoped [`crate::parallel::ParallelDriver`] workers and the
+    /// persistent [`crate::service::CompileService`] workers call this from
+    /// their shard loops, which is what keeps the two pipelines
+    /// byte-identical: they emit through the exact same unit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any error produced by the analysis pass, the register
+    /// allocator or the instruction compilers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn compile_func_pooled<A: IrAdapter, C: InstCompiler<A, T>>(
+        &self,
+        session: &mut CompileSession,
+        adapter: &mut A,
+        compiler: &mut C,
+        buf: &mut CodeBuffer,
+        f: FuncRef,
+        stats: &mut CompileStats,
+        timings: &mut PassTimings,
+    ) -> Result<bool> {
+        if !adapter.func_is_definition(f) {
+            return Ok(false);
+        }
+        buf.adopt_fixup_pool(std::mem::take(&mut session.fixups));
+        let r = self.compile_func_into(
+            session,
+            adapter,
+            compiler,
+            buf,
+            f,
+            SymbolId(f.0),
+            stats,
+            timings,
+        );
+        session.fixups = buf.release_fixup_pool();
+        r.map(|()| true)
     }
 }
 

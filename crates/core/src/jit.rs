@@ -61,6 +61,31 @@ impl JitImage {
     pub fn text_size(&self) -> u64 {
         self.text_range().1
     }
+
+    /// Deterministic content fingerprint of the image: section kinds,
+    /// addresses and (relocated) bytes, plus the symbol and call-out maps in
+    /// name order.
+    ///
+    /// Because in-memory linking depends only on the buffer's bytes, symbol
+    /// order and relocations, two byte-identical [`CodeBuffer`]s — e.g. a
+    /// compile-service cache hit and a fresh compile — map to images with
+    /// equal fingerprints; the service tests and the `figures --service`
+    /// scenario use this to compare whole images cheaply.
+    pub fn fingerprint(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = crate::service::Fnv1a::new();
+        for (kind, addr, data) in &self.sections {
+            (*kind as u8).hash(&mut h);
+            addr.hash(&mut h);
+            data.hash(&mut h);
+        }
+        for map in [&self.symbols, &self.externals] {
+            let mut entries: Vec<(&str, u64)> = map.iter().map(|(n, a)| (n.as_str(), *a)).collect();
+            entries.sort_unstable();
+            entries.hash(&mut h);
+        }
+        h.finish()
+    }
 }
 
 fn align_up(v: u64, align: u64) -> u64 {

@@ -24,7 +24,10 @@
 //! JIT image ([`jit`]). On multi-core hosts a module's functions can be
 //! compiled concurrently by the function-sharded [`parallel`] driver, whose
 //! deterministic shard merge produces output byte-identical to the
-//! sequential driver.
+//! sequential driver. Drivers serving a *stream* of modules (JIT-style
+//! workloads) keep a persistent [`service::CompileService`], which pipelines
+//! requests across a pool of long-lived workers and answers repeated
+//! modules from a content-addressed cache.
 //!
 //! ```
 //! // The `tpde-llvm` crate contains an LLVM-IR-like SSA IR with an adapter;
@@ -48,6 +51,7 @@ pub mod obj;
 pub mod parallel;
 pub mod regalloc;
 pub mod regs;
+pub mod service;
 pub mod target;
 pub mod timing;
 
@@ -57,3 +61,5 @@ pub use codegen::{CodeGen, CompileOptions, CompileSession, CompiledModule};
 pub use error::{Error, Result};
 pub use parallel::{ParallelDriver, WorkerPool};
 pub use regs::{Reg, RegBank};
+pub use service::{CompileService, ServiceBackend, ServiceConfig, ServiceResponse, Ticket};
+pub use timing::{RequestTiming, ServiceStats};

@@ -41,10 +41,62 @@ use crate::timing::PassTimings;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
 /// One worker's shard: its buffer and the extents of the functions it
-/// compiled.
-struct Shard {
-    buf: CodeBuffer,
-    records: Vec<(u32, ShardExtent)>,
+/// compiled. Shared with the persistent [`crate::service`] pipeline, whose
+/// shard participants produce the same records from long-lived threads.
+pub(crate) struct Shard {
+    pub(crate) buf: CodeBuffer,
+    pub(crate) records: Vec<(u32, ShardExtent)>,
+}
+
+/// Verifies the predeclare contract on a merged buffer: exactly one
+/// uniquely named, undefined function symbol per function, in
+/// function-index order (so function `i` ↔ `SymbolId(i)`).
+pub(crate) fn check_predeclared_func_symbols(merged: &CodeBuffer, nfuncs: usize) -> Result<()> {
+    if merged.symbols().len() != nfuncs {
+        let n = merged.symbols().len();
+        return Err(Error::Emit(format!(
+            "parallel compilation requires one uniquely named symbol per \
+             function ({n} declared for {nfuncs} functions)"
+        )));
+    }
+    // The merge defines SymbolId(f) as function f's symbol, so the
+    // predeclared prefix must really be the function symbols: undefined
+    // function symbols, one per function, in function-index order.
+    for i in 0..nfuncs as u32 {
+        let sym = merged.symbol(SymbolId(i));
+        if !sym.is_func || sym.section.is_some() {
+            return Err(Error::Emit(format!(
+                "predeclared symbol {i} ({:?}) is not an undefined \
+                 function symbol; the function-index ↔ symbol-id \
+                 correspondence would not hold",
+                merged.symbol_name(SymbolId(i))
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic merge: appends every shard extent to `merged` in
+/// function-index order, remapping shard-local symbols, and defines the
+/// function symbols over the merged ranges. The result is independent of
+/// how functions were distributed across the shards.
+pub(crate) fn merge_shards(merged: &mut CodeBuffer, nfuncs: usize, shards: &[Shard]) -> Result<()> {
+    let mut order: Vec<(u32, usize, usize)> = Vec::new();
+    for (si, sh) in shards.iter().enumerate() {
+        for (ri, &(f, _)) in sh.records.iter().enumerate() {
+            order.push((f, si, ri));
+        }
+    }
+    order.sort_unstable_by_key(|&(f, _, _)| f);
+    let mut maps: Vec<SymbolRemap> = (0..shards.len())
+        .map(|_| SymbolRemap::identity(nfuncs as u32))
+        .collect();
+    for (f, si, ri) in order {
+        let (_, ext) = shards[si].records[ri];
+        let off = merged.merge_from(&shards[si].buf, &ext, &mut maps[si])?;
+        merged.define_symbol(SymbolId(f), SectionKind::Text, off, ext.text_len());
+    }
+    Ok(())
 }
 
 /// Compiles `nfuncs` function units across `states.len()` worker threads and
@@ -95,32 +147,8 @@ where
     }
     let mut merged = CodeBuffer::new();
     predeclare(&mut merged);
-    if merged.symbols().len() != nfuncs {
-        let n = merged.symbols().len();
-        return (
-            states,
-            Err(Error::Emit(format!(
-                "parallel compilation requires one uniquely named symbol per \
-                 function ({n} declared for {nfuncs} functions)"
-            ))),
-        );
-    }
-    // The merge defines SymbolId(f) as function f's symbol, so the
-    // predeclared prefix must really be the function symbols: undefined
-    // function symbols, one per function, in function-index order.
-    for i in 0..nfuncs as u32 {
-        let sym = merged.symbol(SymbolId(i));
-        if !sym.is_func || sym.section.is_some() {
-            return (
-                states,
-                Err(Error::Emit(format!(
-                    "predeclared symbol {i} ({:?}) is not an undefined \
-                     function symbol; the function-index ↔ symbol-id \
-                     correspondence would not hold",
-                    merged.symbol_name(SymbolId(i))
-                ))),
-            );
-        }
+    if let Err(e) = check_predeclared_func_symbols(&merged, nfuncs) {
+        return (states, Err(e));
     }
 
     let next = AtomicUsize::new(0);
@@ -200,22 +228,8 @@ where
     }
 
     // Deterministic merge: extents in function-index order.
-    let mut order: Vec<(u32, usize, usize)> = Vec::new();
-    for (si, sh) in shards.iter().enumerate() {
-        for (ri, &(f, _)) in sh.records.iter().enumerate() {
-            order.push((f, si, ri));
-        }
-    }
-    order.sort_unstable_by_key(|&(f, _, _)| f);
-    let mut maps: Vec<SymbolRemap> = (0..shards.len())
-        .map(|_| SymbolRemap::identity(nfuncs as u32))
-        .collect();
-    for (f, si, ri) in order {
-        let (_, ext) = shards[si].records[ri];
-        match merged.merge_from(&shards[si].buf, &ext, &mut maps[si]) {
-            Ok(off) => merged.define_symbol(SymbolId(f), SectionKind::Text, off, ext.text_len()),
-            Err(e) => return (states, Err(e)),
-        }
+    if let Err(e) = merge_shards(&mut merged, nfuncs, &shards) {
+        return (states, Err(e));
     }
     (states, Ok(merged))
 }
@@ -224,6 +238,13 @@ where
 /// sequential driver, a pool lets JIT-style drivers compile many modules
 /// with an allocation-free steady-state loop — each worker keeps reusing the
 /// same analysis scratch, assignment tables and fixup pool.
+///
+/// Sessions are **target-agnostic**: every compile re-runs
+/// [`CodeGen::prepare_session`], which reconfigures the register file from
+/// scratch for the driver's target, so one pool can serve modules for
+/// heterogeneous targets (x86-64 and AArch64 interleaved) without being
+/// rebuilt — only the warm buffer capacities carry over. Pinned by the
+/// cross-target pool test in `crates/llvm/tests/parallel.rs`.
 #[derive(Debug, Default)]
 pub struct WorkerPool {
     sessions: Vec<CompileSession>,
@@ -357,25 +378,15 @@ impl ParallelDriver {
             let _ = declare_func_symbols(&probe, buf);
         };
         let compile = |w: &mut Worker<A, C>, buf: &mut CodeBuffer, f: u32| -> Result<bool> {
-            let fr = FuncRef(f);
-            if !w.adapter.func_is_definition(fr) {
-                return Ok(false);
-            }
-            // Lend the worker session's recycled fixup pool to the shard
-            // buffer for the duration of this function (three Vec swaps).
-            buf.adopt_fixup_pool(std::mem::take(&mut w.session.fixups));
-            let r = cg.compile_func_into(
+            cg.compile_func_pooled(
                 &mut w.session,
                 &mut w.adapter,
                 &mut w.compiler,
                 buf,
-                fr,
-                SymbolId(f),
+                FuncRef(f),
                 &mut w.stats,
                 &mut w.timings,
-            );
-            w.session.fixups = buf.release_fixup_pool();
-            r.map(|()| true)
+            )
         };
 
         let (states, buf) = compile_sharded(nfuncs, states, predeclare, compile);

@@ -1,0 +1,1042 @@
+//! Persistent compile service: pooled multi-request pipelining with a
+//! content-addressed module cache.
+//!
+//! The one-shot entry points ([`crate::codegen::CodeGen::compile_module`],
+//! [`crate::parallel::ParallelDriver`]) pay their setup cost — thread spawn,
+//! session warm-up, adapter indexing — on every call. JIT-style workloads
+//! instead see a *stream* of mostly small modules arriving continuously, so
+//! a [`CompileService`] keeps everything warm across requests:
+//!
+//! * **Persistent workers.** `workers` threads are spawned once at
+//!   construction; each owns a [`CompileSession`] and a backend-defined
+//!   warm state ([`ServiceBackend::Worker`], e.g. pre-indexed adapter
+//!   tables and an instruction compiler) that survive from request to
+//!   request, so the steady-state compile loop stays allocation-free.
+//! * **Pipelining.** Requests are submitted without blocking and answered
+//!   through a [`Ticket`]. Small modules are batched whole onto one worker
+//!   (different requests compile concurrently on different workers); large
+//!   modules (≥ [`ServiceConfig::shard_threshold`] functions) are sharded
+//!   *across* the pool using the same per-function units and deterministic
+//!   merge as [`crate::parallel::compile_sharded`].
+//! * **Module cache.** Responses of cacheable requests are stored under a
+//!   content hash of the request ([`ServiceBackend::request_key`]); a
+//!   repeated module skips compilation entirely and is answered at
+//!   submission with a byte-identical copy of the cached buffer. The cache
+//!   is LRU-bounded by [`ServiceConfig::cache_capacity`].
+//!
+//! # Determinism contract
+//!
+//! For every request, the response buffer is **byte-identical to the
+//! one-shot sequential compiler** for that backend: the batched path runs
+//! the sequential driver itself, the sharded path inherits the
+//! [`crate::parallel`] merge contract, and cache hits replay a buffer that
+//! was produced by one of the two. Pinned by `crates/llvm/tests/service.rs`
+//! for every workload kind × worker count × backend.
+//!
+//! # Shutdown
+//!
+//! Dropping the service *drains* the queue: no new requests are accepted,
+//! but every submitted request — queued or in flight — is compiled and its
+//! ticket answered before the worker threads exit.
+
+use crate::codebuf::CodeBuffer;
+use crate::codegen::{CompileSession, CompileStats, CompiledModule};
+use crate::error::{Error, Result};
+use crate::parallel::{check_predeclared_func_symbols, merge_shards, Shard};
+use crate::timing::{PassTimings, RequestTiming, ServiceStats};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Deterministic 64-bit FNV-1a hasher, usable with `#[derive(Hash)]` types.
+///
+/// Unlike [`std::collections::hash_map::RandomState`], the result is stable
+/// across processes and runs, which is what a content-addressed module
+/// cache (and any on-disk artifact keyed by it) needs.
+#[derive(Clone, Debug)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Creates a hasher with the standard FNV-1a offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Fnv1a {
+        Fnv1a::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+/// Configuration of a [`CompileService`].
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Number of persistent worker threads (at least 1).
+    pub workers: usize,
+    /// Modules with at least this many functions are sharded across the
+    /// pool; smaller ones are batched whole onto one worker. Sharding also
+    /// requires more than one worker.
+    pub shard_threshold: usize,
+    /// Maximum number of cached modules; 0 disables the cache.
+    pub cache_capacity: usize,
+}
+
+impl ServiceConfig {
+    /// A config with `workers` threads and the default placement/cache
+    /// settings.
+    pub fn with_workers(workers: usize) -> ServiceConfig {
+        ServiceConfig {
+            workers,
+            ..ServiceConfig::default()
+        }
+    }
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            workers: 2,
+            shard_threshold: 64,
+            cache_capacity: 128,
+        }
+    }
+}
+
+/// The IR- and target-specific half of a [`CompileService`].
+///
+/// A backend receives requests of its own type (typically an `Arc` of a
+/// module plus a target/options selector) and provides the per-function
+/// compilation units the service schedules. The three compile paths must
+/// agree: [`ServiceBackend::compile_module`] is the sequential reference,
+/// and [`ServiceBackend::predeclare`] + [`ServiceBackend::compile_func`]
+/// must reproduce it function by function under the
+/// [`crate::parallel::compile_sharded`] contract (self-contained function
+/// output, one predeclared symbol per function in index order).
+pub trait ServiceBackend: Send + Sync + 'static {
+    /// One compile request (owned, shared across worker threads).
+    type Request: Send + Sync + 'static;
+    /// Warm per-thread state kept across requests (adapter tables,
+    /// instruction compilers, cached target drivers).
+    type Worker: Send + 'static;
+
+    /// Creates the warm state of one worker thread.
+    fn new_worker(&self) -> Self::Worker;
+
+    /// Content hash of the request — the module cache key. Must cover
+    /// everything that influences the output bytes (module content, target,
+    /// backend selection, compile options). `None` makes the request
+    /// uncacheable.
+    fn request_key(&self, req: &Self::Request) -> Option<u64>;
+
+    /// Number of functions in the request's module (drives placement).
+    fn func_count(&self, req: &Self::Request) -> usize;
+
+    /// Configures a session for the request's target (sharded path only;
+    /// the batched path prepares inside [`ServiceBackend::compile_module`]).
+    /// The worker state is available so backends can reuse warm per-target
+    /// drivers instead of rebuilding them per request.
+    fn prepare_session(
+        &self,
+        req: &Self::Request,
+        worker: &mut Self::Worker,
+        session: &mut CompileSession,
+    );
+
+    /// Declares one symbol per function, in function-index order (sharded
+    /// path, applied to every shard buffer and the merged buffer).
+    fn predeclare(&self, req: &Self::Request, buf: &mut CodeBuffer);
+
+    /// Compiles function `f` into `buf`, returning `Ok(false)` to skip a
+    /// declaration. Output must be self-contained (see [`crate::parallel`]).
+    #[allow(clippy::too_many_arguments)]
+    fn compile_func(
+        &self,
+        req: &Self::Request,
+        worker: &mut Self::Worker,
+        session: &mut CompileSession,
+        buf: &mut CodeBuffer,
+        f: u32,
+        stats: &mut CompileStats,
+        timings: &mut PassTimings,
+    ) -> Result<bool>;
+
+    /// Compiles the whole module on one worker — must be byte-identical to
+    /// the backend's one-shot sequential entry point (the usual
+    /// implementation simply calls it with the warm session).
+    fn compile_module(
+        &self,
+        req: &Self::Request,
+        worker: &mut Self::Worker,
+        session: &mut CompileSession,
+    ) -> Result<CompiledModule>;
+}
+
+/// A service response: the compile result plus its request-level timing.
+#[derive(Debug)]
+pub struct ServiceResponse {
+    /// The compiled module, or the compile error.
+    pub module: Result<CompiledModule>,
+    /// Request-level timing and placement information.
+    pub timing: RequestTiming,
+}
+
+/// Handle to one in-flight request; redeem with [`Ticket::wait`].
+///
+/// Tickets outlive the service: dropping the [`CompileService`] drains the
+/// queue first, so a ticket submitted before the drop still resolves.
+#[derive(Debug)]
+pub struct Ticket {
+    rx: Receiver<ServiceResponse>,
+}
+
+impl Ticket {
+    /// Blocks until the response is ready.
+    pub fn wait(self) -> ServiceResponse {
+        self.rx.recv().unwrap_or_else(|_| ServiceResponse {
+            module: Err(Error::Emit(
+                "compile service shut down before answering".into(),
+            )),
+            timing: RequestTiming::default(),
+        })
+    }
+}
+
+/// LRU module cache keyed by request content hash.
+///
+/// Entries are `Arc`-shared so lookups and inserts only touch the map under
+/// the cache lock — the O(module-size) deep clone of the buffer handed to a
+/// cache-hit response happens *outside* the lock, so concurrent submitters
+/// never serialize behind a memcpy.
+struct ModuleCache {
+    capacity: usize,
+    map: HashMap<u64, Arc<CacheEntry>>,
+    tick: AtomicU64,
+    evictions: u64,
+}
+
+struct CacheEntry {
+    buf: CodeBuffer,
+    stats: CompileStats,
+    last_use: AtomicU64,
+}
+
+impl CacheEntry {
+    /// Deep copy for a response (call without holding the cache lock).
+    fn to_module(&self) -> CompiledModule {
+        CompiledModule {
+            buf: self.buf.clone(),
+            stats: self.stats.clone(),
+            timings: PassTimings::new(),
+        }
+    }
+}
+
+impl ModuleCache {
+    fn new(capacity: usize) -> ModuleCache {
+        ModuleCache {
+            capacity,
+            map: HashMap::new(),
+            tick: AtomicU64::new(0),
+            evictions: 0,
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<CacheEntry>> {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        let e = self.map.get(&key)?;
+        e.last_use.store(tick, Ordering::Relaxed);
+        Some(Arc::clone(e))
+    }
+
+    fn insert(&mut self, key: u64, entry: Arc<CacheEntry>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_use.load(Ordering::Relaxed))
+            {
+                self.map.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        entry.last_use.store(tick, Ordering::Relaxed);
+        self.map.insert(key, entry);
+    }
+}
+
+/// A small-module job: compiled whole on whichever worker pops it.
+struct SingleJob<B: ServiceBackend> {
+    req: B::Request,
+    key: Option<u64>,
+    tx: Sender<ServiceResponse>,
+    submitted: Instant,
+}
+
+/// Mutable rendezvous state of a sharded job.
+struct ShardCollect {
+    shards: Vec<Shard>,
+    stats: CompileStats,
+    timings: PassTimings,
+    /// Error of the failing function with the lowest index, if any.
+    err: Option<(u32, Error)>,
+    /// Workers currently participating.
+    active: usize,
+    /// Set once the response has been produced (later poppers skip).
+    done: bool,
+    tx: Option<Sender<ServiceResponse>>,
+    /// Time the first participant started compiling.
+    started: Option<Instant>,
+}
+
+/// A large-module job: `workers` copies are enqueued and every worker that
+/// pops one joins the shared function-index queue; the last participant to
+/// finish merges the shards and answers the ticket.
+struct ShardJob<B: ServiceBackend> {
+    req: B::Request,
+    key: Option<u64>,
+    nfuncs: usize,
+    next: AtomicUsize,
+    abort: AtomicBool,
+    collect: Mutex<ShardCollect>,
+    submitted: Instant,
+}
+
+enum Job<B: ServiceBackend> {
+    Single(Box<SingleJob<B>>),
+    Shard(Arc<ShardJob<B>>),
+}
+
+struct JobQueue<B: ServiceBackend> {
+    jobs: VecDeque<Job<B>>,
+    closed: bool,
+}
+
+/// Monotone service counters (snapshot via [`CompileService::stats`]).
+#[derive(Default)]
+struct Counters {
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    sharded: AtomicU64,
+    batched: AtomicU64,
+    /// Requests submitted but not yet answered (cache hits pass through
+    /// briefly). Its high-water mark is the queue-depth statistic — one
+    /// count per *request*, independent of how many shard copies a large
+    /// module fans out into.
+    inflight: AtomicU64,
+    max_queue_depth: AtomicU64,
+    total_latency_ns: AtomicU64,
+}
+
+struct Shared<B: ServiceBackend> {
+    backend: B,
+    cfg: ServiceConfig,
+    queue: Mutex<JobQueue<B>>,
+    cv: Condvar,
+    cache: Mutex<ModuleCache>,
+    counters: Counters,
+}
+
+impl<B: ServiceBackend> Shared<B> {
+    fn finish_request(&self, tx: &Sender<ServiceResponse>, response: ServiceResponse) {
+        self.counters.completed.fetch_add(1, Ordering::Relaxed);
+        self.counters.inflight.fetch_sub(1, Ordering::Relaxed);
+        self.counters
+            .total_latency_ns
+            .fetch_add(response.timing.total.as_nanos() as u64, Ordering::Relaxed);
+        // The submitter may have dropped its ticket; that is not an error.
+        let _ = tx.send(response);
+    }
+
+    fn cache_store(&self, key: Option<u64>, result: &Result<CompiledModule>) {
+        if let (Some(k), Ok(m)) = (key, result) {
+            // Deep-clone into the entry before taking the lock; the map
+            // operation itself is cheap.
+            let entry = Arc::new(CacheEntry {
+                buf: m.buf.clone(),
+                stats: m.stats.clone(),
+                last_use: AtomicU64::new(0),
+            });
+            self.cache.lock().unwrap().insert(k, entry);
+        }
+    }
+}
+
+/// A long-lived compile service; see the module docs.
+pub struct CompileService<B: ServiceBackend> {
+    shared: Arc<Shared<B>>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl<B: ServiceBackend> CompileService<B> {
+    /// Spawns the worker threads and returns the running service.
+    pub fn new(backend: B, cfg: ServiceConfig) -> CompileService<B> {
+        let workers = cfg.workers.max(1);
+        let cfg = ServiceConfig { workers, ..cfg };
+        let shared = Arc::new(Shared {
+            cache: Mutex::new(ModuleCache::new(cfg.cache_capacity)),
+            backend,
+            cfg,
+            queue: Mutex::new(JobQueue {
+                jobs: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+            counters: Counters::default(),
+        });
+        let threads = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("tpde-svc-{i}"))
+                    .spawn(move || worker_main(&shared))
+                    .expect("spawn compile service worker")
+            })
+            .collect();
+        CompileService { shared, threads }
+    }
+
+    /// Number of persistent worker threads.
+    pub fn workers(&self) -> usize {
+        self.threads.len()
+    }
+
+    /// Submits a request and returns immediately with a [`Ticket`].
+    ///
+    /// Cache hits are answered before this returns (the ticket resolves
+    /// without blocking); misses are queued for the worker pool.
+    pub fn submit(&self, req: B::Request) -> Ticket {
+        let submitted = Instant::now();
+        let shared = &self.shared;
+        shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
+        let inflight = shared.counters.inflight.fetch_add(1, Ordering::Relaxed) + 1;
+        shared
+            .counters
+            .max_queue_depth
+            .fetch_max(inflight, Ordering::Relaxed);
+        let (tx, rx) = channel();
+        let key = shared.backend.request_key(&req);
+
+        if let Some(k) = key {
+            // Hold the cache lock only for the map lookup; the deep clone
+            // of the cached buffer happens after it is released.
+            let hit = shared.cache.lock().unwrap().get(k);
+            if let Some(entry) = hit {
+                shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let module = entry.to_module();
+                shared.finish_request(
+                    &tx,
+                    ServiceResponse {
+                        module: Ok(module),
+                        timing: RequestTiming {
+                            total: submitted.elapsed(),
+                            cache_hit: true,
+                            ..RequestTiming::default()
+                        },
+                    },
+                );
+                return Ticket { rx };
+            }
+            shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+        }
+
+        let nfuncs = shared.backend.func_count(&req);
+        let shard = shared.cfg.workers > 1 && nfuncs >= shared.cfg.shard_threshold.max(2);
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.closed {
+            drop(queue);
+            shared.finish_request(
+                &tx,
+                ServiceResponse {
+                    module: Err(Error::Emit("compile service is shutting down".into())),
+                    timing: RequestTiming {
+                        total: submitted.elapsed(),
+                        ..RequestTiming::default()
+                    },
+                },
+            );
+            return Ticket { rx };
+        }
+        if shard {
+            shared.counters.sharded.fetch_add(1, Ordering::Relaxed);
+            let job = Arc::new(ShardJob::<B> {
+                req,
+                key,
+                nfuncs,
+                next: AtomicUsize::new(0),
+                abort: AtomicBool::new(false),
+                collect: Mutex::new(ShardCollect {
+                    shards: Vec::new(),
+                    stats: CompileStats::default(),
+                    timings: PassTimings::new(),
+                    err: None,
+                    active: 0,
+                    done: false,
+                    tx: Some(tx),
+                    started: None,
+                }),
+                submitted,
+            });
+            for _ in 0..shared.cfg.workers {
+                queue.jobs.push_back(Job::Shard(Arc::clone(&job)));
+            }
+        } else {
+            shared.counters.batched.fetch_add(1, Ordering::Relaxed);
+            queue.jobs.push_back(Job::Single(Box::new(SingleJob {
+                req,
+                key,
+                tx,
+                submitted,
+            })));
+        }
+        drop(queue);
+        if shard {
+            shared.cv.notify_all();
+        } else {
+            shared.cv.notify_one();
+        }
+        Ticket { rx }
+    }
+
+    /// Submits a request and blocks until its response is ready.
+    pub fn compile(&self, req: B::Request) -> ServiceResponse {
+        self.submit(req).wait()
+    }
+
+    /// Snapshot of the request-level statistics.
+    pub fn stats(&self) -> ServiceStats {
+        let c = &self.shared.counters;
+        let (evictions, cached_modules) = {
+            let cache = self.shared.cache.lock().unwrap();
+            (cache.evictions, cache.map.len() as u64)
+        };
+        ServiceStats {
+            submitted: c.submitted.load(Ordering::Relaxed),
+            completed: c.completed.load(Ordering::Relaxed),
+            cache_hits: c.cache_hits.load(Ordering::Relaxed),
+            cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            sharded: c.sharded.load(Ordering::Relaxed),
+            batched: c.batched.load(Ordering::Relaxed),
+            evictions,
+            cached_modules,
+            max_queue_depth: c.max_queue_depth.load(Ordering::Relaxed),
+            total_latency: std::time::Duration::from_nanos(
+                c.total_latency_ns.load(Ordering::Relaxed),
+            ),
+        }
+    }
+
+    /// Drops every cached module (for tests and memory pressure handling).
+    pub fn clear_cache(&self) {
+        let mut cache = self.shared.cache.lock().unwrap();
+        cache.map.clear();
+    }
+}
+
+impl<B: ServiceBackend> Drop for CompileService<B> {
+    /// Drains the queue: already-submitted requests (queued or in flight)
+    /// are compiled and answered before the worker threads exit.
+    fn drop(&mut self) {
+        {
+            let mut queue = self.shared.queue.lock().unwrap();
+            queue.closed = true;
+        }
+        self.shared.cv.notify_all();
+        for t in self.threads.drain(..) {
+            // A worker that panicked already poisoned its job's ticket;
+            // don't double-panic during drop.
+            let _ = t.join();
+        }
+    }
+}
+
+/// Runs a backend callback, converting a panic into [`Error::Emit`] so one
+/// bad module cannot kill a persistent worker thread. The second return
+/// value reports whether a panic was caught — the caller then discards its
+/// warm state, which the unwound backend may have left inconsistent.
+fn catch_compile<R>(what: &str, f: impl FnOnce() -> Result<R>) -> (Result<R>, bool) {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(f)) {
+        Ok(r) => (r, false),
+        Err(payload) => {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            (Err(Error::Emit(format!("{what} panicked: {msg}"))), true)
+        }
+    }
+}
+
+fn worker_main<B: ServiceBackend>(shared: &Shared<B>) {
+    let mut session = CompileSession::new();
+    let mut worker = shared.backend.new_worker();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    break job;
+                }
+                if queue.closed {
+                    return;
+                }
+                queue = shared.cv.wait(queue).unwrap();
+            }
+        };
+        let poisoned = match job {
+            Job::Single(job) => run_single(shared, *job, &mut worker, &mut session),
+            Job::Shard(job) => run_shard_participant(shared, &job, &mut worker, &mut session),
+        };
+        if poisoned {
+            // A caught panic may have left the warm state half-updated;
+            // start this worker over with fresh scratch. The thread — and
+            // with it the pool's capacity — survives.
+            session = CompileSession::new();
+            worker = shared.backend.new_worker();
+        }
+    }
+}
+
+fn run_single<B: ServiceBackend>(
+    shared: &Shared<B>,
+    job: SingleJob<B>,
+    worker: &mut B::Worker,
+    session: &mut CompileSession,
+) -> bool {
+    let started = Instant::now();
+    let (result, poisoned) = catch_compile("compile_module", || {
+        shared.backend.compile_module(&job.req, worker, session)
+    });
+    shared.cache_store(job.key, &result);
+    shared.finish_request(
+        &job.tx,
+        ServiceResponse {
+            module: result,
+            timing: RequestTiming {
+                queued: started - job.submitted,
+                total: job.submitted.elapsed(),
+                cache_hit: false,
+                sharded: false,
+            },
+        },
+    );
+    poisoned
+}
+
+fn run_shard_participant<B: ServiceBackend>(
+    shared: &Shared<B>,
+    job: &Arc<ShardJob<B>>,
+    worker: &mut B::Worker,
+    session: &mut CompileSession,
+) -> bool {
+    {
+        let mut c = job.collect.lock().unwrap();
+        if c.done {
+            return false; // answered already (all work handed out and merged)
+        }
+        c.active += 1;
+        if c.started.is_none() {
+            c.started = Some(Instant::now());
+        }
+    }
+
+    // The same per-worker shard loop as `compile_sharded`, but driven by a
+    // persistent thread with a warm session. A panic anywhere in the loop
+    // aborts the job (the indices this participant already claimed would
+    // otherwise go missing from the merge) and poisons the worker state,
+    // but the rendezvous bookkeeping below still runs so the ticket is
+    // answered.
+    let (outcome, poisoned) = catch_compile("shard compile", || {
+        shared.backend.prepare_session(&job.req, worker, session);
+        let mut buf = CodeBuffer::new();
+        buf.enable_declare_log();
+        shared.backend.predeclare(&job.req, &mut buf);
+        let mut records = Vec::new();
+        let mut stats = CompileStats::default();
+        let mut timings = PassTimings::new();
+        let mut err: Option<(u32, Error)> = None;
+        loop {
+            if job.abort.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = job.next.fetch_add(1, Ordering::Relaxed);
+            if i >= job.nfuncs {
+                break;
+            }
+            let start = buf.mark();
+            match shared.backend.compile_func(
+                &job.req,
+                worker,
+                session,
+                &mut buf,
+                i as u32,
+                &mut stats,
+                &mut timings,
+            ) {
+                Ok(true) => records.push((
+                    i as u32,
+                    crate::codebuf::ShardExtent {
+                        start,
+                        end: buf.mark(),
+                    },
+                )),
+                Ok(false) => {}
+                Err(e) => {
+                    job.abort.store(true, Ordering::Relaxed);
+                    err = Some((i as u32, e));
+                    break;
+                }
+            }
+        }
+        Ok((buf, records, stats, timings, err))
+    });
+    let (buf, records, stats, timings, err) = outcome.unwrap_or_else(|panic_err| {
+        job.abort.store(true, Ordering::Relaxed);
+        (
+            CodeBuffer::new(),
+            Vec::new(),
+            CompileStats::default(),
+            PassTimings::new(),
+            // u32::MAX so a real per-function error from another
+            // participant takes precedence in the report.
+            Some((u32::MAX, panic_err)),
+        )
+    });
+
+    let mut c = job.collect.lock().unwrap();
+    c.stats.merge(&stats);
+    c.timings.merge(&timings);
+    if let Some((i, e)) = err {
+        if c.err.as_ref().is_none_or(|(fi, _)| i < *fi) {
+            c.err = Some((i, e));
+        }
+    }
+    c.shards.push(Shard { buf, records });
+    c.active -= 1;
+    let drained =
+        job.next.load(Ordering::Relaxed) >= job.nfuncs || job.abort.load(Ordering::Relaxed);
+    if c.active == 0 && drained && !c.done {
+        c.done = true;
+        let result = finish_shard_job(shared, job, &mut c);
+        shared.cache_store(job.key, &result);
+        let queued = c.started.map(|s| s - job.submitted).unwrap_or_default();
+        let tx = c.tx.take().expect("shard response already sent");
+        drop(c);
+        shared.finish_request(
+            &tx,
+            ServiceResponse {
+                module: result,
+                timing: RequestTiming {
+                    queued,
+                    total: job.submitted.elapsed(),
+                    cache_hit: false,
+                    sharded: true,
+                },
+            },
+        );
+    }
+    poisoned
+}
+
+/// Merges a finished shard job into the response module (or surfaces the
+/// lowest-index compile error).
+fn finish_shard_job<B: ServiceBackend>(
+    shared: &Shared<B>,
+    job: &ShardJob<B>,
+    c: &mut ShardCollect,
+) -> Result<CompiledModule> {
+    if let Some((_, e)) = c.err.take() {
+        return Err(e);
+    }
+    let mut merged = CodeBuffer::new();
+    shared.backend.predeclare(&job.req, &mut merged);
+    check_predeclared_func_symbols(&merged, job.nfuncs)?;
+    let shards = std::mem::take(&mut c.shards);
+    merge_shards(&mut merged, job.nfuncs, &shards)?;
+    Ok(CompiledModule {
+        buf: merged,
+        stats: std::mem::take(&mut c.stats),
+        timings: std::mem::replace(&mut c.timings, PassTimings::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codebuf::{SectionKind, SymbolBinding};
+    use std::hash::{Hash, Hasher};
+
+    /// A toy backend: a "module" is a list of byte-sized functions; function
+    /// `i` emits `data[i]` followed by its index.
+    struct ByteBackend;
+
+    struct ByteModule {
+        data: Vec<u8>,
+        /// Forced compile error for function index, for error-path tests.
+        fail_at: Option<u32>,
+        /// Forced panic for function index, for worker-survival tests.
+        panic_at: Option<u32>,
+    }
+
+    impl ByteModule {
+        fn new(data: Vec<u8>) -> Arc<ByteModule> {
+            Arc::new(ByteModule {
+                data,
+                fail_at: None,
+                panic_at: None,
+            })
+        }
+    }
+
+    impl ServiceBackend for ByteBackend {
+        type Request = Arc<ByteModule>;
+        type Worker = ();
+
+        fn new_worker(&self) {}
+
+        fn request_key(&self, req: &Arc<ByteModule>) -> Option<u64> {
+            let mut h = Fnv1a::new();
+            req.data.hash(&mut h);
+            req.fail_at.hash(&mut h);
+            req.panic_at.hash(&mut h);
+            Some(h.finish())
+        }
+
+        fn func_count(&self, req: &Arc<ByteModule>) -> usize {
+            req.data.len()
+        }
+
+        fn prepare_session(
+            &self,
+            _req: &Arc<ByteModule>,
+            _worker: &mut (),
+            _session: &mut CompileSession,
+        ) {
+        }
+
+        fn predeclare(&self, req: &Arc<ByteModule>, buf: &mut CodeBuffer) {
+            for i in 0..req.data.len() {
+                buf.declare_symbol(&format!("f{i}"), SymbolBinding::Global, true);
+            }
+        }
+
+        fn compile_func(
+            &self,
+            req: &Arc<ByteModule>,
+            _worker: &mut (),
+            _session: &mut CompileSession,
+            buf: &mut CodeBuffer,
+            f: u32,
+            stats: &mut CompileStats,
+            _timings: &mut PassTimings,
+        ) -> Result<bool> {
+            if req.fail_at == Some(f) {
+                return Err(Error::Unsupported(format!("f{f}")));
+            }
+            if req.panic_at == Some(f) {
+                panic!("synthetic backend panic at f{f}");
+            }
+            buf.emit_u8(req.data[f as usize]);
+            buf.emit_u8(f as u8);
+            stats.funcs += 1;
+            Ok(true)
+        }
+
+        fn compile_module(
+            &self,
+            req: &Arc<ByteModule>,
+            worker: &mut (),
+            session: &mut CompileSession,
+        ) -> Result<CompiledModule> {
+            let mut buf = CodeBuffer::new();
+            self.predeclare(req, &mut buf);
+            let mut stats = CompileStats::default();
+            let mut timings = PassTimings::new();
+            for f in 0..req.data.len() as u32 {
+                let start = buf.text_offset();
+                self.compile_func(req, worker, session, &mut buf, f, &mut stats, &mut timings)?;
+                buf.define_symbol(
+                    crate::codebuf::SymbolId(f),
+                    SectionKind::Text,
+                    start,
+                    buf.text_offset() - start,
+                );
+            }
+            Ok(CompiledModule {
+                buf,
+                stats,
+                timings,
+            })
+        }
+    }
+
+    fn service(
+        workers: usize,
+        shard_threshold: usize,
+        cache: usize,
+    ) -> CompileService<ByteBackend> {
+        CompileService::new(
+            ByteBackend,
+            ServiceConfig {
+                workers,
+                shard_threshold,
+                cache_capacity: cache,
+            },
+        )
+    }
+
+    #[test]
+    fn fnv_is_deterministic_and_spreads() {
+        let mut a = Fnv1a::new();
+        1234u64.hash(&mut a);
+        let mut b = Fnv1a::new();
+        1234u64.hash(&mut b);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv1a::new();
+        1235u64.hash(&mut c);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn batched_and_sharded_agree() {
+        let module = ByteModule::new((0..40).collect());
+        // Batched: threshold above the module size, one worker.
+        let batched = service(1, 100, 0).compile(Arc::clone(&module));
+        let batched = batched.module.unwrap();
+        // Sharded: threshold below, several workers.
+        let svc = service(4, 8, 0);
+        let response = svc.compile(Arc::clone(&module));
+        assert!(response.timing.sharded);
+        let sharded = response.module.unwrap();
+        crate::codebuf::assert_identical(&batched.buf, &sharded.buf, "service shard vs batch");
+        assert_eq!(batched.stats.funcs, sharded.stats.funcs);
+    }
+
+    #[test]
+    fn pipelined_requests_all_resolve() {
+        let svc = service(3, 16, 0);
+        let modules: Vec<_> = (0..12u8)
+            .map(|i| ByteModule::new(vec![i; (i as usize % 5) * 10 + 1]))
+            .collect();
+        let tickets: Vec<_> = modules.iter().map(|m| svc.submit(Arc::clone(m))).collect();
+        for (m, t) in modules.iter().zip(tickets) {
+            let got = t.wait().module.unwrap();
+            let want = svc.compile(Arc::clone(m)); // cache may answer; still identical
+            crate::codebuf::assert_identical(
+                &want.module.unwrap().buf,
+                &got.buf,
+                "pipelined response",
+            );
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.submitted, 24);
+        assert_eq!(stats.completed, 24);
+    }
+
+    #[test]
+    fn cache_hits_are_identical_and_counted() {
+        let svc = service(2, 100, 8);
+        let module = ByteModule::new(vec![7; 10]);
+        let cold = svc.compile(Arc::clone(&module));
+        assert!(!cold.timing.cache_hit);
+        let warm = svc.compile(Arc::clone(&module));
+        assert!(warm.timing.cache_hit);
+        crate::codebuf::assert_identical(
+            &cold.module.unwrap().buf,
+            &warm.module.unwrap().buf,
+            "cache hit",
+        );
+        // A structurally identical but distinct allocation also hits.
+        let clone = ByteModule::new(vec![7; 10]);
+        assert!(svc.compile(clone).timing.cache_hit);
+        let stats = svc.stats();
+        assert_eq!(stats.cache_hits, 2);
+        assert_eq!(stats.cache_misses, 1);
+        assert!((stats.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cache_evicts_least_recently_used() {
+        let svc = service(1, 100, 2);
+        let a = ByteModule::new(vec![1]);
+        let b = ByteModule::new(vec![2]);
+        let c = ByteModule::new(vec![3]);
+        svc.compile(Arc::clone(&a));
+        svc.compile(Arc::clone(&b));
+        svc.compile(Arc::clone(&a)); // refresh a; b is now LRU
+        svc.compile(Arc::clone(&c)); // evicts b
+        assert!(svc.compile(Arc::clone(&a)).timing.cache_hit);
+        assert!(svc.compile(Arc::clone(&c)).timing.cache_hit);
+        assert!(!svc.compile(Arc::clone(&b)).timing.cache_hit);
+        assert!(svc.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn errors_propagate_and_workers_survive() {
+        let svc = service(2, 4, 0);
+        let bad = Arc::new(ByteModule {
+            data: (0..16).collect(),
+            fail_at: Some(9),
+            panic_at: None,
+        });
+        let r = svc.compile(Arc::clone(&bad));
+        assert!(matches!(r.module.unwrap_err(), Error::Unsupported(_)));
+        // The pool keeps serving after a failed module.
+        let good = ByteModule::new((0..16).collect());
+        assert!(svc.compile(good).module.is_ok());
+    }
+
+    #[test]
+    fn worker_panics_are_contained() {
+        // Batched and sharded paths: a panicking backend yields an error
+        // response, and the same pool keeps serving afterwards.
+        for shard_threshold in [100, 4] {
+            let svc = service(2, shard_threshold, 0);
+            let bad = Arc::new(ByteModule {
+                data: (0..16).collect(),
+                fail_at: None,
+                panic_at: Some(7),
+            });
+            let r = svc.compile(Arc::clone(&bad));
+            let err = format!("{}", r.module.unwrap_err());
+            assert!(err.contains("panicked"), "unexpected error: {err}");
+            let good = ByteModule::new((0..16).collect());
+            assert!(svc.compile(good).module.is_ok(), "pool died after panic");
+        }
+    }
+
+    #[test]
+    fn drop_drains_in_flight_requests() {
+        let svc = service(2, 8, 0);
+        let modules: Vec<_> = (0..8u8).map(|i| ByteModule::new(vec![i; 30])).collect();
+        let tickets: Vec<_> = modules.iter().map(|m| svc.submit(Arc::clone(m))).collect();
+        drop(svc); // must drain, not abandon
+        for t in tickets {
+            assert!(t.wait().module.is_ok(), "request dropped at teardown");
+        }
+    }
+}

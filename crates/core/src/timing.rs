@@ -94,9 +94,89 @@ impl PassTimings {
     }
 }
 
+/// Per-request timing of a [`crate::service::CompileService`] response.
+#[derive(Clone, Debug, Default)]
+pub struct RequestTiming {
+    /// Time the request spent queued before a worker picked it up (zero for
+    /// cache hits, which are answered at submission).
+    pub queued: Duration,
+    /// Submission-to-response latency.
+    pub total: Duration,
+    /// Whether the response was served from the module cache.
+    pub cache_hit: bool,
+    /// Whether the module was sharded across the pool (vs. batched onto one
+    /// worker).
+    pub sharded: bool,
+}
+
+/// Aggregate request-level statistics of a
+/// [`crate::service::CompileService`], snapshotted by
+/// [`crate::service::CompileService::stats`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceStats {
+    /// Requests submitted so far.
+    pub submitted: u64,
+    /// Requests answered so far (compiled or served from cache).
+    pub completed: u64,
+    /// Requests answered from the module cache.
+    pub cache_hits: u64,
+    /// Cacheable requests that missed the cache and were compiled.
+    pub cache_misses: u64,
+    /// Requests compiled by sharding functions across the pool.
+    pub sharded: u64,
+    /// Requests compiled whole on a single worker.
+    pub batched: u64,
+    /// Cache entries evicted to respect the configured capacity.
+    pub evictions: u64,
+    /// Modules currently held by the cache.
+    pub cached_modules: u64,
+    /// High-water mark of concurrently in-flight requests (submitted but
+    /// not yet answered) — one count per request, however many shard jobs
+    /// it fanned out into.
+    pub max_queue_depth: u64,
+    /// Sum of submission-to-response latencies over completed requests.
+    pub total_latency: Duration,
+}
+
+impl ServiceStats {
+    /// Cache hit rate over cacheable requests (0 when none were submitted).
+    pub fn hit_rate(&self) -> f64 {
+        let keyed = self.cache_hits + self.cache_misses;
+        if keyed == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / keyed as f64
+        }
+    }
+
+    /// Mean submission-to-response latency (zero before the first response).
+    pub fn mean_latency(&self) -> Duration {
+        if self.completed == 0 {
+            Duration::ZERO
+        } else {
+            self.total_latency / self.completed as u32
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn service_stats_rates() {
+        let s = ServiceStats {
+            completed: 4,
+            cache_hits: 3,
+            cache_misses: 1,
+            total_latency: Duration::from_millis(8),
+            ..ServiceStats::default()
+        };
+        assert!((s.hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(s.mean_latency(), Duration::from_millis(2));
+        assert_eq!(ServiceStats::default().hit_rate(), 0.0);
+        assert_eq!(ServiceStats::default().mean_latency(), Duration::ZERO);
+    }
 
     #[test]
     fn time_accumulates() {

@@ -19,6 +19,21 @@ pub struct LlvmAdapter<'m> {
     /// The module being compiled.
     pub module: &'m Module,
     cur: FuncId,
+    /// The reusable flat-table storage.
+    s: AdapterScratch,
+}
+
+/// The flat-table working memory of an [`LlvmAdapter`], detached from the
+/// module borrow so it can be kept warm across modules.
+///
+/// One-shot compiles never see this type ([`LlvmAdapter::new`] starts from
+/// empty tables); long-lived drivers — notably the compile-service workers —
+/// park the scratch between requests ([`LlvmAdapter::into_scratch`]) and
+/// re-attach it to the next module ([`LlvmAdapter::with_scratch`]), so the
+/// per-function indexing in `switch_func` reuses the grown capacities
+/// instead of re-allocating for every request.
+#[derive(Debug, Default)]
+pub struct AdapterScratch {
     /// Flat instruction index -> (block, index within block).
     inst_index: Vec<(u32, u32)>,
     /// Per block: (first flat index, count).
@@ -55,28 +70,24 @@ pub struct LlvmAdapter<'m> {
 }
 
 impl<'m> LlvmAdapter<'m> {
-    /// Creates an adapter for a module.
+    /// Creates an adapter for a module with empty tables.
     pub fn new(module: &'m Module) -> LlvmAdapter<'m> {
+        LlvmAdapter::with_scratch(module, AdapterScratch::default())
+    }
+
+    /// Creates an adapter for a module reusing previously grown table
+    /// capacities (see [`AdapterScratch`]).
+    pub fn with_scratch(module: &'m Module, scratch: AdapterScratch) -> LlvmAdapter<'m> {
         LlvmAdapter {
             module,
             cur: FuncId(0),
-            inst_index: Vec::new(),
-            block_ranges: Vec::new(),
-            inst_refs: Vec::new(),
-            operands: Vec::new(),
-            operand_ranges: Vec::new(),
-            results: Vec::new(),
-            result_ranges: Vec::new(),
-            succs: Vec::new(),
-            succ_ranges: Vec::new(),
-            phis: Vec::new(),
-            phi_ranges: Vec::new(),
-            phi_inc: Vec::new(),
-            phi_inc_ranges: Vec::new(),
-            args: Vec::new(),
-            stack_vars: Vec::new(),
-            use_counts: Vec::new(),
+            s: scratch,
         }
+    }
+
+    /// Detaches the flat-table storage for reuse with another module.
+    pub fn into_scratch(self) -> AdapterScratch {
+        self.s
     }
 
     /// The function currently being compiled.
@@ -86,14 +97,14 @@ impl<'m> LlvmAdapter<'m> {
 
     /// The IR instruction behind an [`InstRef`].
     pub fn inst(&self, inst: InstRef) -> &'m Inst {
-        let (b, i) = self.inst_index[inst.idx()];
+        let (b, i) = self.s.inst_index[inst.idx()];
         &self.cur_func().blocks[b as usize].insts[i as usize]
     }
 
     /// The instruction following `inst` within the same block, if any.
     pub fn next_inst_in_block(&self, inst: InstRef) -> Option<InstRef> {
-        let (b, i) = self.inst_index[inst.idx()];
-        let (start, count) = self.block_ranges[b as usize];
+        let (b, i) = self.s.inst_index[inst.idx()];
+        let (start, count) = self.s.block_ranges[b as usize];
         let next = inst.0 + 1;
         if next < start + count && (i + 1) < count {
             Some(InstRef(next))
@@ -111,7 +122,8 @@ impl<'m> LlvmAdapter<'m> {
     /// single-use check of compare/branch fusion). Precomputed in
     /// `switch_func`, so this is a table lookup.
     pub fn count_uses(&self, v: Value) -> usize {
-        self.use_counts
+        self.s
+            .use_counts
             .get(v.0 as usize)
             .copied()
             .unwrap_or_default() as usize
@@ -149,28 +161,29 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
 
     fn switch_func(&mut self, func: FuncRef) {
         self.cur = FuncId(func.0);
-        self.inst_index.clear();
-        self.block_ranges.clear();
-        self.inst_refs.clear();
-        self.operands.clear();
-        self.operand_ranges.clear();
-        self.results.clear();
-        self.result_ranges.clear();
-        self.succs.clear();
-        self.succ_ranges.clear();
-        self.phis.clear();
-        self.phi_ranges.clear();
-        self.phi_inc.clear();
-        self.phi_inc_ranges.clear();
-        self.args.clear();
-        self.stack_vars.clear();
-        self.use_counts.clear();
+        self.s.inst_index.clear();
+        self.s.block_ranges.clear();
+        self.s.inst_refs.clear();
+        self.s.operands.clear();
+        self.s.operand_ranges.clear();
+        self.s.results.clear();
+        self.s.result_ranges.clear();
+        self.s.succs.clear();
+        self.s.succ_ranges.clear();
+        self.s.phis.clear();
+        self.s.phi_ranges.clear();
+        self.s.phi_inc.clear();
+        self.s.phi_inc_ranges.clear();
+        self.s.args.clear();
+        self.s.stack_vars.clear();
+        self.s.use_counts.clear();
 
         let f = self.cur_func();
-        self.use_counts.resize(f.value_count(), 0);
-        self.phi_inc_ranges.resize(f.value_count(), (0, 0));
-        self.args.extend((0..f.params.len() as u32).map(ValueRef));
-        self.stack_vars
+        self.s.use_counts.resize(f.value_count(), 0);
+        self.s.phi_inc_ranges.resize(f.value_count(), (0, 0));
+        self.s.args.extend((0..f.params.len() as u32).map(ValueRef));
+        self.s
+            .stack_vars
             .extend(f.stack_slots.iter().zip(f.stack_slot_values.iter()).map(
                 |(&(size, align), &v)| StackVarDesc {
                     value: ValueRef(v.0),
@@ -181,52 +194,59 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
 
         for b in &f.blocks {
             // instructions: dense flat numbering
-            let start = self.inst_index.len() as u32;
+            let start = self.s.inst_index.len() as u32;
             for (ii, inst) in b.insts.iter().enumerate() {
-                self.inst_refs.push(InstRef(self.inst_index.len() as u32));
-                self.inst_index
-                    .push((self.block_ranges.len() as u32, ii as u32));
-                let op_start = self.operands.len() as u32;
+                self.s
+                    .inst_refs
+                    .push(InstRef(self.s.inst_index.len() as u32));
+                self.s
+                    .inst_index
+                    .push((self.s.block_ranges.len() as u32, ii as u32));
+                let op_start = self.s.operands.len() as u32;
                 inst.visit_operands(|v| {
-                    self.operands.push(ValueRef(v.0));
-                    self.use_counts[v.0 as usize] += 1;
+                    self.s.operands.push(ValueRef(v.0));
+                    self.s.use_counts[v.0 as usize] += 1;
                 });
-                self.operand_ranges
-                    .push((op_start, self.operands.len() as u32 - op_start));
-                let res_start = self.results.len() as u32;
+                self.s
+                    .operand_ranges
+                    .push((op_start, self.s.operands.len() as u32 - op_start));
+                let res_start = self.s.results.len() as u32;
                 if let Some(r) = inst.result() {
-                    self.results.push(ValueRef(r.0));
+                    self.s.results.push(ValueRef(r.0));
                 }
-                self.result_ranges
-                    .push((res_start, self.results.len() as u32 - res_start));
+                self.s
+                    .result_ranges
+                    .push((res_start, self.s.results.len() as u32 - res_start));
             }
-            self.block_ranges.push((start, b.insts.len() as u32));
+            self.s.block_ranges.push((start, b.insts.len() as u32));
 
             // successors (from the terminator)
-            let succ_start = self.succs.len() as u32;
+            let succ_start = self.s.succs.len() as u32;
             if let Some(t) = b.insts.last() {
-                t.visit_successors(|s| self.succs.push(BlockRef(s.0)));
+                t.visit_successors(|s| self.s.succs.push(BlockRef(s.0)));
             }
-            self.succ_ranges
-                .push((succ_start, self.succs.len() as u32 - succ_start));
+            self.s
+                .succ_ranges
+                .push((succ_start, self.s.succs.len() as u32 - succ_start));
 
             // phis and their incoming edges
-            let phi_start = self.phis.len() as u32;
+            let phi_start = self.s.phis.len() as u32;
             for p in &b.phis {
-                self.phis.push(ValueRef(p.res.0));
-                let inc_start = self.phi_inc.len() as u32;
+                self.s.phis.push(ValueRef(p.res.0));
+                let inc_start = self.s.phi_inc.len() as u32;
                 for (blk, v) in &p.incoming {
-                    self.phi_inc.push(PhiIncoming {
+                    self.s.phi_inc.push(PhiIncoming {
                         block: BlockRef(blk.0),
                         value: ValueRef(v.0),
                     });
-                    self.use_counts[v.0 as usize] += 1;
+                    self.s.use_counts[v.0 as usize] += 1;
                 }
-                self.phi_inc_ranges[p.res.0 as usize] =
-                    (inc_start, self.phi_inc.len() as u32 - inc_start);
+                self.s.phi_inc_ranges[p.res.0 as usize] =
+                    (inc_start, self.s.phi_inc.len() as u32 - inc_start);
             }
-            self.phi_ranges
-                .push((phi_start, self.phis.len() as u32 - phi_start));
+            self.s
+                .phi_ranges
+                .push((phi_start, self.s.phis.len() as u32 - phi_start));
         }
     }
 
@@ -235,49 +255,49 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
     }
 
     fn inst_count(&self) -> usize {
-        self.inst_index.len()
+        self.s.inst_index.len()
     }
 
     fn args(&self) -> &[ValueRef] {
-        &self.args
+        &self.s.args
     }
 
     fn static_stack_vars(&self) -> &[StackVarDesc] {
-        &self.stack_vars
+        &self.s.stack_vars
     }
 
     fn block_count(&self) -> usize {
-        self.block_ranges.len()
+        self.s.block_ranges.len()
     }
 
     fn block_succs(&self, block: BlockRef) -> &[BlockRef] {
-        let (start, len) = self.succ_ranges[block.idx()];
-        &self.succs[start as usize..(start + len) as usize]
+        let (start, len) = self.s.succ_ranges[block.idx()];
+        &self.s.succs[start as usize..(start + len) as usize]
     }
 
     fn block_phis(&self, block: BlockRef) -> &[ValueRef] {
-        let (start, len) = self.phi_ranges[block.idx()];
-        &self.phis[start as usize..(start + len) as usize]
+        let (start, len) = self.s.phi_ranges[block.idx()];
+        &self.s.phis[start as usize..(start + len) as usize]
     }
 
     fn block_insts(&self, block: BlockRef) -> &[InstRef] {
-        let (start, len) = self.block_ranges[block.idx()];
-        &self.inst_refs[start as usize..(start + len) as usize]
+        let (start, len) = self.s.block_ranges[block.idx()];
+        &self.s.inst_refs[start as usize..(start + len) as usize]
     }
 
     fn phi_incoming(&self, phi: ValueRef) -> &[PhiIncoming] {
-        let (start, len) = self.phi_inc_ranges[phi.idx()];
-        &self.phi_inc[start as usize..(start + len) as usize]
+        let (start, len) = self.s.phi_inc_ranges[phi.idx()];
+        &self.s.phi_inc[start as usize..(start + len) as usize]
     }
 
     fn inst_operands(&self, inst: InstRef) -> &[ValueRef] {
-        let (start, len) = self.operand_ranges[inst.idx()];
-        &self.operands[start as usize..(start + len) as usize]
+        let (start, len) = self.s.operand_ranges[inst.idx()];
+        &self.s.operands[start as usize..(start + len) as usize]
     }
 
     fn inst_results(&self, inst: InstRef) -> &[ValueRef] {
-        let (start, len) = self.result_ranges[inst.idx()];
-        &self.results[start as usize..(start + len) as usize]
+        let (start, len) = self.s.result_ranges[inst.idx()];
+        &self.s.results[start as usize..(start + len) as usize]
     }
 
     fn val_part_count(&self, _val: ValueRef) -> u32 {

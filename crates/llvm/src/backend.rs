@@ -6,16 +6,24 @@
 //! mirroring §5.1.2 of the paper (calls/returns/branches and compare+branch
 //! fusion are the only parts that are not expressed through snippets).
 
-use crate::adapter::{block_ref, value_ref, LlvmAdapter};
-use crate::ir::{Inst, Module, Type};
-use tpde_core::adapter::{InstRef, IrAdapter};
-use tpde_core::codebuf::SymbolBinding;
+use crate::adapter::{block_ref, value_ref, AdapterScratch, LlvmAdapter};
+use crate::baselines::{
+    compile_function_baseline, compile_function_stacky, declare_baseline_symbols, BaselineOutput,
+};
+use crate::ir::{Function, Inst, Module, Type};
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Weak};
+use tpde_core::adapter::{FuncRef, InstRef, IrAdapter};
+use tpde_core::codebuf::{CodeBuffer, SymbolBinding};
 use tpde_core::codegen::{
-    CallTarget, CodeGen, CompileOptions, CompiledModule, FuncCodeGen, InstCompiler,
+    declare_func_symbols, CallTarget, CodeGen, CompileOptions, CompileSession, CompileStats,
+    CompiledModule, FuncCodeGen, InstCompiler,
 };
 use tpde_core::error::Result;
 use tpde_core::parallel::{ParallelDriver, WorkerPool};
+use tpde_core::service::{CompileService, Fnv1a, ServiceBackend, ServiceConfig, ServiceResponse};
 use tpde_core::target::Target;
+use tpde_core::timing::PassTimings;
 use tpde_enc::{A64Target, X64Target};
 use tpde_snippets::{AsmOperand, SnippetEmitter};
 
@@ -36,6 +44,15 @@ pub struct LlvmInstCompiler {
 }
 
 impl LlvmInstCompiler {
+    /// Drops the per-module callee-symbol cache (keeping its capacity).
+    /// Long-lived workers call this when they move to a different module,
+    /// since the address tag alone cannot distinguish a new module that
+    /// reuses a dropped module's allocation.
+    fn reset(&mut self) {
+        self.callee_syms.clear();
+        self.callee_syms_module = 0;
+    }
+
     fn operand<'m, T: SnippetEmitter>(
         cg: &mut FuncCodeGen<'_, LlvmAdapter<'m>, T>,
         v: crate::ir::Value,
@@ -430,4 +447,366 @@ pub fn compile_with_pool<T: Target + SnippetEmitter + Sync>(
         || LlvmAdapter::new(module),
         LlvmInstCompiler::default,
     )
+}
+
+// --------------------------------------------------------------------------
+// Persistent compile service
+// --------------------------------------------------------------------------
+
+/// Which compiler answers a [`ModuleRequest`].
+///
+/// One [`LlvmCompileService`] serves all of these from the same persistent
+/// worker pool — heterogeneous targets (x86-64 and AArch64) and
+/// heterogeneous pipelines (TPDE and the paper's baselines) can be
+/// interleaved request by request without re-spawning threads.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum ServiceBackendKind {
+    /// TPDE targeting x86-64 (byte-identical to [`compile_x64`]).
+    TpdeX64,
+    /// TPDE targeting AArch64 (byte-identical to [`compile_a64`]).
+    TpdeA64,
+    /// The multi-pass LLVM-O0-like baseline, x86-64
+    /// (byte-identical to [`crate::baselines::compile_baseline`] at level 0).
+    BaselineO0,
+    /// The multi-pass LLVM-O1-like baseline, x86-64 (level 1).
+    BaselineO1,
+    /// The copy-and-patch-style baseline, x86-64
+    /// (byte-identical to [`crate::baselines::compile_copy_patch`]).
+    CopyPatch,
+}
+
+/// One compile request for the LLVM-IR-like module service.
+#[derive(Clone)]
+pub struct ModuleRequest {
+    /// The module to compile, shared with the worker threads.
+    pub module: Arc<Module>,
+    /// Which compiler/target answers the request.
+    pub backend: ServiceBackendKind,
+    /// Compile options (part of the cache key).
+    pub opts: CompileOptions,
+}
+
+impl ModuleRequest {
+    /// A request with default compile options.
+    pub fn new(module: Arc<Module>, backend: ServiceBackendKind) -> ModuleRequest {
+        ModuleRequest {
+            module,
+            backend,
+            opts: CompileOptions::default(),
+        }
+    }
+}
+
+/// A [`CodeGen`] cached per worker, rebuilt only when a request carries
+/// different options than the previous one for the same target.
+struct CachedCg<T: Target> {
+    opts: CompileOptions,
+    cg: CodeGen<T>,
+}
+
+impl<T: Target> CachedCg<T> {
+    fn new(make: impl Fn() -> T) -> CachedCg<T> {
+        CachedCg {
+            opts: CompileOptions::default(),
+            cg: CodeGen::new(make(), CompileOptions::default()),
+        }
+    }
+
+    fn get(&mut self, opts: &CompileOptions, make: impl Fn() -> T) -> &CodeGen<T> {
+        if self.opts != *opts {
+            self.cg = CodeGen::new(make(), opts.clone());
+            self.opts = opts.clone();
+        }
+        &self.cg
+    }
+}
+
+/// Warm per-thread state of the LLVM service: the instruction compiler, the
+/// adapter's flat-table scratch and the per-target code generators, all
+/// kept across requests so the steady-state request loop is allocation-free.
+pub struct LlvmServiceWorker {
+    compiler: LlvmInstCompiler,
+    scratch: AdapterScratch,
+    x64: CachedCg<X64Target>,
+    a64: CachedCg<A64Target>,
+    /// The previous request's module. Holding a `Weak` pins the allocation's
+    /// address (the control block outlives the module), so pointer equality
+    /// is a sound "same module?" test and the callee-symbol cache is cleared
+    /// exactly when the module really changes.
+    last_module: Weak<Module>,
+}
+
+impl LlvmServiceWorker {
+    fn sync_module(&mut self, module: &Arc<Module>) {
+        if !std::ptr::eq(self.last_module.as_ptr(), Arc::as_ptr(module)) {
+            self.compiler.reset();
+            self.last_module = Arc::downgrade(module);
+        }
+    }
+}
+
+/// The [`ServiceBackend`] for the LLVM-IR-like module; see
+/// [`ServiceBackendKind`] for the compilers it dispatches to.
+pub struct LlvmServiceBackend;
+
+/// A persistent compile service for the LLVM-IR-like module.
+pub type LlvmCompileService = CompileService<LlvmServiceBackend>;
+
+/// Wraps a baseline result as a [`CompiledModule`] (the baselines track an
+/// instruction count but no per-pass timings).
+fn wrap_baseline(out: BaselineOutput, module: &Module) -> CompiledModule {
+    CompiledModule {
+        buf: out.buf,
+        stats: CompileStats {
+            funcs: module.funcs.iter().filter(|f| !f.is_decl).count(),
+            insts: out.insts,
+            ..CompileStats::default()
+        },
+        timings: PassTimings::new(),
+    }
+}
+
+/// Sequential whole-module TPDE compile with warm worker state — this *is*
+/// the one-shot path ([`CodeGen::compile_module_with`]), so the batched
+/// service output is byte-identical by construction.
+fn tpde_service_module<T: Target + SnippetEmitter>(
+    cg: &CodeGen<T>,
+    compiler: &mut LlvmInstCompiler,
+    scratch: &mut AdapterScratch,
+    module: &Module,
+    session: &mut CompileSession,
+) -> Result<CompiledModule> {
+    let mut adapter = LlvmAdapter::with_scratch(module, std::mem::take(scratch));
+    let r = cg.compile_module_with(session, &mut adapter, compiler);
+    *scratch = adapter.into_scratch();
+    r
+}
+
+/// Per-function TPDE shard unit with warm worker state; the same
+/// [`CodeGen::compile_func_pooled`] unit the scoped parallel driver uses.
+#[allow(clippy::too_many_arguments)]
+fn tpde_service_func<T: Target + SnippetEmitter>(
+    cg: &CodeGen<T>,
+    compiler: &mut LlvmInstCompiler,
+    scratch: &mut AdapterScratch,
+    module: &Module,
+    session: &mut CompileSession,
+    buf: &mut CodeBuffer,
+    f: u32,
+    stats: &mut CompileStats,
+    timings: &mut PassTimings,
+) -> Result<bool> {
+    let mut adapter = LlvmAdapter::with_scratch(module, std::mem::take(scratch));
+    let r = cg.compile_func_pooled(
+        session,
+        &mut adapter,
+        compiler,
+        buf,
+        FuncRef(f),
+        stats,
+        timings,
+    );
+    *scratch = adapter.into_scratch();
+    r
+}
+
+/// Per-function baseline shard unit (the closure body of the scoped
+/// `compile_baseline_sharded` harness, reused by the service).
+fn baseline_service_func(
+    f: &Function,
+    buf: &mut CodeBuffer,
+    stats: &mut CompileStats,
+    compile_fn: impl FnOnce(&Function, &mut CodeBuffer) -> Result<()>,
+) -> Result<bool> {
+    if f.is_decl {
+        return Ok(false);
+    }
+    compile_fn(f, buf)?;
+    buf.finish_func_fixups()?;
+    stats.funcs += 1;
+    stats.insts += f.inst_count();
+    Ok(true)
+}
+
+impl ServiceBackend for LlvmServiceBackend {
+    type Request = ModuleRequest;
+    type Worker = LlvmServiceWorker;
+
+    fn new_worker(&self) -> LlvmServiceWorker {
+        LlvmServiceWorker {
+            compiler: LlvmInstCompiler::default(),
+            scratch: AdapterScratch::default(),
+            x64: CachedCg::new(X64Target::new),
+            a64: CachedCg::new(A64Target::new),
+            last_module: Weak::new(),
+        }
+    }
+
+    fn request_key(&self, req: &ModuleRequest) -> Option<u64> {
+        let mut h = Fnv1a::new();
+        req.backend.hash(&mut h);
+        req.opts.hash(&mut h);
+        req.module.content_hash().hash(&mut h);
+        Some(h.finish())
+    }
+
+    fn func_count(&self, req: &ModuleRequest) -> usize {
+        req.module.funcs.len()
+    }
+
+    fn prepare_session(
+        &self,
+        req: &ModuleRequest,
+        worker: &mut LlvmServiceWorker,
+        session: &mut CompileSession,
+    ) {
+        match req.backend {
+            ServiceBackendKind::TpdeX64 => {
+                worker
+                    .x64
+                    .get(&req.opts, X64Target::new)
+                    .prepare_session(session);
+            }
+            ServiceBackendKind::TpdeA64 => {
+                worker
+                    .a64
+                    .get(&req.opts, A64Target::new)
+                    .prepare_session(session);
+            }
+            // The baselines do not use the framework session.
+            _ => {}
+        }
+    }
+
+    fn predeclare(&self, req: &ModuleRequest, buf: &mut CodeBuffer) {
+        match req.backend {
+            ServiceBackendKind::TpdeX64 | ServiceBackendKind::TpdeA64 => {
+                let _ = declare_func_symbols(&LlvmAdapter::new(&req.module), buf);
+            }
+            _ => declare_baseline_symbols(&req.module, buf),
+        }
+    }
+
+    fn compile_func(
+        &self,
+        req: &ModuleRequest,
+        worker: &mut LlvmServiceWorker,
+        session: &mut CompileSession,
+        buf: &mut CodeBuffer,
+        f: u32,
+        stats: &mut CompileStats,
+        timings: &mut PassTimings,
+    ) -> Result<bool> {
+        let module = &*req.module;
+        worker.sync_module(&req.module);
+        match req.backend {
+            ServiceBackendKind::TpdeX64 => tpde_service_func(
+                worker.x64.get(&req.opts, X64Target::new),
+                &mut worker.compiler,
+                &mut worker.scratch,
+                module,
+                session,
+                buf,
+                f,
+                stats,
+                timings,
+            ),
+            ServiceBackendKind::TpdeA64 => tpde_service_func(
+                worker.a64.get(&req.opts, A64Target::new),
+                &mut worker.compiler,
+                &mut worker.scratch,
+                module,
+                session,
+                buf,
+                f,
+                stats,
+                timings,
+            ),
+            ServiceBackendKind::BaselineO0 => {
+                baseline_service_func(&module.funcs[f as usize], buf, stats, |func, buf| {
+                    compile_function_baseline(module, func, buf, 0)
+                })
+            }
+            ServiceBackendKind::BaselineO1 => {
+                baseline_service_func(&module.funcs[f as usize], buf, stats, |func, buf| {
+                    compile_function_baseline(module, func, buf, 1)
+                })
+            }
+            ServiceBackendKind::CopyPatch => {
+                baseline_service_func(&module.funcs[f as usize], buf, stats, |func, buf| {
+                    compile_function_stacky(module, func, buf)
+                })
+            }
+        }
+    }
+
+    fn compile_module(
+        &self,
+        req: &ModuleRequest,
+        worker: &mut LlvmServiceWorker,
+        session: &mut CompileSession,
+    ) -> Result<CompiledModule> {
+        let module = &*req.module;
+        worker.sync_module(&req.module);
+        match req.backend {
+            ServiceBackendKind::TpdeX64 => tpde_service_module(
+                worker.x64.get(&req.opts, X64Target::new),
+                &mut worker.compiler,
+                &mut worker.scratch,
+                module,
+                session,
+            ),
+            ServiceBackendKind::TpdeA64 => tpde_service_module(
+                worker.a64.get(&req.opts, A64Target::new),
+                &mut worker.compiler,
+                &mut worker.scratch,
+                module,
+                session,
+            ),
+            ServiceBackendKind::BaselineO0 => {
+                crate::baselines::compile_baseline(module, 0).map(|o| wrap_baseline(o, module))
+            }
+            ServiceBackendKind::BaselineO1 => {
+                crate::baselines::compile_baseline(module, 1).map(|o| wrap_baseline(o, module))
+            }
+            ServiceBackendKind::CopyPatch => {
+                crate::baselines::compile_copy_patch(module).map(|o| wrap_baseline(o, module))
+            }
+        }
+    }
+}
+
+/// Creates a persistent compile service for the LLVM-IR-like module. All
+/// [`ServiceBackendKind`]s are served by the same worker pool; see
+/// [`tpde_core::service`] for the scheduling and caching behaviour.
+pub fn compile_service(cfg: ServiceConfig) -> LlvmCompileService {
+    CompileService::new(LlvmServiceBackend, cfg)
+}
+
+/// Submits an x86-64 TPDE compile to a service and waits for the response;
+/// the output is byte-identical to [`compile_x64`].
+pub fn compile_service_x64(
+    svc: &LlvmCompileService,
+    module: &Arc<Module>,
+    opts: &CompileOptions,
+) -> ServiceResponse {
+    svc.compile(ModuleRequest {
+        module: Arc::clone(module),
+        backend: ServiceBackendKind::TpdeX64,
+        opts: opts.clone(),
+    })
+}
+
+/// Submits an AArch64 TPDE compile to a service and waits for the response;
+/// the output is byte-identical to [`compile_a64`].
+pub fn compile_service_a64(
+    svc: &LlvmCompileService,
+    module: &Arc<Module>,
+    opts: &CompileOptions,
+) -> ServiceResponse {
+    svc.compile(ModuleRequest {
+        module: Arc::clone(module),
+        backend: ServiceBackendKind::TpdeA64,
+        opts: opts.clone(),
+    })
 }

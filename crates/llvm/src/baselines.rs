@@ -454,7 +454,11 @@ fn emit_phi_moves(f: &Function, ctx: &FuncCtx, buf: &mut CodeBuffer, pred: u32, 
     }
 }
 
-fn compile_function_stacky(module: &Module, f: &Function, buf: &mut CodeBuffer) -> Result<()> {
+pub(crate) fn compile_function_stacky(
+    module: &Module,
+    f: &Function,
+    buf: &mut CodeBuffer,
+) -> Result<()> {
     let mut ctx = FuncCtx::new(f);
     ctx.block_labels = f.blocks.iter().map(|_| buf.new_label()).collect();
 
@@ -503,7 +507,7 @@ fn compile_function_stacky(module: &Module, f: &Function, buf: &mut CodeBuffer) 
 /// global binding, definitions follow their `internal` flag), matching what
 /// the sequential baseline loops produce. Shared with the parallel variants,
 /// which require every shard to pre-declare the identical symbol prefix.
-fn declare_baseline_symbols(module: &Module, buf: &mut CodeBuffer) {
+pub(crate) fn declare_baseline_symbols(module: &Module, buf: &mut CodeBuffer) {
     for f in &module.funcs {
         let binding = if !f.is_decl && f.internal {
             SymbolBinding::Local
@@ -515,7 +519,7 @@ fn declare_baseline_symbols(module: &Module, buf: &mut CodeBuffer) {
 }
 
 /// Total instruction count of the module's defined functions.
-fn defined_inst_count(module: &Module) -> usize {
+pub(crate) fn defined_inst_count(module: &Module) -> usize {
     module
         .funcs
         .iter()
@@ -605,7 +609,7 @@ struct MachInst {
 /// The multi-pass baseline's per-function compilation unit (passes 1–4).
 /// Self-contained: labels and fixups are resolved per function, callee
 /// symbols are declared at use, so the unit can run in a shard buffer.
-fn compile_function_baseline(
+pub(crate) fn compile_function_baseline(
     module: &Module,
     f: &Function,
     buf: &mut CodeBuffer,

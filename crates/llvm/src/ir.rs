@@ -66,7 +66,7 @@ pub use tpde_snippets::ICmp;
 pub use tpde_snippets::ShiftKind;
 
 /// An instruction. Every value-producing instruction stores its result id.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum Inst {
     /// Integer binary operation.
@@ -311,7 +311,7 @@ impl Inst {
 }
 
 /// A phi node.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Phi {
     /// The value defined by the phi.
     pub res: Value,
@@ -322,7 +322,7 @@ pub struct Phi {
 }
 
 /// One basic block.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct BlockData {
     /// Phi nodes at the start of the block.
     pub phis: Vec<Phi>,
@@ -331,7 +331,7 @@ pub struct BlockData {
 }
 
 /// How a value is defined (used for type/constant queries).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ValueDef {
     /// Function argument `n`.
     Arg(u32),
@@ -344,7 +344,7 @@ pub enum ValueDef {
 }
 
 /// Per-value metadata.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ValueInfo {
     /// The value's type.
     pub ty: Type,
@@ -353,7 +353,7 @@ pub struct ValueInfo {
 }
 
 /// A function.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Function {
     /// Symbol name.
     pub name: String,
@@ -443,6 +443,21 @@ impl Module {
     /// Total number of instructions in the module.
     pub fn inst_count(&self) -> usize {
         self.funcs.iter().map(|f| f.inst_count()).sum()
+    }
+
+    /// Deterministic content hash of the module: every function with its
+    /// name, signature, linkage, stack slots, blocks, phis, instructions and
+    /// value metadata. Two modules with equal hashes compile to the same
+    /// machine code (for a given back-end and options), which is what the
+    /// compile-service module cache keys on.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = tpde_core::service::Fnv1a::new();
+        self.funcs.len().hash(&mut h);
+        for f in &self.funcs {
+            f.hash(&mut h);
+        }
+        h.finish()
     }
 }
 

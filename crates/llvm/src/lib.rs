@@ -26,7 +26,10 @@ pub mod baselines;
 pub mod ir;
 pub mod workloads;
 
-pub use backend::{compile_a64, compile_a64_parallel, compile_x64, compile_x64_parallel};
+pub use backend::{
+    compile_a64, compile_a64_parallel, compile_service, compile_service_a64, compile_service_x64,
+    compile_x64, compile_x64_parallel, LlvmCompileService, ModuleRequest, ServiceBackendKind,
+};
 pub use baselines::{
     compile_baseline, compile_baseline_parallel, compile_copy_patch, compile_copy_patch_parallel,
 };

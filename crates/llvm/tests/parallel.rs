@@ -169,3 +169,27 @@ fn worker_pool_reuse_across_modules_stays_identical() {
     }
     assert!(pool.sessions() > 0, "sessions returned to the pool");
 }
+
+#[test]
+fn worker_pool_serves_heterogeneous_targets_without_rebuild() {
+    let opts = CompileOptions::default();
+    let mut pool = WorkerPool::new();
+    // One pool, alternating targets: prepare_session reconfigures the
+    // register file per compile, so sessions warmed by one target must
+    // produce byte-identical output when reused for the other.
+    for w in spec_workloads().iter().take(3) {
+        let w = small(w);
+        let module = build_workload(&w, IrStyle::O1);
+        let seq_x64 = compile_x64(&module, &opts).unwrap();
+        let seq_a64 = compile_a64(&module, &opts).unwrap();
+        for _ in 0..2 {
+            let par = compile_with_pool(&module, tpde_enc::X64Target::new(), &opts, 3, &mut pool)
+                .unwrap();
+            assert_identical(&seq_x64.buf, &par.buf, &format!("{} x64 pooled", w.name));
+            let par = compile_with_pool(&module, tpde_enc::A64Target::new(), &opts, 3, &mut pool)
+                .unwrap();
+            assert_identical(&seq_a64.buf, &par.buf, &format!("{} a64 pooled", w.name));
+        }
+    }
+    assert!(pool.sessions() > 0, "sessions returned to the pool");
+}

@@ -1,0 +1,302 @@
+//! Determinism, stress and cache suite for the persistent compile service:
+//! for every workload kind, worker count and backend, a service response
+//! must be byte-identical to the one-shot sequential compiler — whether the
+//! module was batched onto one worker, sharded across the pool, or served
+//! from the content-addressed module cache.
+
+use std::sync::Arc;
+use tpde_core::codebuf::assert_identical;
+use tpde_core::codegen::{CompileOptions, CompiledModule};
+use tpde_core::service::ServiceConfig;
+use tpde_llvm::ir::Module;
+use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
+use tpde_llvm::{
+    compile_a64, compile_baseline, compile_copy_patch, compile_service, compile_service_a64,
+    compile_service_x64, compile_x64, LlvmCompileService, ModuleRequest, ServiceBackendKind,
+};
+
+const WORKERS: [usize; 4] = [1, 2, 4, 8];
+
+fn small(w: &Workload) -> Workload {
+    Workload {
+        input: w.input.min(500),
+        ..w.clone()
+    }
+}
+
+/// A service with a low shard threshold so the standard workloads (8–24
+/// functions) exercise both placements across the suite.
+fn service(workers: usize, cache: usize) -> LlvmCompileService {
+    compile_service(ServiceConfig {
+        workers,
+        shard_threshold: 16,
+        cache_capacity: cache,
+    })
+}
+
+/// One-shot reference output for a request.
+fn one_shot(module: &Module, kind: ServiceBackendKind, opts: &CompileOptions) -> CompiledModule {
+    match kind {
+        ServiceBackendKind::TpdeX64 => compile_x64(module, opts).unwrap(),
+        ServiceBackendKind::TpdeA64 => compile_a64(module, opts).unwrap(),
+        ServiceBackendKind::BaselineO0 => {
+            let o = compile_baseline(module, 0).unwrap();
+            CompiledModule {
+                buf: o.buf,
+                stats: Default::default(),
+                timings: Default::default(),
+            }
+        }
+        ServiceBackendKind::BaselineO1 => {
+            let o = compile_baseline(module, 1).unwrap();
+            CompiledModule {
+                buf: o.buf,
+                stats: Default::default(),
+                timings: Default::default(),
+            }
+        }
+        ServiceBackendKind::CopyPatch => {
+            let o = compile_copy_patch(module).unwrap();
+            CompiledModule {
+                buf: o.buf,
+                stats: Default::default(),
+                timings: Default::default(),
+            }
+        }
+    }
+}
+
+#[test]
+fn service_matches_one_shot_for_all_workloads_and_worker_counts() {
+    let opts = CompileOptions::default();
+    for workers in WORKERS {
+        // Cache disabled: every request must really compile.
+        let svc = service(workers, 0);
+        for w in spec_workloads() {
+            let w = small(&w);
+            for style in [IrStyle::O0, IrStyle::O1] {
+                let module = Arc::new(build_workload(&w, style));
+                let seq = compile_x64(&module, &opts).unwrap();
+                let got = compile_service_x64(&svc, &module, &opts);
+                let what = format!("{} {:?} workers={workers}", w.name, style);
+                let got_module = got.module.expect(&what);
+                assert_identical(&seq.buf, &got_module.buf, &what);
+                assert_eq!(seq.stats.funcs, got_module.stats.funcs, "{what}");
+                assert_eq!(seq.stats.insts, got_module.stats.insts, "{what}");
+            }
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.completed, 18);
+        if workers > 1 {
+            assert!(
+                stats.sharded > 0,
+                "no workload sharded at {workers} workers"
+            );
+            assert!(
+                stats.batched > 0,
+                "no workload batched at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn heterogeneous_backends_share_one_pool() {
+    let opts = CompileOptions::default();
+    let svc = service(4, 0);
+    let kinds = [
+        ServiceBackendKind::TpdeX64,
+        ServiceBackendKind::TpdeA64,
+        ServiceBackendKind::BaselineO0,
+        ServiceBackendKind::BaselineO1,
+        ServiceBackendKind::CopyPatch,
+    ];
+    for w in spec_workloads().iter().step_by(2) {
+        let module = Arc::new(build_workload(&small(w), IrStyle::O0));
+        // Interleave targets and pipelines request by request on the same
+        // persistent threads; each must match its own sequential compiler.
+        for kind in kinds {
+            let want = one_shot(&module, kind, &opts);
+            let got = svc
+                .compile(ModuleRequest::new(Arc::clone(&module), kind))
+                .module
+                .unwrap();
+            assert_identical(&want.buf, &got.buf, &format!("{} {kind:?}", w.name));
+        }
+    }
+    assert_eq!(svc.workers(), 4);
+}
+
+#[test]
+fn concurrent_stress_interleaves_small_and_large_modules() {
+    let opts = CompileOptions::default();
+    let svc = service(4, 0);
+    // Build a mix: every workload kind (small modules, batched) plus
+    // enlarged copies of two workloads (sharded), alternating backends.
+    let mut requests: Vec<(String, ModuleRequest)> = Vec::new();
+    for (i, w) in spec_workloads().iter().enumerate() {
+        let w = small(w);
+        let module = Arc::new(build_workload(&w, IrStyle::O0));
+        let kind = if i % 2 == 0 {
+            ServiceBackendKind::TpdeX64
+        } else {
+            ServiceBackendKind::TpdeA64
+        };
+        requests.push((
+            format!("{} {kind:?}", w.name),
+            ModuleRequest::new(module, kind),
+        ));
+        if i % 4 == 0 {
+            let big = Workload {
+                funcs: w.funcs * 8,
+                ..w.clone()
+            };
+            let module = Arc::new(build_workload(&big, IrStyle::O1));
+            requests.push((
+                format!("{}x8 TpdeX64", w.name),
+                ModuleRequest::new(module, ServiceBackendKind::TpdeX64),
+            ));
+        }
+    }
+    // Submit everything up front (pipelined), then verify each response
+    // against the one-shot compiler.
+    let tickets: Vec<_> = requests
+        .iter()
+        .map(|(_, r)| svc.submit(r.clone()))
+        .collect();
+    for ((what, req), ticket) in requests.iter().zip(tickets) {
+        let want = one_shot(&req.module, req.backend, &opts);
+        let got = ticket.wait().module.expect(what);
+        assert_identical(&want.buf, &got.buf, what);
+    }
+    let stats = svc.stats();
+    assert!(stats.sharded >= 3, "enlarged modules must shard");
+    assert!(
+        stats.max_queue_depth > 1,
+        "requests must overlap in the queue"
+    );
+}
+
+#[test]
+fn service_output_executes_correctly() {
+    let w = small(&spec_workloads()[6]);
+    let module = Arc::new(build_workload(&w, IrStyle::O0));
+    let svc = service(4, 8);
+    let compiled = compile_service_x64(&svc, &module, &CompileOptions::default())
+        .module
+        .unwrap();
+    let image = tpde_core::jit::link_in_memory(&compiled.buf, 0x40_0000, |_| None).unwrap();
+    let (ret, _) = tpde_x64emu::run_function(&image, "bench_main", &[w.input]).unwrap();
+    assert_eq!(ret, expected_result(&w));
+
+    // A cache hit links to an identical image (same fingerprint) and runs
+    // to the same result.
+    let warm = compile_service_x64(&svc, &module, &CompileOptions::default());
+    assert!(warm.timing.cache_hit);
+    let warm_image =
+        tpde_core::jit::link_in_memory(&warm.module.unwrap().buf, 0x40_0000, |_| None).unwrap();
+    assert_eq!(image.fingerprint(), warm_image.fingerprint());
+    let (warm_ret, _) = tpde_x64emu::run_function(&warm_image, "bench_main", &[w.input]).unwrap();
+    assert_eq!(warm_ret, ret);
+}
+
+#[test]
+fn cache_hits_are_deterministic_across_equal_modules() {
+    let opts = CompileOptions::default();
+    let svc = service(2, 16);
+    let w = small(&spec_workloads()[2]);
+    let module = Arc::new(build_workload(&w, IrStyle::O0));
+    let cold = compile_service_x64(&svc, &module, &opts);
+    assert!(!cold.timing.cache_hit);
+    // A structurally equal module in a different allocation hits the cache
+    // (content-addressed, not pointer-addressed)...
+    let rebuilt = Arc::new(build_workload(&w, IrStyle::O0));
+    let warm = compile_service_x64(&svc, &rebuilt, &opts);
+    assert!(warm.timing.cache_hit, "content-equal module must hit");
+    assert_identical(
+        &cold.module.unwrap().buf,
+        &warm.module.unwrap().buf,
+        "cache hit",
+    );
+    // ...while a different target, different options or different content
+    // each miss.
+    assert!(!compile_service_a64(&svc, &module, &opts).timing.cache_hit);
+    let other_opts = CompileOptions {
+        fusion: false,
+        ..CompileOptions::default()
+    };
+    assert!(
+        !compile_service_x64(&svc, &module, &other_opts)
+            .timing
+            .cache_hit
+    );
+    let different = Arc::new(build_workload(&small(&spec_workloads()[3]), IrStyle::O0));
+    assert!(
+        !compile_service_x64(&svc, &different, &opts)
+            .timing
+            .cache_hit
+    );
+    let stats = svc.stats();
+    assert_eq!(stats.cache_hits, 1);
+    assert_eq!(stats.cache_misses, 4);
+}
+
+#[test]
+fn cache_eviction_keeps_serving_correct_bytes() {
+    let opts = CompileOptions::default();
+    // Capacity 2: compiling a third distinct module evicts the LRU entry.
+    let svc = compile_service(ServiceConfig {
+        workers: 1,
+        shard_threshold: 1000,
+        cache_capacity: 2,
+    });
+    let modules: Vec<Arc<Module>> = spec_workloads()
+        .iter()
+        .take(3)
+        .map(|w| Arc::new(build_workload(&small(w), IrStyle::O0)))
+        .collect();
+    let references: Vec<CompiledModule> = modules
+        .iter()
+        .map(|m| compile_x64(m, &opts).unwrap())
+        .collect();
+    for (m, want) in modules.iter().zip(&references) {
+        let got = compile_service_x64(&svc, m, &opts).module.unwrap();
+        assert_identical(&want.buf, &got.buf, "cold fill");
+    }
+    // modules[0] was evicted (LRU); recompiling it must still be identical.
+    let again = compile_service_x64(&svc, &modules[0], &opts);
+    assert!(!again.timing.cache_hit, "evicted module must recompile");
+    assert_identical(
+        &references[0].buf,
+        &again.module.unwrap().buf,
+        "recompile after eviction",
+    );
+    let stats = svc.stats();
+    assert!(stats.evictions >= 1);
+    assert!(stats.cached_modules <= 2);
+}
+
+#[test]
+fn teardown_drains_pipelined_requests() {
+    let opts = CompileOptions::default();
+    let svc = service(2, 0);
+    let modules: Vec<Arc<Module>> = spec_workloads()
+        .iter()
+        .map(|w| Arc::new(build_workload(&small(w), IrStyle::O0)))
+        .collect();
+    let tickets: Vec<_> = modules
+        .iter()
+        .map(|m| {
+            svc.submit(ModuleRequest::new(
+                Arc::clone(m),
+                ServiceBackendKind::TpdeX64,
+            ))
+        })
+        .collect();
+    drop(svc); // must drain the queue, not abandon the tickets
+    for (m, t) in modules.iter().zip(tickets) {
+        let want = compile_x64(m, &opts).unwrap();
+        let got = t.wait().module.expect("request dropped at teardown");
+        assert_identical(&want.buf, &got.buf, "drained at teardown");
+    }
+}

@@ -50,7 +50,7 @@ impl From<u64> for AsmOperand {
 }
 
 /// Integer binary operations.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum BinOp {
     Add,
@@ -70,7 +70,7 @@ impl BinOp {
 }
 
 /// Shift kinds.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum ShiftKind {
     Shl,
@@ -79,7 +79,7 @@ pub enum ShiftKind {
 }
 
 /// Integer comparison predicates (LLVM `icmp` naming).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum ICmp {
     Eq,
@@ -129,7 +129,7 @@ impl ICmp {
 }
 
 /// Floating-point binary operations.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum FBinOp {
     Add,
@@ -139,7 +139,7 @@ pub enum FBinOp {
 }
 
 /// Floating-point comparison predicates (ordered comparisons only).
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 #[allow(missing_docs)]
 pub enum FCmp {
     Oeq,
