@@ -48,6 +48,35 @@ impl Default for CompileOptions {
     }
 }
 
+/// Tier-0 instrumentation emitted by the code generator (see the call-stub
+/// contract in [`crate::codebuf`]). The default (both off) compiles exactly
+/// as before; tiered drivers enable both so a `TieringController` can
+/// observe entry counts and redirect calls to recompiled functions.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct TierConfig {
+    /// Emit a per-function entry-counter increment after the prologue.
+    pub entry_counters: bool,
+    /// Route direct calls to module-local functions through the patchable
+    /// call-slot table instead of direct relocations.
+    pub patchable_calls: bool,
+}
+
+impl TierConfig {
+    /// A configuration with both instrumentations enabled (the tier-0
+    /// profile).
+    pub fn tier0() -> TierConfig {
+        TierConfig {
+            entry_counters: true,
+            patchable_calls: true,
+        }
+    }
+
+    /// Whether any instrumentation is enabled.
+    pub fn enabled(&self) -> bool {
+        self.entry_counters || self.patchable_calls
+    }
+}
+
 /// Counters collected during compilation (used by the benches and tests).
 #[derive(Clone, Debug, Default)]
 pub struct CompileStats {
@@ -242,12 +271,29 @@ impl CompileSession {
 pub struct CodeGen<T: Target> {
     target: T,
     opts: CompileOptions,
+    tier: TierConfig,
 }
 
 impl<T: Target> CodeGen<T> {
-    /// Creates a driver for the given target and options.
+    /// Creates a driver for the given target and options (no tier-0
+    /// instrumentation).
     pub fn new(target: T, opts: CompileOptions) -> CodeGen<T> {
-        CodeGen { target, opts }
+        CodeGen {
+            target,
+            opts,
+            tier: TierConfig::default(),
+        }
+    }
+
+    /// Creates a driver that additionally emits the given tier-0
+    /// instrumentation.
+    pub fn with_tier(target: T, opts: CompileOptions, tier: TierConfig) -> CodeGen<T> {
+        CodeGen { target, opts, tier }
+    }
+
+    /// The tier-0 instrumentation this driver emits.
+    pub fn tier(&self) -> TierConfig {
+        self.tier
     }
 
     /// The target this driver generates code for.
@@ -316,6 +362,11 @@ impl<T: Target> CodeGen<T> {
                     &mut timings,
                 )?;
             }
+            // With tier-0 instrumentation enabled, the function bodies
+            // declared the tier tables; define them once per module (a no-op
+            // otherwise). The sharded pipeline does the same after its merge,
+            // keeping both outputs byte-identical.
+            buf.define_tier_tables(syms.len());
             Ok(())
         })();
 
@@ -387,6 +438,7 @@ impl<T: Target> CodeGen<T> {
                 buf,
                 analysis,
                 &self.opts,
+                self.tier,
                 stats,
                 sym,
                 scratch,
@@ -481,6 +533,10 @@ pub struct FuncCodeGen<'a, A: IrAdapter, T: Target> {
     pub analysis: &'a Analysis,
 
     opts: &'a CompileOptions,
+    tier: TierConfig,
+    /// Tier table symbols `(counters, slots)`, declared at the start of the
+    /// function body when tiering is enabled.
+    tier_syms: Option<(SymbolId, SymbolId)>,
     stats: &'a mut CompileStats,
     /// Reused per-function scratch state (see [`FuncScratch`]).
     s: &'a mut FuncScratch,
@@ -502,6 +558,7 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         buf: &'a mut CodeBuffer,
         analysis: &'a Analysis,
         opts: &'a CompileOptions,
+        tier: TierConfig,
         stats: &'a mut CompileStats,
         func_sym: SymbolId,
         s: &'a mut FuncScratch,
@@ -523,6 +580,8 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
             buf,
             analysis,
             opts,
+            tier,
+            tier_syms: None,
             stats,
             s,
             regfile,
@@ -584,6 +643,13 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
     // ---- function driver ------------------------------------------------------
 
     fn compile_function<C: InstCompiler<A, T>>(&mut self, compiler: &mut C) -> Result<()> {
+        // Tier tables are declared (not defined) at the very start of every
+        // instrumented function body so the declaration-log replay of the
+        // sharded pipeline interns them at the same ids as sequential
+        // compilation — directly after the predeclared function symbols.
+        if self.tier.enabled() {
+            self.tier_syms = Some(self.buf.declare_tier_symbols());
+        }
         let n = self.analysis.layout.len();
         for _ in 0..n {
             let l = self.buf.new_label();
@@ -619,6 +685,14 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
 
     fn emit_prologue_and_args(&mut self) -> Result<()> {
         self.frame_state = self.target.emit_prologue(self.buf);
+        // Tier-0 entry counter: emitted right after the prologue, where the
+        // flags are dead and no argument register has been touched yet.
+        if self.tier.entry_counters {
+            if let Some((counters, _)) = self.tier_syms {
+                self.target
+                    .emit_tier_counter(self.buf, counters, self.func_sym.0);
+            }
+        }
         let adapter = self.adapter;
 
         // Static stack variables: allocated in the frame, value = address,
@@ -1674,9 +1748,21 @@ impl<'a, A: IrAdapter, T: Target> FuncCodeGen<'a, A, T> {
         }
 
         // 5. the call itself; afterwards every caller-saved register is
-        //    considered clobbered.
+        //    considered clobbered. With patchable calls enabled, direct
+        //    calls to module-local functions (whose symbol ids index the
+        //    predeclared prefix) are routed through the call-slot table.
         match callee {
-            CallTarget::Sym(sym) => self.target.emit_call_sym(self.buf, sym),
+            CallTarget::Sym(sym) => {
+                let routed = self.tier.patchable_calls
+                    && (sym.0 as usize) < self.adapter.func_count()
+                    && match self.tier_syms {
+                        Some((_, slots)) => self.target.emit_call_slot(self.buf, slots, sym.0),
+                        None => false,
+                    };
+                if !routed {
+                    self.target.emit_call_sym(self.buf, sym);
+                }
+            }
             CallTarget::Indirect(_) => self.target.emit_call_reg(self.buf, indirect.unwrap()),
         }
         self.s.owned_regs.clear();

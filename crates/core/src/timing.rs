@@ -136,6 +136,10 @@ pub struct ServiceStats {
     pub max_queue_depth: u64,
     /// Sum of submission-to-response latencies over completed requests.
     pub total_latency: Duration,
+    /// Median (nearest-rank p50) submission-to-response latency.
+    pub p50_latency: Duration,
+    /// Nearest-rank p99 submission-to-response latency.
+    pub p99_latency: Duration,
 }
 
 impl ServiceStats {

@@ -8,7 +8,8 @@
 
 use crate::adapter::{block_ref, value_ref, AdapterScratch, LlvmAdapter};
 use crate::baselines::{
-    compile_function_baseline, compile_function_stacky, declare_baseline_symbols, BaselineOutput,
+    compile_function_baseline, compile_function_stacky, compile_function_stacky_tiered,
+    declare_baseline_symbols, BaselineOutput,
 };
 use crate::ir::{Function, Inst, Module, Type};
 use std::hash::{Hash, Hasher};
@@ -17,7 +18,7 @@ use tpde_core::adapter::{FuncRef, InstRef, IrAdapter};
 use tpde_core::codebuf::{CodeBuffer, SymbolBinding};
 use tpde_core::codegen::{
     declare_func_symbols, CallTarget, CodeGen, CompileOptions, CompileSession, CompileStats,
-    CompiledModule, FuncCodeGen, InstCompiler,
+    CompiledModule, FuncCodeGen, InstCompiler, TierConfig,
 };
 use tpde_core::error::Result;
 use tpde_core::parallel::{ParallelDriver, WorkerPool};
@@ -365,6 +366,30 @@ pub fn compile_a64(module: &Module, opts: &CompileOptions) -> Result<CompiledMod
     compile_with_target(module, A64Target::new(), opts)
 }
 
+/// Compiles a module with the x86-64 TPDE back-end and full tier-0
+/// instrumentation (entry counters + patchable call slots); the one-shot
+/// reference for [`ServiceBackendKind::TpdeX64Tier0`].
+pub fn compile_x64_tier0(module: &Module, opts: &CompileOptions) -> Result<CompiledModule> {
+    let mut adapter = LlvmAdapter::new(module);
+    let cg = CodeGen::with_tier(X64Target::new(), opts.clone(), TierConfig::tier0());
+    cg.compile_module(&mut adapter, &mut LlvmInstCompiler::default())
+}
+
+/// Function-sharded parallel variant of [`compile_x64_tier0`];
+/// byte-identical to the sequential compiler for any thread count.
+pub fn compile_x64_tier0_parallel(
+    module: &Module,
+    opts: &CompileOptions,
+    threads: usize,
+) -> Result<CompiledModule> {
+    let cg = CodeGen::with_tier(X64Target::new(), opts.clone(), TierConfig::tier0());
+    ParallelDriver::new(threads).compile_module(
+        &cg,
+        || LlvmAdapter::new(module),
+        LlvmInstCompiler::default,
+    )
+}
+
 /// Compiles a module with the TPDE back-end for an arbitrary target that has
 /// snippet encoders.
 pub fn compile_with_target<T: Target + SnippetEmitter>(
@@ -473,6 +498,12 @@ pub enum ServiceBackendKind {
     /// The copy-and-patch-style baseline, x86-64
     /// (byte-identical to [`crate::baselines::compile_copy_patch`]).
     CopyPatch,
+    /// TPDE targeting x86-64 with tier-0 instrumentation (entry counters and
+    /// patchable call slots; byte-identical to [`compile_x64_tier0`]).
+    TpdeX64Tier0,
+    /// The copy-and-patch baseline with tier-0 instrumentation
+    /// (byte-identical to [`crate::baselines::compile_copy_patch_tiered`]).
+    CopyPatchTier0,
 }
 
 /// One compile request for the LLVM-IR-like module service.
@@ -498,23 +529,25 @@ impl ModuleRequest {
 }
 
 /// A [`CodeGen`] cached per worker, rebuilt only when a request carries
-/// different options than the previous one for the same target.
+/// different options than the previous one for the same target and tier.
 struct CachedCg<T: Target> {
     opts: CompileOptions,
+    tier: TierConfig,
     cg: CodeGen<T>,
 }
 
 impl<T: Target> CachedCg<T> {
-    fn new(make: impl Fn() -> T) -> CachedCg<T> {
+    fn new(make: impl Fn() -> T, tier: TierConfig) -> CachedCg<T> {
         CachedCg {
             opts: CompileOptions::default(),
-            cg: CodeGen::new(make(), CompileOptions::default()),
+            tier,
+            cg: CodeGen::with_tier(make(), CompileOptions::default(), tier),
         }
     }
 
     fn get(&mut self, opts: &CompileOptions, make: impl Fn() -> T) -> &CodeGen<T> {
         if self.opts != *opts {
-            self.cg = CodeGen::new(make(), opts.clone());
+            self.cg = CodeGen::with_tier(make(), opts.clone(), self.tier);
             self.opts = opts.clone();
         }
         &self.cg
@@ -529,6 +562,7 @@ pub struct LlvmServiceWorker {
     scratch: AdapterScratch,
     x64: CachedCg<X64Target>,
     a64: CachedCg<A64Target>,
+    x64_tier0: CachedCg<X64Target>,
     /// The previous request's module. Holding a `Weak` pins the allocation's
     /// address (the control block outlives the module), so pointer equality
     /// is a sound "same module?" test and the callee-symbol cache is cleared
@@ -636,8 +670,9 @@ impl ServiceBackend for LlvmServiceBackend {
         LlvmServiceWorker {
             compiler: LlvmInstCompiler::default(),
             scratch: AdapterScratch::default(),
-            x64: CachedCg::new(X64Target::new),
-            a64: CachedCg::new(A64Target::new),
+            x64: CachedCg::new(X64Target::new, TierConfig::default()),
+            a64: CachedCg::new(A64Target::new, TierConfig::default()),
+            x64_tier0: CachedCg::new(X64Target::new, TierConfig::tier0()),
             last_module: Weak::new(),
         }
     }
@@ -673,6 +708,12 @@ impl ServiceBackend for LlvmServiceBackend {
                     .get(&req.opts, A64Target::new)
                     .prepare_session(session);
             }
+            ServiceBackendKind::TpdeX64Tier0 => {
+                worker
+                    .x64_tier0
+                    .get(&req.opts, X64Target::new)
+                    .prepare_session(session);
+            }
             // The baselines do not use the framework session.
             _ => {}
         }
@@ -680,7 +721,9 @@ impl ServiceBackend for LlvmServiceBackend {
 
     fn predeclare(&self, req: &ModuleRequest, buf: &mut CodeBuffer) {
         match req.backend {
-            ServiceBackendKind::TpdeX64 | ServiceBackendKind::TpdeA64 => {
+            ServiceBackendKind::TpdeX64
+            | ServiceBackendKind::TpdeA64
+            | ServiceBackendKind::TpdeX64Tier0 => {
                 let _ = declare_func_symbols(&LlvmAdapter::new(&req.module), buf);
             }
             _ => declare_baseline_symbols(&req.module, buf),
@@ -737,6 +780,22 @@ impl ServiceBackend for LlvmServiceBackend {
                     compile_function_stacky(module, func, buf)
                 })
             }
+            ServiceBackendKind::TpdeX64Tier0 => tpde_service_func(
+                worker.x64_tier0.get(&req.opts, X64Target::new),
+                &mut worker.compiler,
+                &mut worker.scratch,
+                module,
+                session,
+                buf,
+                f,
+                stats,
+                timings,
+            ),
+            ServiceBackendKind::CopyPatchTier0 => {
+                baseline_service_func(&module.funcs[f as usize], buf, stats, |func, buf| {
+                    compile_function_stacky_tiered(module, func, f, buf)
+                })
+            }
         }
     }
 
@@ -771,6 +830,17 @@ impl ServiceBackend for LlvmServiceBackend {
             }
             ServiceBackendKind::CopyPatch => {
                 crate::baselines::compile_copy_patch(module).map(|o| wrap_baseline(o, module))
+            }
+            ServiceBackendKind::TpdeX64Tier0 => tpde_service_module(
+                worker.x64_tier0.get(&req.opts, X64Target::new),
+                &mut worker.compiler,
+                &mut worker.scratch,
+                module,
+                session,
+            ),
+            ServiceBackendKind::CopyPatchTier0 => {
+                crate::baselines::compile_copy_patch_tiered(module)
+                    .map(|o| wrap_baseline(o, module))
             }
         }
     }

@@ -11,8 +11,9 @@ use tpde_core::service::ServiceConfig;
 use tpde_llvm::ir::Module;
 use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
 use tpde_llvm::{
-    compile_a64, compile_baseline, compile_copy_patch, compile_service, compile_service_a64,
-    compile_service_x64, compile_x64, LlvmCompileService, ModuleRequest, ServiceBackendKind,
+    compile_a64, compile_baseline, compile_copy_patch, compile_copy_patch_tiered, compile_service,
+    compile_service_a64, compile_service_x64, compile_x64, compile_x64_tier0, LlvmCompileService,
+    ModuleRequest, ServiceBackendKind,
 };
 
 const WORKERS: [usize; 4] = [1, 2, 4, 8];
@@ -57,6 +58,15 @@ fn one_shot(module: &Module, kind: ServiceBackendKind, opts: &CompileOptions) ->
         }
         ServiceBackendKind::CopyPatch => {
             let o = compile_copy_patch(module).unwrap();
+            CompiledModule {
+                buf: o.buf,
+                stats: Default::default(),
+                timings: Default::default(),
+            }
+        }
+        ServiceBackendKind::TpdeX64Tier0 => compile_x64_tier0(module, opts).unwrap(),
+        ServiceBackendKind::CopyPatchTier0 => {
+            let o = compile_copy_patch_tiered(module).unwrap();
             CompiledModule {
                 buf: o.buf,
                 stats: Default::default(),
@@ -110,6 +120,8 @@ fn heterogeneous_backends_share_one_pool() {
         ServiceBackendKind::BaselineO0,
         ServiceBackendKind::BaselineO1,
         ServiceBackendKind::CopyPatch,
+        ServiceBackendKind::TpdeX64Tier0,
+        ServiceBackendKind::CopyPatchTier0,
     ];
     for w in spec_workloads().iter().step_by(2) {
         let module = Arc::new(build_workload(&small(w), IrStyle::O0));
@@ -159,7 +171,14 @@ fn concurrent_stress_interleaves_small_and_large_modules() {
         }
     }
     // Submit everything up front (pipelined), then verify each response
-    // against the one-shot compiler.
+    // against the one-shot compiler. A sharded (slow) module goes first so
+    // the later submissions reliably overlap with in-flight work and the
+    // queue-depth assertion below cannot race a fast first compile.
+    let big_first = requests
+        .iter()
+        .position(|(what, _)| what.contains("x8"))
+        .expect("an enlarged module");
+    requests.swap(0, big_first);
     let tickets: Vec<_> = requests
         .iter()
         .map(|(_, r)| svc.submit(r.clone()))

@@ -44,6 +44,7 @@ mod hostcalls;
 mod memory;
 
 pub use cpu::{EmuError, EmuStats, Machine, HOST_FN_NAMES};
+pub use hostcalls::register_default_hostcalls;
 pub use memory::Memory;
 
 use tpde_core::jit::JitImage;
