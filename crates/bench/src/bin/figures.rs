@@ -2,7 +2,8 @@
 //! the ablation studies, printing one table per figure.
 //!
 //! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]
-//! [--threads N] [--service] [--gate [PCT]]` (`--quick` scales down the
+//! [--threads N] [--service] [--tiered] [--disk-cache] [--gate [PCT]]`
+//! (`--quick` scales down the
 //! workload inputs for a fast smoke run; `--json` additionally writes the
 //! per-workload compile-time speedups to `BENCH_compile.json`; `--threads N`
 //! also measures the function-sharded parallel pipeline on an enlarged copy
@@ -18,27 +19,37 @@
 //! workers, redirecting callers by patching the call slots; steady-state
 //! emulated throughput is reported for tier-0-only vs. tier-1-only vs.
 //! tiered, asserting tiered ≥ tier-0-only and that every recompile is
-//! byte-identical to a direct one-shot tier-1 compile; `--gate` fails the
+//! byte-identical to a direct one-shot tier-1 compile; `--disk-cache` runs
+//! the persistent-cache restart scenario — a service backed by the on-disk
+//! artifact store compiles the request mix cold, is dropped (simulated
+//! process exit), and a fresh service over the same directory must answer
+//! every request from disk, byte-identical and without running any compile
+//! path, at ≥ 3× the cold throughput (the store directory defaults to a
+//! fresh temp dir; set `TPDE_DISK_CACHE_DIR` to persist it across
+//! invocations, in which case a pre-warmed first pass skips the cold-side
+//! assertions); `--gate` fails the
 //! run when this run's compile-time geomean drops more than PCT% — default
 //! 10 — below the last recorded history entry of the same mode). The JSON
 //! file carries a `history` array with one geomean entry per (git commit,
 //! mode): each run appends (or, for the same SHA and mode, replaces) its
 //! entry instead of overwriting the trajectory, so the file records the
-//! compile-time speedup across PRs; `--threads`/`--service`/`--tiered` runs
-//! add `par_tN`/`svc_*`/`tier_*` fields to their entry.
+//! compile-time speedup across PRs; `--threads`/`--service`/`--tiered`/
+//! `--disk-cache` runs add `par_tN`/`svc_*`/`tier_*`/`disk_*` fields to
+//! their entry.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use tpde_bench::{geomean, measure, measure_parallel, scaled, service_request_modules, Backend};
 use tpde_core::codebuf::assert_identical;
 use tpde_core::codegen::CompileOptions;
+use tpde_core::diskcache::DiskCacheConfig;
 use tpde_core::jit::{link_in_memory, JitImage};
 use tpde_core::service::{ServiceConfig, TieringController};
 use tpde_core::timing::Phase;
 use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle};
 use tpde_llvm::{
     compile_baseline, compile_copy_patch, compile_copy_patch_tiered, compile_service, compile_x64,
-    ModuleRequest, ServiceBackendKind,
+    LlvmCompileService, ModuleRequest, ServiceBackendKind,
 };
 use tpde_x64emu::{register_default_hostcalls, Machine};
 
@@ -218,6 +229,7 @@ fn service_throughput(quick: bool, worker_counts: &[usize]) -> ServiceReport {
             workers,
             shard_threshold: 64,
             cache_capacity: 2 * mix.len(),
+            disk_cache: None,
         });
         let run_pass = |expect_hits: bool| -> Duration {
             let start = Instant::now();
@@ -279,6 +291,197 @@ fn service_throughput(quick: bool, worker_counts: &[usize]) -> ServiceReport {
     ServiceReport {
         modules: mix.len(),
         points,
+    }
+}
+
+/// Results of the persistent-cache restart scenario (`--disk-cache`).
+struct DiskReport {
+    modules: usize,
+    prewarmed: bool,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold_mps: f64,
+    warm_mps: f64,
+    disk_hits: u64,
+    disk_misses: u64,
+    disk_stores: u64,
+    load_p50_ms: f64,
+    load_p99_ms: f64,
+}
+
+/// The persistent-cache restart scenario: a disk-backed service compiles
+/// the request mix cold (populating the artifact store as a side effect),
+/// is dropped — a simulated process exit that discards the in-memory cache
+/// and the worker pool — and a fresh service over the same directory must
+/// then answer every request from disk: byte-identical to the one-shot
+/// compiler, flagged `disk_hit`, with zero batched or sharded compiles, at
+/// a warm throughput of at least 3× the cold one (all asserted).
+///
+/// The store lives in a fresh per-process temp directory unless
+/// `TPDE_DISK_CACHE_DIR` names a persistent one. When that directory is
+/// already warm from an earlier invocation (a real cross-process restart),
+/// the first pass is served from disk too, so the cold-side assertions and
+/// the 3× ratio are skipped — the warm-side assertions still run.
+fn disk_cache_restart(quick: bool) -> DiskReport {
+    let mult = if quick { 8 } else { 16 };
+    let mix = service_request_modules(mult);
+    let opts = CompileOptions::default();
+    let references: Vec<_> = mix
+        .iter()
+        .map(|(_, m)| compile_x64(m, &opts).expect("one-shot reference").buf)
+        .collect();
+
+    let (dir, owned) = match std::env::var_os("TPDE_DISK_CACHE_DIR") {
+        Some(d) => (std::path::PathBuf::from(d), false),
+        None => {
+            let d = std::env::temp_dir().join(format!("tpde-figures-disk-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&d);
+            (d, true)
+        }
+    };
+    std::fs::create_dir_all(&dir).expect("create disk cache dir");
+    let prewarmed = std::fs::read_dir(&dir)
+        .map(|entries| {
+            entries
+                .flatten()
+                .any(|e| e.path().extension().is_some_and(|x| x == "tpdeart"))
+        })
+        .unwrap_or(false);
+
+    let service_at = |workers: usize| {
+        compile_service(ServiceConfig {
+            workers,
+            shard_threshold: 64,
+            cache_capacity: 2 * mix.len(),
+            disk_cache: Some(DiskCacheConfig::new(&dir)),
+        })
+    };
+    let run_pass = |svc: &LlvmCompileService| {
+        let start = Instant::now();
+        let tickets: Vec<_> = mix
+            .iter()
+            .map(|(_, m)| {
+                svc.submit(ModuleRequest::new(
+                    Arc::clone(m),
+                    ServiceBackendKind::TpdeX64,
+                ))
+            })
+            .collect();
+        let responses: Vec<_> = tickets.into_iter().map(|t| t.wait()).collect();
+        let elapsed = start.elapsed();
+        for (((name, _), r), want) in mix.iter().zip(&responses).zip(&references) {
+            let buf = &r.module.as_ref().expect(name).buf;
+            assert_identical(want, buf, &format!("disk scenario {name}"));
+        }
+        (elapsed, responses)
+    };
+
+    println!("\n== Persistent code cache: zero-compile warm restart (modules/sec)");
+    println!(
+        "   {} modules per pass, store at {} ({})",
+        mix.len(),
+        dir.display(),
+        if prewarmed {
+            "pre-warmed by an earlier process"
+        } else {
+            "fresh"
+        }
+    );
+
+    // "Process one": cold pass. On a fresh store every request compiles and
+    // is persisted by the workers as a side effect.
+    let svc = service_at(4);
+    let (cold, responses) = run_pass(&svc);
+    let cold_stats = svc.stats();
+    if !prewarmed {
+        for ((name, _), r) in mix.iter().zip(&responses) {
+            assert!(
+                !r.timing.disk_hit && !r.timing.cache_hit,
+                "{name}: cold pass on a fresh store must compile"
+            );
+        }
+        assert_eq!(
+            cold_stats.disk_stores,
+            mix.len() as u64,
+            "every cold compile must be persisted"
+        );
+    }
+    drop(svc); // simulated process exit: memory cache and workers are gone
+
+    // "Process two": warm passes, each on a freshly constructed service
+    // (empty in-memory cache) so every request must come from disk. Best of
+    // three restarts is reported.
+    let mut warm = Duration::MAX;
+    let mut warm_stats = None;
+    for _ in 0..3 {
+        let svc = service_at(4);
+        let (elapsed, responses) = run_pass(&svc);
+        for ((name, _), r) in mix.iter().zip(&responses) {
+            assert!(
+                r.timing.disk_hit && !r.timing.cache_hit,
+                "{name}: restarted process must answer from disk"
+            );
+        }
+        let stats = svc.stats();
+        assert_eq!(
+            stats.batched + stats.sharded,
+            0,
+            "restarted process must not invoke any compile path"
+        );
+        assert_eq!(stats.disk_hits, mix.len() as u64);
+        warm = warm.min(elapsed);
+        warm_stats = Some(stats);
+    }
+    let warm_stats = warm_stats.unwrap();
+
+    let cold_ms = cold.as_secs_f64() * 1000.0;
+    let warm_ms = warm.as_secs_f64() * 1000.0;
+    let cold_mps = mix.len() as f64 / cold.as_secs_f64();
+    let warm_mps = mix.len() as f64 / warm.as_secs_f64();
+    let load_p50_ms = warm_stats.disk_load_p50.as_secs_f64() * 1000.0;
+    let load_p99_ms = warm_stats.disk_load_p99.as_secs_f64() * 1000.0;
+    println!(
+        "{:<22} {:>10} {:>10} {:>12} {:>12}",
+        "pass", "cold ms", "warm ms", "cold mod/s", "warm mod/s"
+    );
+    println!(
+        "{:<22} {cold_ms:>10.3} {warm_ms:>10.3} {cold_mps:>12.0} {warm_mps:>12.0}",
+        "compile vs disk load"
+    );
+    println!(
+        "disk cache stats: hits={} misses={} stores={} load_p50={:.3}ms load_p99={:.3}ms",
+        warm_stats.disk_hits,
+        cold_stats.disk_misses,
+        cold_stats.disk_stores,
+        load_p50_ms,
+        load_p99_ms
+    );
+    if prewarmed {
+        println!("   (pre-warmed store: cold pass was served from disk; 3x ratio not applicable)");
+    } else {
+        assert!(
+            warm_ms * 3.0 <= cold_ms,
+            "warm-disk restart must be at least 3x faster than cold compile \
+             (cold {cold_ms:.3} ms, warm {warm_ms:.3} ms)"
+        );
+        println!("   (byte-identity, zero-compile restart and warm >= 3x cold are asserted)");
+    }
+
+    if owned {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    DiskReport {
+        modules: mix.len(),
+        prewarmed,
+        cold_ms,
+        warm_ms,
+        cold_mps,
+        warm_mps,
+        disk_hits: warm_stats.disk_hits,
+        disk_misses: cold_stats.disk_misses,
+        disk_stores: cold_stats.disk_stores,
+        load_p50_ms,
+        load_p99_ms,
     }
 }
 
@@ -363,6 +566,7 @@ fn tiered_execution(quick: bool) -> TieredReport {
         workers: 2,
         shard_threshold: 64,
         cache_capacity: 8,
+        disk_cache: None,
     });
     let tier0_buf = svc
         .compile(ModuleRequest::new(
@@ -489,6 +693,7 @@ fn tiered_execution(quick: bool) -> TieredReport {
 ///
 /// Hand-rolled JSON (the container has no serde); numbers use enough digits
 /// for diffing across PRs.
+#[allow(clippy::too_many_arguments)]
 fn write_json(
     path: &str,
     quick: bool,
@@ -497,6 +702,7 @@ fn write_json(
     par: Option<&ParallelReport>,
     service: Option<&ServiceReport>,
     tiered: Option<&TieredReport>,
+    disk: Option<&DiskReport>,
 ) -> std::io::Result<Vec<String>> {
     use std::fmt::Write as _;
     let sha = git_sha();
@@ -547,6 +753,21 @@ fn write_json(
         None => {
             if let Some(old) = &replaced {
                 entry.push_str(&salvage_fields(old, "\"tier_"));
+            }
+        }
+    }
+    match disk {
+        Some(d) => {
+            let _ = write!(
+                entry,
+                ", \"disk_cold_mps\": {:.1}, \"disk_warm_mps\": {:.1}",
+                d.cold_mps, d.warm_mps
+            );
+        }
+        // no disk-cache scenario this run: keep the same-SHA entry's numbers
+        None => {
+            if let Some(old) = &replaced {
+                entry.push_str(&salvage_fields(old, "\"disk_"));
             }
         }
     }
@@ -618,6 +839,25 @@ fn write_json(
             t.tier0_ipgc,
             t.tier1_ipgc,
             t.tiered_ipgc
+        );
+    }
+    if let Some(d) = disk {
+        let _ = writeln!(
+            out,
+            "  \"disk\": {{\"modules\": {}, \"prewarmed\": {}, \"cold_ms\": {:.4}, \
+             \"warm_ms\": {:.4}, \"cold_mps\": {:.1}, \"warm_mps\": {:.1}, \"hits\": {}, \
+             \"misses\": {}, \"stores\": {}, \"load_p50_ms\": {:.4}, \"load_p99_ms\": {:.4}}},",
+            d.modules,
+            d.prewarmed,
+            d.cold_ms,
+            d.warm_ms,
+            d.cold_mps,
+            d.warm_mps,
+            d.disk_hits,
+            d.disk_misses,
+            d.disk_stores,
+            d.load_p50_ms,
+            d.load_p99_ms
         );
     }
     out.push_str("  \"history\": [\n");
@@ -695,6 +935,7 @@ fn main() {
     let json = args.iter().any(|a| a == "--json");
     let service = args.iter().any(|a| a == "--service");
     let tiered = args.iter().any(|a| a == "--tiered");
+    let disk = args.iter().any(|a| a == "--disk-cache");
     let threads: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
         args.get(i + 1)
             .and_then(|v| v.parse().ok())
@@ -770,6 +1011,7 @@ fn main() {
     let par_report = threads.map(|n| thread_scaling(quick, n.max(1)));
     let service_report = service.then(|| service_throughput(quick, &[1, 2, 4]));
     let tiered_report = tiered.then(|| tiered_execution(quick));
+    let disk_report = disk.then(|| disk_cache_restart(quick));
     let geo = (geomean(&sp_x64), geomean(&sp_a64), geomean(&sp_cp));
     // The gate compares against the committed history; only `--json` runs
     // rewrite the report file.
@@ -782,6 +1024,7 @@ fn main() {
             par_report.as_ref(),
             service_report.as_ref(),
             tiered_report.as_ref(),
+            disk_report.as_ref(),
         ) {
             Ok(prior) => {
                 println!("(wrote BENCH_compile.json)");

@@ -123,6 +123,82 @@ impl CompiledModule {
     pub fn text_size(&self) -> u64 {
         self.buf.section_size(SectionKind::Text)
     }
+
+    /// Structural consistency check of the compiled module: every defined
+    /// symbol lies within its section, every relocation patches a field that
+    /// exists and targets a symbol that exists, and the tier tables (if
+    /// present) obey the adjacency contract of
+    /// [`CodeBuffer::define_tier_tables`].
+    ///
+    /// The compiler upholds these invariants by construction; the check
+    /// exists for modules that arrive from *outside* a compile — above all
+    /// artifacts deserialized from the on-disk cache ([`crate::diskcache`]
+    /// runs it on every load so a hash-consistent but structurally bogus
+    /// artifact is a cache miss, never a wrong answer) — and as a debug
+    /// assertion in the service determinism suite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Emit`] describing the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        let buf = &self.buf;
+        let corrupt = |what: String| Err(Error::Emit(format!("invalid module: {what}")));
+        for i in 0..buf.symbols().len() as u32 {
+            let id = crate::codebuf::SymbolId(i);
+            let sym = buf.symbol(id);
+            if let Some(kind) = sym.section {
+                let limit = buf.section_size(kind);
+                match sym.offset.checked_add(sym.size) {
+                    Some(end) if end <= limit => {}
+                    _ => {
+                        return corrupt(format!(
+                            "symbol {i} ({}) extends past the end of {}",
+                            buf.symbol_name(id),
+                            kind.name()
+                        ))
+                    }
+                }
+            }
+        }
+        for (i, reloc) in buf.relocs().iter().enumerate() {
+            if reloc.symbol.0 as usize >= buf.symbols().len() {
+                return corrupt(format!(
+                    "relocation {i} targets a symbol that does not exist"
+                ));
+            }
+            if reloc.section == SectionKind::Bss {
+                return corrupt(format!("relocation {i} patches .bss, which has no bytes"));
+            }
+            match reloc.offset.checked_add(reloc.kind.field_len()) {
+                Some(end) if end <= buf.section_size(reloc.section) => {}
+                _ => {
+                    return corrupt(format!(
+                        "relocation {i} field extends past the end of {}",
+                        reloc.section.name()
+                    ))
+                }
+            }
+        }
+        // Tier-table adjacency: the slot table sits directly after the
+        // counter table (JitImage derives the function count from the
+        // distance between the two symbols).
+        if let (Some(counters), Some(slots)) = (
+            buf.symbol_by_name(crate::codebuf::TIER_COUNTERS_SYM),
+            buf.symbol_by_name(crate::codebuf::TIER_SLOTS_SYM),
+        ) {
+            let (c, s) = (buf.symbol(counters), buf.symbol(slots));
+            if let (Some(_), Some(_)) = (c.section, s.section) {
+                if c.section != s.section
+                    || c.size != s.size
+                    || !c.size.is_multiple_of(8)
+                    || s.offset != c.offset + c.size
+                {
+                    return corrupt("tier tables violate the adjacency contract".into());
+                }
+            }
+        }
+        Ok(())
+    }
 }
 
 /// User-provided instruction compilers: generates machine code for a single

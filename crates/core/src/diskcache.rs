@@ -1,0 +1,880 @@
+//! Persistent cross-process code cache: an mmap-able on-disk artifact store
+//! for zero-compile warm restarts.
+//!
+//! The in-memory module cache of [`crate::service::CompileService`] answers
+//! repeat requests at memory speed but dies with the process. This module
+//! adds the tier below it: compiled modules are serialized into a
+//! relocation-safe flat binary format and written to a cache directory, so a
+//! *restarted* service — or a second service process on the same host —
+//! answers a previously-compiled request straight from disk without invoking
+//! any backend compile path.
+//!
+//! # Artifact format
+//!
+//! One artifact file per cache key, `<key:016x>.tpdeart`, little-endian
+//! throughout. A fixed 64-byte header is followed by a single hash-covered
+//! payload; every variable-length chunk inside the payload is padded to an
+//! 8-byte boundary so the fixed-size symbol/relocation records that follow
+//! it stay naturally aligned for the zero-copy views:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -------------------------------------------------------
+//! 0x00    8     magic "TPDEART\0"
+//! 0x08    4     format version (bumped on any layout change)
+//! 0x0c    4     flags (0)
+//! 0x10    8     cache key the artifact was stored under
+//! 0x18    8     payload length (must equal file length - 64)
+//! 0x20    8     FNV-1a hash of the entire payload
+//! 0x28    8     .bss size
+//! 0x30    4     symbol count
+//! 0x34    4     relocation count
+//! 0x38    4     name-arena length
+//! 0x3c    4     reserved (0)
+//! ------  ----  payload ------------------------------------------------
+//!         8+n   .text   (u64 length + bytes, padded to 8)
+//!         8+n   .data   (u64 length + bytes, padded to 8)
+//!         8+n   .rodata (u64 length + bytes, padded to 8)
+//!         n     symbol name arena (UTF-8, padded to 8)
+//!         32*s  symbol records   (name start/end u32, offset u64,
+//!               size u64, section u8, binding u8, is_func u8, pad)
+//!         24*r  relocation records (offset u64, addend i64, symbol u32,
+//!               section u8, kind u8, pad)
+//!         48    compile stats (6 x u64)
+//! ```
+//!
+//! Symbol names are stored in declaration order, so replaying them through
+//! [`CodeBuffer::declare_symbol`] reproduces the original symbol table —
+//! ids, interned arena and all — and the materialized module is
+//! **byte-identical** to the one that was stored
+//! ([`crate::codebuf::assert_identical`] is the contract, pinned by the
+//! round-trip tests and re-asserted per request by `figures --disk-cache`).
+//!
+//! # Keying
+//!
+//! Artifacts are keyed by the same deterministic request hash the in-memory
+//! cache uses ([`crate::service::ServiceBackend::request_key`], an FNV-1a
+//! [`crate::service::Fnv1a`] over module content, backend kind and compile
+//! options — stable across processes by construction), combined with the
+//! [`FORMAT_VERSION`] stored in the header. A key or version mismatch is a
+//! miss, never a wrong answer.
+//!
+//! # Crash safety and corruption
+//!
+//! Writers serialize to a process/thread-unique temp file, `fsync` it, and
+//! atomically `rename` it into place (then `fsync` the directory), so a
+//! concurrent reader sees either no artifact or a complete one — a crash
+//! mid-store leaves at most a stale `.tmp` file. Loads verify before they
+//! trust: the header is bounds-checked, the payload hash is recomputed over
+//! the mapping, every record index is range-checked, and the materialized
+//! module must pass [`CompiledModule::validate`]. A truncated file, a
+//! flipped byte, a stale format version or a key mismatch all degrade to a
+//! cache miss (the corrupt file is unlinked so the next store can heal it).
+//!
+//! # Concurrency
+//!
+//! Multiple service processes share one cache directory. Artifact files are
+//! immutable once renamed into place and unlinking a mapped file is safe on
+//! Unix, so readers never lock. The only shared mutable state is the LRU
+//! index (`index.tpde`: `key size-tick` lines driving eviction), which is
+//! updated under an exclusive `flock` on `index.lock`; artifact *presence*
+//! is the source of truth and the index is rebuilt from a directory scan on
+//! every eviction pass, so a lost or stale index only resets recency, never
+//! correctness. Stores of a key that already has an artifact skip the write
+//! entirely — determinism guarantees the bytes would be identical.
+
+use crate::codebuf::{CodeBuffer, Reloc, RelocKind, SectionKind, SymbolBinding, SymbolId};
+use crate::codegen::{CompileStats, CompiledModule};
+use crate::error::{Error, Result};
+use crate::jit::LinkView;
+use crate::service::Fnv1a;
+use crate::timing::PassTimings;
+use std::collections::HashMap;
+use std::fs::{self, File};
+use std::hash::Hasher;
+use std::io::{self, Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Magic bytes at the start of every artifact file.
+pub const MAGIC: [u8; 8] = *b"TPDEART\0";
+
+/// Version of the artifact layout; any change to the format above bumps
+/// this, and an artifact with a different version is a cache miss.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 64;
+const SYM_RECORD: usize = 32;
+const RELOC_RECORD: usize = 24;
+const STATS_LEN: usize = 48;
+/// Section code of an undefined (external) symbol.
+const SECTION_NONE: u8 = 0xff;
+
+// --------------------------------------------------------------------------
+// Serialization
+// --------------------------------------------------------------------------
+
+fn pad8(out: &mut Vec<u8>) {
+    while !out.len().is_multiple_of(8) {
+        out.push(0);
+    }
+}
+
+/// Serializes a compiled module into the artifact format under `key`.
+///
+/// The timings of the module are deliberately not stored: they describe one
+/// past compile, not the module, and are excluded from the byte-identity
+/// contract (`assert_identical` compares sections, symbols and relocations).
+pub fn serialize_module(key: u64, module: &CompiledModule) -> Vec<u8> {
+    let buf = &module.buf;
+    let nsyms = buf.symbols().len();
+
+    // Rebuild the name arena in declaration order; offsets in the artifact
+    // are relative to this arena, not the buffer's internal one.
+    let mut names = String::new();
+    let mut name_ranges = Vec::with_capacity(nsyms);
+    for i in 0..nsyms as u32 {
+        let start = names.len() as u32;
+        names.push_str(buf.symbol_name(SymbolId(i)));
+        name_ranges.push((start, names.len() as u32));
+    }
+
+    let mut payload = Vec::new();
+    for kind in [SectionKind::Text, SectionKind::Data, SectionKind::ROData] {
+        let data = buf.section_data(kind);
+        payload.extend_from_slice(&(data.len() as u64).to_le_bytes());
+        payload.extend_from_slice(data);
+        pad8(&mut payload);
+    }
+    payload.extend_from_slice(names.as_bytes());
+    pad8(&mut payload);
+    for (i, sym) in buf.symbols().iter().enumerate() {
+        let (start, end) = name_ranges[i];
+        payload.extend_from_slice(&start.to_le_bytes());
+        payload.extend_from_slice(&end.to_le_bytes());
+        payload.extend_from_slice(&sym.offset.to_le_bytes());
+        payload.extend_from_slice(&sym.size.to_le_bytes());
+        payload.push(sym.section.map_or(SECTION_NONE, SectionKind::code));
+        payload.push(sym.binding.code());
+        payload.push(sym.is_func as u8);
+        payload.extend_from_slice(&[0u8; 5]);
+    }
+    for reloc in buf.relocs() {
+        payload.extend_from_slice(&reloc.offset.to_le_bytes());
+        payload.extend_from_slice(&reloc.addend.to_le_bytes());
+        payload.extend_from_slice(&reloc.symbol.0.to_le_bytes());
+        payload.push(reloc.section.code());
+        payload.push(reloc.kind.code());
+        payload.extend_from_slice(&[0u8; 2]);
+    }
+    let s = &module.stats;
+    for v in [s.funcs, s.blocks, s.insts, s.spills, s.reloads, s.moves] {
+        payload.extend_from_slice(&(v as u64).to_le_bytes());
+    }
+
+    let mut h = Fnv1a::new();
+    h.write(&payload);
+    let payload_hash = h.finish();
+
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    out.extend_from_slice(&key.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    out.extend_from_slice(&payload_hash.to_le_bytes());
+    out.extend_from_slice(&buf.section_size(SectionKind::Bss).to_le_bytes());
+    out.extend_from_slice(&(nsyms as u32).to_le_bytes());
+    out.extend_from_slice(&(buf.relocs().len() as u32).to_le_bytes());
+    out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+    out.extend_from_slice(&0u32.to_le_bytes());
+    debug_assert_eq!(out.len(), HEADER_LEN);
+    out.extend_from_slice(&payload);
+    out
+}
+
+// --------------------------------------------------------------------------
+// Memory mapping (no libc crate: std already links libc on Unix)
+// --------------------------------------------------------------------------
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::fs::File;
+    use std::os::unix::io::AsRawFd;
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+    const LOCK_EX: i32 = 2;
+    const LOCK_UN: i32 = 8;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        fn munmap(addr: *mut c_void, len: usize) -> i32;
+        fn flock(fd: i32, operation: i32) -> i32;
+    }
+
+    /// Maps `len` bytes of `file` read-only; `None` on failure (the caller
+    /// falls back to reading the file into memory).
+    pub fn map_readonly(file: &File, len: usize) -> Option<*mut c_void> {
+        if len == 0 {
+            return None;
+        }
+        let ptr = unsafe {
+            mmap(
+                std::ptr::null_mut(),
+                len,
+                PROT_READ,
+                MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        (ptr as isize != -1).then_some(ptr)
+    }
+
+    pub fn unmap(ptr: *mut c_void, len: usize) {
+        unsafe {
+            munmap(ptr, len);
+        }
+    }
+
+    /// Takes an exclusive advisory lock on `file`, blocking until available.
+    /// `flock` locks the open file description, so two lock files opened by
+    /// threads of one process exclude each other just like two processes do.
+    pub fn lock_exclusive(file: &File) -> bool {
+        unsafe { flock(file.as_raw_fd(), LOCK_EX) == 0 }
+    }
+
+    pub fn unlock(file: &File) {
+        unsafe {
+            flock(file.as_raw_fd(), LOCK_UN);
+        }
+    }
+}
+
+/// Backing storage of an [`Artifact`]: a read-only memory mapping where the
+/// platform provides one, otherwise the file contents read into memory.
+enum Backing {
+    #[cfg(unix)]
+    Map {
+        ptr: *mut std::ffi::c_void,
+        len: usize,
+    },
+    Heap(Vec<u8>),
+}
+
+impl Backing {
+    /// Maps (or reads) the whole file.
+    fn from_file(file: &mut File, len: usize) -> io::Result<Backing> {
+        #[cfg(unix)]
+        if let Some(ptr) = sys::map_readonly(file, len) {
+            return Ok(Backing::Map { ptr, len });
+        }
+        let mut bytes = Vec::with_capacity(len);
+        file.read_to_end(&mut bytes)?;
+        Ok(Backing::Heap(bytes))
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Backing::Map { ptr, len } => unsafe {
+                std::slice::from_raw_parts(*ptr as *const u8, *len)
+            },
+            Backing::Heap(v) => v,
+        }
+    }
+
+    /// Whether the bytes are served by a memory mapping (vs. a heap copy).
+    fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Backing::Map { .. } => true,
+            Backing::Heap(_) => false,
+        }
+    }
+}
+
+impl Drop for Backing {
+    fn drop(&mut self) {
+        match self {
+            #[cfg(unix)]
+            Backing::Map { ptr, len } => sys::unmap(*ptr, *len),
+            Backing::Heap(_) => {}
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// Artifact: verified zero-copy view of one stored module
+// --------------------------------------------------------------------------
+
+/// Why an artifact could not be opened (internal; the public API treats
+/// every variant as a cache miss).
+enum OpenError {
+    /// No artifact stored under the key.
+    Missing,
+    /// The file exists but failed verification; the loader unlinks it.
+    Corrupt,
+}
+
+/// A verified, mmap-ed view of one on-disk artifact.
+///
+/// Section bytes, symbol records and relocation records are read directly
+/// out of the mapping — nothing is copied until [`Artifact::to_module`]
+/// materializes a [`CompiledModule`]. The view implements
+/// [`crate::jit::LinkView`], so [`crate::jit::link_in_memory`] can produce a
+/// [`crate::jit::JitImage`] straight from the mapping on a warm restart.
+///
+/// Every accessor is safe on a successfully opened artifact: opening
+/// verifies the header, the payload hash and the bounds of every record, so
+/// corruption is rejected up front rather than discovered mid-read.
+pub struct Artifact {
+    backing: Backing,
+    bss_size: u64,
+    nsyms: u32,
+    nrelocs: u32,
+    /// (offset, len) of .text/.data/.rodata bytes within the file.
+    sections: [(usize, usize); 3],
+    /// (offset, len) of the name arena within the file.
+    names: (usize, usize),
+    syms_off: usize,
+    relocs_off: usize,
+    stats: CompileStats,
+}
+
+fn rd_u32(b: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(b[off..off + 4].try_into().unwrap())
+}
+
+fn rd_u64(b: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+fn rd_i64(b: &[u8], off: usize) -> i64 {
+    i64::from_le_bytes(b[off..off + 8].try_into().unwrap())
+}
+
+impl Artifact {
+    fn open(path: &Path, expect_key: u64) -> std::result::Result<Artifact, OpenError> {
+        let mut file = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(OpenError::Missing),
+            Err(_) => return Err(OpenError::Corrupt),
+        };
+        let len = file.metadata().map_err(|_| OpenError::Corrupt)?.len() as usize;
+        let backing = Backing::from_file(&mut file, len).map_err(|_| OpenError::Corrupt)?;
+        Artifact::parse(backing, expect_key).ok_or(OpenError::Corrupt)
+    }
+
+    /// Parses and verifies the artifact; `None` means corrupt/mismatched.
+    fn parse(backing: Backing, expect_key: u64) -> Option<Artifact> {
+        let b = backing.bytes();
+        if b.len() < HEADER_LEN || b[..8] != MAGIC {
+            return None;
+        }
+        if rd_u32(b, 0x08) != FORMAT_VERSION || rd_u64(b, 0x10) != expect_key {
+            return None;
+        }
+        let payload_len = rd_u64(b, 0x18);
+        if payload_len != (b.len() - HEADER_LEN) as u64 {
+            return None; // truncated (or trailing garbage)
+        }
+        let payload = &b[HEADER_LEN..];
+        let mut h = Fnv1a::new();
+        h.write(payload);
+        if h.finish() != rd_u64(b, 0x20) {
+            return None;
+        }
+        let bss_size = rd_u64(b, 0x28);
+        let nsyms = rd_u32(b, 0x30);
+        let nrelocs = rd_u32(b, 0x34);
+        let names_len = rd_u32(b, 0x38);
+
+        // Walk the payload chunks with overflow-checked arithmetic (a
+        // corrupt length field must not wrap the cursor); all offsets below
+        // are file-relative.
+        let align8 = |n: u64| n.checked_add(7).map(|n| n & !7);
+        let file_len = b.len() as u64;
+        let mut cursor = HEADER_LEN as u64;
+        let mut sections = [(0usize, 0usize); 3];
+        for slot in sections.iter_mut() {
+            if cursor + 8 > file_len {
+                return None;
+            }
+            let len = rd_u64(b, cursor as usize);
+            let end = (cursor + 8).checked_add(len)?;
+            if end > file_len {
+                return None;
+            }
+            *slot = ((cursor + 8) as usize, len as usize);
+            cursor = align8(end)?;
+        }
+        let names = (cursor as usize, names_len as usize);
+        cursor = align8(cursor.checked_add(names_len as u64)?)?;
+        let syms_off = cursor as usize;
+        cursor = cursor.checked_add(nsyms as u64 * SYM_RECORD as u64)?;
+        let relocs_off = cursor as usize;
+        cursor = cursor.checked_add(nrelocs as u64 * RELOC_RECORD as u64)?;
+        let stats_off = cursor as usize;
+        cursor = cursor.checked_add(STATS_LEN as u64)?;
+        if cursor != file_len {
+            return None;
+        }
+
+        // Verify the name arena and every record up front so the accessors
+        // are panic-free afterwards.
+        let names_str = std::str::from_utf8(&b[names.0..names.0 + names.1]).ok()?;
+        for i in 0..nsyms {
+            let rec = syms_off + i as usize * SYM_RECORD;
+            let (start, end) = (rd_u32(b, rec) as usize, rd_u32(b, rec + 4) as usize);
+            if start > end
+                || end > names_str.len()
+                || !names_str.is_char_boundary(start)
+                || !names_str.is_char_boundary(end)
+            {
+                return None;
+            }
+            let section = b[rec + 24];
+            if section != SECTION_NONE && SectionKind::from_code(section).is_none() {
+                return None;
+            }
+            if SymbolBinding::from_code(b[rec + 25]).is_none() || b[rec + 26] > 1 {
+                return None;
+            }
+        }
+        for i in 0..nrelocs {
+            let rec = relocs_off + i as usize * RELOC_RECORD;
+            if rd_u32(b, rec + 16) >= nsyms
+                || SectionKind::from_code(b[rec + 20]).is_none()
+                || RelocKind::from_code(b[rec + 21]).is_none()
+            {
+                return None;
+            }
+        }
+        let stats = CompileStats {
+            funcs: rd_u64(b, stats_off) as usize,
+            blocks: rd_u64(b, stats_off + 8) as usize,
+            insts: rd_u64(b, stats_off + 16) as usize,
+            spills: rd_u64(b, stats_off + 24) as usize,
+            reloads: rd_u64(b, stats_off + 32) as usize,
+            moves: rd_u64(b, stats_off + 40) as usize,
+        };
+        Some(Artifact {
+            backing,
+            bss_size,
+            nsyms,
+            nrelocs,
+            sections,
+            names,
+            syms_off,
+            relocs_off,
+            stats,
+        })
+    }
+
+    /// Compile-event counters stored with the module.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Whether the artifact is served by a memory mapping (`false` on
+    /// platforms without mmap, where the file was read into memory).
+    pub fn is_mapped(&self) -> bool {
+        self.backing.is_mapped()
+    }
+
+    fn sym_record(&self, i: u32) -> usize {
+        self.syms_off + i as usize * SYM_RECORD
+    }
+
+    /// `(binding, is_func, size)` of symbol `i`.
+    fn symbol_meta(&self, i: u32) -> (SymbolBinding, bool, u64) {
+        let b = self.backing.bytes();
+        let rec = self.sym_record(i);
+        (
+            SymbolBinding::from_code(b[rec + 25]).expect("verified at open"),
+            b[rec + 26] != 0,
+            rd_u64(b, rec + 8 + 8),
+        )
+    }
+
+    /// Materializes the artifact into a [`CompiledModule`] byte-identical to
+    /// the module that was stored, by replaying the symbol declarations,
+    /// section bytes and relocations through the public [`CodeBuffer`] API.
+    /// Timings start at zero (they describe a compile, and no compile
+    /// happened). The result must pass [`CompiledModule::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Emit`] if the (hash-consistent) artifact is
+    /// structurally inconsistent; callers treat that as a cache miss.
+    pub fn to_module(&self) -> Result<CompiledModule> {
+        let mut buf = CodeBuffer::new();
+        for i in 0..self.nsyms {
+            let (binding, is_func, size) = self.symbol_meta(i);
+            let id = buf.declare_symbol(self.symbol_name(i), binding, is_func);
+            if id.0 != i {
+                return Err(Error::Emit(
+                    "invalid module: duplicate symbol name in artifact".into(),
+                ));
+            }
+            match self.symbol_def(i) {
+                Some((kind, offset)) => buf.define_symbol(id, kind, offset, size),
+                None => buf.set_symbol_size(id, size),
+            }
+        }
+        for kind in [SectionKind::Text, SectionKind::Data, SectionKind::ROData] {
+            buf.append(kind, LinkView::section_data(self, kind));
+        }
+        if self.bss_size > 0 {
+            buf.reserve_bss(self.bss_size, 1);
+        }
+        for i in 0..self.nrelocs as usize {
+            buf.add_reloc(self.reloc(i));
+        }
+        let module = CompiledModule {
+            buf,
+            stats: self.stats.clone(),
+            timings: PassTimings::new(),
+        };
+        module.validate()?;
+        Ok(module)
+    }
+}
+
+impl LinkView for Artifact {
+    fn section_size(&self, kind: SectionKind) -> u64 {
+        match kind {
+            SectionKind::Bss => self.bss_size,
+            _ => self.sections[kind.code() as usize].1 as u64,
+        }
+    }
+
+    fn section_data(&self, kind: SectionKind) -> &[u8] {
+        match kind {
+            SectionKind::Bss => &[],
+            _ => {
+                let (off, len) = self.sections[kind.code() as usize];
+                &self.backing.bytes()[off..off + len]
+            }
+        }
+    }
+
+    fn symbol_count(&self) -> u32 {
+        self.nsyms
+    }
+
+    fn symbol_name(&self, i: u32) -> &str {
+        let b = self.backing.bytes();
+        let rec = self.sym_record(i);
+        let (start, end) = (rd_u32(b, rec) as usize, rd_u32(b, rec + 4) as usize);
+        std::str::from_utf8(&b[self.names.0 + start..self.names.0 + end]).expect("verified at open")
+    }
+
+    fn symbol_def(&self, i: u32) -> Option<(SectionKind, u64)> {
+        let b = self.backing.bytes();
+        let rec = self.sym_record(i);
+        let kind = SectionKind::from_code(b[rec + 24])?;
+        Some((kind, rd_u64(b, rec + 8)))
+    }
+
+    fn reloc_count(&self) -> usize {
+        self.nrelocs as usize
+    }
+
+    fn reloc(&self, i: usize) -> Reloc {
+        let b = self.backing.bytes();
+        let rec = self.relocs_off + i * RELOC_RECORD;
+        Reloc {
+            offset: rd_u64(b, rec),
+            addend: rd_i64(b, rec + 8),
+            symbol: SymbolId(rd_u32(b, rec + 16)),
+            section: SectionKind::from_code(b[rec + 20]).expect("verified at open"),
+            kind: RelocKind::from_code(b[rec + 21]).expect("verified at open"),
+        }
+    }
+}
+
+// --------------------------------------------------------------------------
+// The store: crash-safe writes, flock-ed LRU index, size-bounded eviction
+// --------------------------------------------------------------------------
+
+/// Configuration of a [`DiskCache`].
+#[derive(Clone, Debug)]
+pub struct DiskCacheConfig {
+    /// Cache directory (created on open; shared between processes).
+    pub dir: PathBuf,
+    /// Size bound in bytes over all artifacts; least-recently-used
+    /// artifacts are evicted when the total exceeds it. 0 means unbounded.
+    pub max_bytes: u64,
+}
+
+impl DiskCacheConfig {
+    /// A config for `dir` with the default 256 MiB size bound.
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCacheConfig {
+        DiskCacheConfig {
+            dir: dir.into(),
+            max_bytes: 256 << 20,
+        }
+    }
+}
+
+/// Exclusive inter-process lock over the cache index (advisory `flock`; a
+/// no-op on platforms without it, where the cache is single-process only).
+struct IndexLock {
+    #[cfg(unix)]
+    file: File,
+}
+
+impl IndexLock {
+    fn acquire(dir: &Path) -> Option<IndexLock> {
+        #[cfg(unix)]
+        {
+            let file = File::options()
+                .create(true)
+                .truncate(false)
+                .write(true)
+                .open(dir.join("index.lock"))
+                .ok()?;
+            sys::lock_exclusive(&file).then_some(IndexLock { file })
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = dir;
+            Some(IndexLock {})
+        }
+    }
+}
+
+impl Drop for IndexLock {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        sys::unlock(&self.file);
+    }
+}
+
+/// Disambiguates temp-file names between threads of one process (the pid in
+/// the name disambiguates between processes).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The persistent artifact store; see the module docs.
+///
+/// All methods take `&self` and are safe to call from multiple threads and
+/// multiple processes sharing one directory.
+pub struct DiskCache {
+    cfg: DiskCacheConfig,
+}
+
+impl DiskCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the error of the directory creation.
+    pub fn open(cfg: DiskCacheConfig) -> io::Result<DiskCache> {
+        fs::create_dir_all(&cfg.dir)?;
+        Ok(DiskCache { cfg })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    fn artifact_path(&self, key: u64) -> PathBuf {
+        self.cfg.dir.join(format!("{key:016x}.tpdeart"))
+    }
+
+    /// Whether an artifact is stored under `key` (no verification).
+    pub fn contains(&self, key: u64) -> bool {
+        self.artifact_path(key).exists()
+    }
+
+    /// Stores a module under `key`: serialize → unique temp file → `fsync`
+    /// → atomic rename, then bump the key's recency and evict over-budget
+    /// artifacts under the index lock. Returns `false` (without writing) if
+    /// an artifact for `key` already exists — byte-determinism makes the
+    /// existing one interchangeable.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first I/O error; the temp file is cleaned up.
+    pub fn store(&self, key: u64, module: &CompiledModule) -> io::Result<bool> {
+        let path = self.artifact_path(key);
+        let fresh = !path.exists();
+        if fresh {
+            let bytes = serialize_module(key, module);
+            let tmp = self.cfg.dir.join(format!(
+                ".{key:016x}.{}-{}.tmp",
+                std::process::id(),
+                TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+            ));
+            let result = (|| {
+                let mut f = File::create(&tmp)?;
+                f.write_all(&bytes)?;
+                f.sync_all()?;
+                drop(f);
+                fs::rename(&tmp, &path)
+            })();
+            if let Err(e) = result {
+                let _ = fs::remove_file(&tmp);
+                return Err(e);
+            }
+            // Make the rename itself durable.
+            if let Ok(d) = File::open(&self.cfg.dir) {
+                let _ = d.sync_all();
+            }
+        }
+        self.touch_and_evict(key);
+        Ok(fresh)
+    }
+
+    /// Opens the verified artifact stored under `key` as a zero-copy view;
+    /// `None` if absent or corrupt (a corrupt file is unlinked so a later
+    /// store heals it).
+    pub fn open_artifact(&self, key: u64) -> Option<Artifact> {
+        let path = self.artifact_path(key);
+        match Artifact::open(&path, key) {
+            Ok(a) => Some(a),
+            Err(OpenError::Missing) => None,
+            Err(OpenError::Corrupt) => {
+                let _ = fs::remove_file(&path);
+                None
+            }
+        }
+    }
+
+    /// Loads and materializes the module stored under `key`, verifying the
+    /// artifact hash and [`CompiledModule::validate`] on the way; `None` is
+    /// a miss (absent, corrupt, or structurally invalid — the latter two
+    /// unlink the artifact). A hit bumps the key's LRU recency.
+    pub fn load(&self, key: u64) -> Option<CompiledModule> {
+        let artifact = self.open_artifact(key)?;
+        match artifact.to_module() {
+            Ok(module) => {
+                self.touch_and_evict(key);
+                Some(module)
+            }
+            Err(_) => {
+                let _ = fs::remove_file(self.artifact_path(key));
+                None
+            }
+        }
+    }
+
+    /// Number of artifacts currently stored.
+    pub fn artifact_count(&self) -> usize {
+        self.scan().len()
+    }
+
+    /// Total size in bytes of all stored artifacts.
+    pub fn total_bytes(&self) -> u64 {
+        self.scan().iter().map(|(_, size)| size).sum()
+    }
+
+    /// Scans the directory for `(key, size)` of every artifact. Presence on
+    /// disk is the source of truth; the index only adds recency.
+    fn scan(&self) -> Vec<(u64, u64)> {
+        let Ok(dir) = fs::read_dir(&self.cfg.dir) else {
+            return Vec::new();
+        };
+        let mut out = Vec::new();
+        for entry in dir.flatten() {
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            let Some(hex) = name.strip_suffix(".tpdeart") else {
+                continue;
+            };
+            let Ok(key) = u64::from_str_radix(hex, 16) else {
+                continue;
+            };
+            let Ok(meta) = entry.metadata() else { continue };
+            out.push((key, meta.len()));
+        }
+        out
+    }
+
+    fn index_path(&self) -> PathBuf {
+        self.cfg.dir.join("index.tpde")
+    }
+
+    /// Reads the recency index (`key tick` per line); a missing or corrupt
+    /// index is simply empty — recency resets, correctness is unaffected.
+    fn read_index(&self) -> HashMap<u64, u64> {
+        let Ok(text) = fs::read_to_string(self.index_path()) else {
+            return HashMap::new();
+        };
+        let mut map = HashMap::new();
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            if let (Some(k), Some(t)) = (it.next(), it.next()) {
+                if let (Ok(k), Ok(t)) = (u64::from_str_radix(k, 16), t.parse()) {
+                    map.insert(k, t);
+                }
+            }
+        }
+        map
+    }
+
+    fn write_index(&self, ticks: &HashMap<u64, u64>) {
+        let mut lines: Vec<(u64, u64)> = ticks.iter().map(|(&k, &t)| (k, t)).collect();
+        lines.sort_unstable();
+        let mut text = String::new();
+        for (k, t) in lines {
+            text.push_str(&format!("{k:016x} {t}\n"));
+        }
+        let tmp = self.cfg.dir.join(format!(
+            ".index.{}-{}.tmp",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        if fs::write(&tmp, text).is_ok() && fs::rename(&tmp, self.index_path()).is_err() {
+            let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Under the index lock: bump `key`'s recency, then evict
+    /// least-recently-used artifacts (never `key` itself) until the total
+    /// size respects [`DiskCacheConfig::max_bytes`]. Failures are swallowed
+    /// — recency and the size bound are best-effort properties; artifact
+    /// correctness never depends on them.
+    fn touch_and_evict(&self, key: u64) {
+        let Some(_lock) = IndexLock::acquire(&self.cfg.dir) else {
+            return;
+        };
+        let mut ticks = self.read_index();
+        let next = ticks.values().copied().max().unwrap_or(0) + 1;
+        ticks.insert(key, next);
+        let mut entries = self.scan();
+        // Forget recency of artifacts that no longer exist.
+        let live: std::collections::HashSet<u64> = entries.iter().map(|&(k, _)| k).collect();
+        ticks.retain(|k, _| live.contains(k));
+        ticks.insert(key, next);
+        if self.cfg.max_bytes > 0 {
+            let mut total: u64 = entries.iter().map(|(_, size)| size).sum();
+            entries.sort_by_key(|&(k, _)| ticks.get(&k).copied().unwrap_or(0));
+            for (k, size) in entries {
+                if total <= self.cfg.max_bytes {
+                    break;
+                }
+                if k == key {
+                    continue;
+                }
+                if fs::remove_file(self.artifact_path(k)).is_ok() {
+                    total -= size;
+                    ticks.remove(&k);
+                }
+            }
+        }
+        self.write_index(&ticks);
+    }
+}

@@ -27,7 +27,9 @@
 //! sequential driver. Drivers serving a *stream* of modules (JIT-style
 //! workloads) keep a persistent [`service::CompileService`], which pipelines
 //! requests across a pool of long-lived workers and answers repeated
-//! modules from a content-addressed cache.
+//! modules from a content-addressed cache, optionally backed by a
+//! persistent on-disk artifact store ([`diskcache`]) that survives process
+//! restarts and is shared between processes on one host.
 //!
 //! ```
 //! // The `tpde-llvm` crate contains an LLVM-IR-like SSA IR with an adapter;
@@ -45,6 +47,7 @@ pub mod bitset;
 pub mod callconv;
 pub mod codebuf;
 pub mod codegen;
+pub mod diskcache;
 pub mod error;
 pub mod jit;
 pub mod obj;
@@ -58,6 +61,7 @@ pub mod timing;
 pub use adapter::{BlockRef, FuncRef, IrAdapter, Linkage, ValueRef};
 pub use analysis::{Analysis, Analyzer, LoopInfo};
 pub use codegen::{CodeGen, CompileOptions, CompileSession, CompiledModule};
+pub use diskcache::{DiskCache, DiskCacheConfig};
 pub use error::{Error, Result};
 pub use parallel::{ParallelDriver, WorkerPool};
 pub use regs::{Reg, RegBank};

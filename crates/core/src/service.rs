@@ -23,6 +23,14 @@
 //!   repeated module skips compilation entirely and is answered at
 //!   submission with a byte-identical copy of the cached buffer. The cache
 //!   is LRU-bounded by [`ServiceConfig::cache_capacity`].
+//! * **Disk tier.** With [`ServiceConfig::disk_cache`] set, in-memory
+//!   misses consult a persistent on-disk artifact store
+//!   ([`crate::diskcache::DiskCache`]) before compiling: a hit is answered
+//!   at submission (like a memory hit) and promoted into the in-memory
+//!   cache; compiled responses are written back to disk by the workers, off
+//!   the submit path. The store survives process restarts and is shared by
+//!   concurrent service processes, so the lookup order is memory LRU → disk
+//!   → compile.
 //!
 //! # Determinism contract
 //!
@@ -41,6 +49,7 @@
 
 use crate::codebuf::CodeBuffer;
 use crate::codegen::{CompileSession, CompileStats, CompiledModule};
+use crate::diskcache::{DiskCache, DiskCacheConfig};
 use crate::error::{Error, Result};
 use crate::parallel::{check_predeclared_func_symbols, merge_shards, Shard};
 use crate::timing::{PassTimings, RequestTiming, ServiceStats};
@@ -96,6 +105,11 @@ pub struct ServiceConfig {
     pub shard_threshold: usize,
     /// Maximum number of cached modules; 0 disables the cache.
     pub cache_capacity: usize,
+    /// Persistent on-disk artifact store consulted between the in-memory
+    /// cache and a compile; `None` (the default) disables the disk tier.
+    /// If the store cannot be opened the service logs to stderr and runs
+    /// without it rather than failing construction.
+    pub disk_cache: Option<DiskCacheConfig>,
 }
 
 impl ServiceConfig {
@@ -115,6 +129,7 @@ impl Default for ServiceConfig {
             workers: 2,
             shard_threshold: 64,
             cache_capacity: 128,
+            disk_cache: None,
         }
     }
 }
@@ -340,6 +355,9 @@ struct Counters {
     completed: AtomicU64,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
+    disk_hits: AtomicU64,
+    disk_misses: AtomicU64,
+    disk_stores: AtomicU64,
     sharded: AtomicU64,
     batched: AtomicU64,
     /// Requests submitted but not yet answered (cache hits pass through
@@ -353,6 +371,9 @@ struct Counters {
     /// the source of the p50/p99 percentiles in
     /// [`crate::timing::ServiceStats`].
     latency_samples_ns: Mutex<Vec<u64>>,
+    /// Disk-artifact load latency samples (nanoseconds), one per disk hit:
+    /// mmap + verify + validate + materialize.
+    disk_load_samples_ns: Mutex<Vec<u64>>,
 }
 
 struct Shared<B: ServiceBackend> {
@@ -361,6 +382,8 @@ struct Shared<B: ServiceBackend> {
     queue: Mutex<JobQueue<B>>,
     cv: Condvar,
     cache: Mutex<ModuleCache>,
+    /// Disk tier of the cache, if configured and openable.
+    disk: Option<DiskCache>,
     counters: Counters,
 }
 
@@ -391,6 +414,19 @@ impl<B: ServiceBackend> Shared<B> {
                 last_use: AtomicU64::new(0),
             });
             self.cache.lock().unwrap().insert(k, entry);
+            // Persist to the disk tier. This runs on the worker thread that
+            // compiled the module (or merged the shards), so artifact I/O
+            // stays off the submit path. Store failures degrade to a
+            // smaller cache, never to a wrong answer.
+            if let Some(disk) = &self.disk {
+                match disk.store(k, m) {
+                    Ok(true) => {
+                        self.counters.disk_stores.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Ok(false) => {}
+                    Err(e) => eprintln!("tpde: disk cache store failed: {e}"),
+                }
+            }
         }
     }
 }
@@ -406,8 +442,19 @@ impl<B: ServiceBackend> CompileService<B> {
     pub fn new(backend: B, cfg: ServiceConfig) -> CompileService<B> {
         let workers = cfg.workers.max(1);
         let cfg = ServiceConfig { workers, ..cfg };
+        let disk = cfg
+            .disk_cache
+            .clone()
+            .and_then(|dc| match DiskCache::open(dc) {
+                Ok(d) => Some(d),
+                Err(e) => {
+                    eprintln!("tpde: disk cache disabled (open failed): {e}");
+                    None
+                }
+            });
         let shared = Arc::new(Shared {
             cache: Mutex::new(ModuleCache::new(cfg.cache_capacity)),
+            disk,
             backend,
             cfg,
             queue: Mutex::new(JobQueue {
@@ -471,6 +518,42 @@ impl<B: ServiceBackend> CompileService<B> {
                 return Ticket { rx };
             }
             shared.counters.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+            // Memory miss: consult the disk tier before compiling. Like a
+            // memory hit, a disk hit is answered at submission; the loaded
+            // module is also promoted into the in-memory cache so repeats
+            // in this process stay RAM-fast.
+            if let Some(disk) = &shared.disk {
+                let load_started = Instant::now();
+                if let Some(module) = disk.load(k) {
+                    shared.counters.disk_hits.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .counters
+                        .disk_load_samples_ns
+                        .lock()
+                        .unwrap()
+                        .push(load_started.elapsed().as_nanos() as u64);
+                    let entry = Arc::new(CacheEntry {
+                        buf: module.buf.clone(),
+                        stats: module.stats.clone(),
+                        last_use: AtomicU64::new(0),
+                    });
+                    shared.cache.lock().unwrap().insert(k, entry);
+                    shared.finish_request(
+                        &tx,
+                        ServiceResponse {
+                            module: Ok(module),
+                            timing: RequestTiming {
+                                total: submitted.elapsed(),
+                                disk_hit: true,
+                                ..RequestTiming::default()
+                            },
+                        },
+                    );
+                    return Ticket { rx };
+                }
+                shared.counters.disk_misses.fetch_add(1, Ordering::Relaxed);
+            }
         }
 
         let nfuncs = shared.backend.func_count(&req);
@@ -545,11 +628,16 @@ impl<B: ServiceBackend> CompileService<B> {
         };
         let mut samples = c.latency_samples_ns.lock().unwrap().clone();
         samples.sort_unstable();
+        let mut disk_samples = c.disk_load_samples_ns.lock().unwrap().clone();
+        disk_samples.sort_unstable();
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
             cache_hits: c.cache_hits.load(Ordering::Relaxed),
             cache_misses: c.cache_misses.load(Ordering::Relaxed),
+            disk_hits: c.disk_hits.load(Ordering::Relaxed),
+            disk_misses: c.disk_misses.load(Ordering::Relaxed),
+            disk_stores: c.disk_stores.load(Ordering::Relaxed),
             sharded: c.sharded.load(Ordering::Relaxed),
             batched: c.batched.load(Ordering::Relaxed),
             evictions,
@@ -560,6 +648,8 @@ impl<B: ServiceBackend> CompileService<B> {
             ),
             p50_latency: std::time::Duration::from_nanos(percentile(&samples, 50)),
             p99_latency: std::time::Duration::from_nanos(percentile(&samples, 99)),
+            disk_load_p50: std::time::Duration::from_nanos(percentile(&disk_samples, 50)),
+            disk_load_p99: std::time::Duration::from_nanos(percentile(&disk_samples, 99)),
         }
     }
 
@@ -654,6 +744,7 @@ fn run_single<B: ServiceBackend>(
                 queued: started - job.submitted,
                 total: job.submitted.elapsed(),
                 cache_hit: false,
+                disk_hit: false,
                 sharded: false,
             },
         },
@@ -768,6 +859,7 @@ fn run_shard_participant<B: ServiceBackend>(
                     queued,
                     total: job.submitted.elapsed(),
                     cache_hit: false,
+                    disk_hit: false,
                     sharded: true,
                 },
             },
@@ -1015,6 +1107,33 @@ mod tests {
                 workers,
                 shard_threshold,
                 cache_capacity: cache,
+                disk_cache: None,
+            },
+        )
+    }
+
+    /// A fresh, empty temp directory unique to `tag` (tests run in
+    /// parallel within one process).
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("tpde-service-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn disk_service(
+        workers: usize,
+        cache: usize,
+        dir: &std::path::Path,
+    ) -> CompileService<ByteBackend> {
+        CompileService::new(
+            ByteBackend,
+            ServiceConfig {
+                workers,
+                shard_threshold: 16,
+                cache_capacity: cache,
+                disk_cache: Some(crate::diskcache::DiskCacheConfig::new(dir)),
             },
         )
     }
@@ -1103,6 +1222,73 @@ mod tests {
         assert!(svc.compile(Arc::clone(&c)).timing.cache_hit);
         assert!(!svc.compile(Arc::clone(&b)).timing.cache_hit);
         assert!(svc.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn disk_cache_survives_service_restart() {
+        let dir = temp_dir("restart");
+        let small = ByteModule::new(vec![3; 8]);
+        let large = ByteModule::new((0..40).collect()); // sharded at threshold 16
+        let (small_ref, large_ref) = {
+            let svc = disk_service(2, 8, &dir);
+            let a = svc.compile(Arc::clone(&small)).module.unwrap();
+            let b = svc.compile(Arc::clone(&large)).module.unwrap();
+            let stats = svc.stats();
+            assert_eq!(stats.disk_hits, 0);
+            assert_eq!(stats.disk_misses, 2);
+            assert_eq!(stats.disk_stores, 2);
+            (a, b)
+        }; // drop = simulated process exit; artifacts persist on disk
+        let svc = disk_service(2, 8, &dir);
+        for (module, reference) in [(&small, &small_ref), (&large, &large_ref)] {
+            let r = svc.compile(Arc::clone(module));
+            assert!(r.timing.disk_hit, "restart must answer from disk");
+            assert!(!r.timing.cache_hit && !r.timing.sharded);
+            let got = r.module.unwrap();
+            got.validate().unwrap();
+            crate::codebuf::assert_identical(&reference.buf, &got.buf, "disk restart");
+            assert_eq!(reference.stats.funcs, got.stats.funcs);
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.disk_hits, 2);
+        assert_eq!(stats.batched + stats.sharded, 0, "no compile path ran");
+        assert!(stats.disk_load_p50 <= stats.disk_load_p99);
+        assert!(stats.disk_load_p99 > Duration::ZERO);
+        assert!((stats.disk_hit_rate() - 1.0).abs() < 1e-9);
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_hit_promotes_into_memory_cache() {
+        let dir = temp_dir("promote");
+        let module = ByteModule::new(vec![9; 6]);
+        drop(disk_service(1, 8, &dir).compile(Arc::clone(&module)));
+        let svc = disk_service(1, 8, &dir);
+        assert!(svc.compile(Arc::clone(&module)).timing.disk_hit);
+        // The disk hit warmed the in-memory cache; the repeat stays in RAM.
+        let again = svc.compile(Arc::clone(&module));
+        assert!(again.timing.cache_hit && !again.timing.disk_hit);
+        assert_eq!(svc.stats().disk_hits, 1);
+        drop(svc);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disk_cache_two_live_services_share_the_store() {
+        let dir = temp_dir("shared");
+        let module = ByteModule::new(vec![5; 10]);
+        let writer = disk_service(1, 8, &dir);
+        let reader = disk_service(1, 8, &dir);
+        assert!(!writer.compile(Arc::clone(&module)).timing.disk_hit);
+        // The second service instance (stands in for a second process —
+        // same directory, nothing shared in memory) hits the artifact.
+        let r = reader.compile(Arc::clone(&module));
+        assert!(r.timing.disk_hit);
+        r.module.unwrap().validate().unwrap();
+        drop(reader);
+        drop(writer);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -102,8 +102,11 @@ pub struct RequestTiming {
     pub queued: Duration,
     /// Submission-to-response latency.
     pub total: Duration,
-    /// Whether the response was served from the module cache.
+    /// Whether the response was served from the in-memory module cache.
     pub cache_hit: bool,
+    /// Whether the response was served from the persistent on-disk artifact
+    /// cache (after missing the in-memory cache).
+    pub disk_hit: bool,
     /// Whether the module was sharded across the pool (vs. batched onto one
     /// worker).
     pub sharded: bool,
@@ -118,10 +121,24 @@ pub struct ServiceStats {
     pub submitted: u64,
     /// Requests answered so far (compiled or served from cache).
     pub completed: u64,
-    /// Requests answered from the module cache.
+    /// Requests answered from the in-memory module cache.
     pub cache_hits: u64,
-    /// Cacheable requests that missed the cache and were compiled.
+    /// Cacheable requests that missed the in-memory cache (they were then
+    /// answered from disk or compiled).
     pub cache_misses: u64,
+    /// Requests answered from the persistent on-disk artifact cache
+    /// (in-memory misses that loaded, verified and validated an artifact).
+    pub disk_hits: u64,
+    /// In-memory misses that also missed the disk cache (no artifact, or a
+    /// corrupt one that was discarded) and fell through to a compile.
+    pub disk_misses: u64,
+    /// Modules written to the on-disk artifact cache.
+    pub disk_stores: u64,
+    /// Median (nearest-rank p50) disk-artifact load latency — mmap, verify,
+    /// validate and materialize. Zero until the first disk hit.
+    pub disk_load_p50: Duration,
+    /// Nearest-rank p99 disk-artifact load latency.
+    pub disk_load_p99: Duration,
     /// Requests compiled by sharding functions across the pool.
     pub sharded: u64,
     /// Requests compiled whole on a single worker.
@@ -143,13 +160,26 @@ pub struct ServiceStats {
 }
 
 impl ServiceStats {
-    /// Cache hit rate over cacheable requests (0 when none were submitted).
+    /// In-memory cache hit rate over cacheable requests (0 when none were
+    /// submitted).
     pub fn hit_rate(&self) -> f64 {
         let keyed = self.cache_hits + self.cache_misses;
         if keyed == 0 {
             0.0
         } else {
             self.cache_hits as f64 / keyed as f64
+        }
+    }
+
+    /// Disk-cache hit rate over requests that reached the disk tier, i.e.
+    /// cacheable in-memory misses on a service with a disk cache configured
+    /// (0 when none did).
+    pub fn disk_hit_rate(&self) -> f64 {
+        let reached = self.disk_hits + self.disk_misses;
+        if reached == 0 {
+            0.0
+        } else {
+            self.disk_hits as f64 / reached as f64
         }
     }
 
@@ -180,6 +210,19 @@ mod tests {
         assert_eq!(s.mean_latency(), Duration::from_millis(2));
         assert_eq!(ServiceStats::default().hit_rate(), 0.0);
         assert_eq!(ServiceStats::default().mean_latency(), Duration::ZERO);
+    }
+
+    #[test]
+    fn disk_hit_rate_counts_only_requests_that_reached_disk() {
+        let s = ServiceStats {
+            cache_hits: 10,
+            cache_misses: 4,
+            disk_hits: 3,
+            disk_misses: 1,
+            ..ServiceStats::default()
+        };
+        assert!((s.disk_hit_rate() - 0.75).abs() < 1e-9);
+        assert_eq!(ServiceStats::default().disk_hit_rate(), 0.0);
     }
 
     #[test]

@@ -506,6 +506,26 @@ pub enum ServiceBackendKind {
     CopyPatchTier0,
 }
 
+impl ServiceBackendKind {
+    /// Stable identity of the backend for artifact keying: unlike the
+    /// derived `Hash` (which hashes the declaration-order discriminant,
+    /// stable only within one build), these values are pinned forever, so a
+    /// disk-cache key computed by one build of the service means the same
+    /// backend to every other build. New variants get new tags; existing
+    /// tags never change or get reused.
+    pub fn artifact_tag(self) -> u8 {
+        match self {
+            ServiceBackendKind::TpdeX64 => 0,
+            ServiceBackendKind::TpdeA64 => 1,
+            ServiceBackendKind::BaselineO0 => 2,
+            ServiceBackendKind::BaselineO1 => 3,
+            ServiceBackendKind::CopyPatch => 4,
+            ServiceBackendKind::TpdeX64Tier0 => 5,
+            ServiceBackendKind::CopyPatchTier0 => 6,
+        }
+    }
+}
+
 /// One compile request for the LLVM-IR-like module service.
 #[derive(Clone)]
 pub struct ModuleRequest {
@@ -679,7 +699,10 @@ impl ServiceBackend for LlvmServiceBackend {
 
     fn request_key(&self, req: &ModuleRequest) -> Option<u64> {
         let mut h = Fnv1a::new();
-        req.backend.hash(&mut h);
+        // The backend enters the key via its pinned artifact tag, not its
+        // derived discriminant hash, so keys stay comparable across builds
+        // (the on-disk cache outlives any single binary).
+        req.backend.artifact_tag().hash(&mut h);
         req.opts.hash(&mut h);
         req.module.content_hash().hash(&mut h);
         Some(h.finish())

@@ -4,9 +4,11 @@
 //! module was batched onto one worker, sharded across the pool, or served
 //! from the content-addressed module cache.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use tpde_core::codebuf::assert_identical;
 use tpde_core::codegen::{CompileOptions, CompiledModule};
+use tpde_core::diskcache::DiskCacheConfig;
 use tpde_core::service::ServiceConfig;
 use tpde_llvm::ir::Module;
 use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
@@ -32,6 +34,25 @@ fn service(workers: usize, cache: usize) -> LlvmCompileService {
         workers,
         shard_threshold: 16,
         cache_capacity: cache,
+        disk_cache: None,
+    })
+}
+
+/// A fresh, empty temp directory unique to `tag`.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpde-llvm-disk-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// A service backed by the persistent disk cache at `dir`.
+fn disk_service(workers: usize, cache: usize, dir: &Path) -> LlvmCompileService {
+    compile_service(ServiceConfig {
+        workers,
+        shard_threshold: 16,
+        cache_capacity: cache,
+        disk_cache: Some(DiskCacheConfig::new(dir)),
     })
 }
 
@@ -90,6 +111,9 @@ fn service_matches_one_shot_for_all_workloads_and_worker_counts() {
                 let got = compile_service_x64(&svc, &module, &opts);
                 let what = format!("{} {:?} workers={workers}", w.name, style);
                 let got_module = got.module.expect(&what);
+                got_module
+                    .validate()
+                    .unwrap_or_else(|e| panic!("structurally invalid module for {what}: {e}"));
                 assert_identical(&seq.buf, &got_module.buf, &what);
                 assert_eq!(seq.stats.funcs, got_module.stats.funcs, "{what}");
                 assert_eq!(seq.stats.insts, got_module.stats.insts, "{what}");
@@ -268,6 +292,7 @@ fn cache_eviction_keeps_serving_correct_bytes() {
         workers: 1,
         shard_threshold: 1000,
         cache_capacity: 2,
+        disk_cache: None,
     });
     let modules: Vec<Arc<Module>> = spec_workloads()
         .iter()
@@ -293,6 +318,120 @@ fn cache_eviction_keeps_serving_correct_bytes() {
     let stats = svc.stats();
     assert!(stats.evictions >= 1);
     assert!(stats.cached_modules <= 2);
+}
+
+#[test]
+fn restarted_process_answers_from_disk_byte_identically() {
+    let opts = CompileOptions::default();
+    let dir = temp_dir("restart");
+    let kinds = [
+        ServiceBackendKind::TpdeX64,
+        ServiceBackendKind::TpdeA64,
+        ServiceBackendKind::BaselineO1,
+        ServiceBackendKind::CopyPatch,
+        ServiceBackendKind::TpdeX64Tier0,
+    ];
+    let modules: Vec<Arc<Module>> = spec_workloads()
+        .iter()
+        .take(kinds.len())
+        .map(|w| Arc::new(build_workload(&small(w), IrStyle::O0)))
+        .collect();
+
+    // "Process one": compile every (module, backend) pair and populate the
+    // artifact store as a side effect.
+    {
+        let svc = disk_service(2, 8, &dir);
+        for (m, &kind) in modules.iter().zip(&kinds) {
+            let r = svc.compile(ModuleRequest::new(Arc::clone(m), kind));
+            assert!(!r.timing.disk_hit, "cold run must not hit disk");
+            r.module.expect("cold compile");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.disk_misses, kinds.len() as u64);
+        assert_eq!(stats.disk_stores, kinds.len() as u64);
+        assert_eq!(stats.disk_hits, 0);
+    } // drop: simulated process exit (memory cache and workers are gone)
+
+    // "Process two": a fresh service over the same directory must answer
+    // every request from disk — byte-identical to the one-shot compiler —
+    // without invoking any backend compile path.
+    let svc = disk_service(2, 8, &dir);
+    for (m, &kind) in modules.iter().zip(&kinds) {
+        let r = svc.compile(ModuleRequest::new(Arc::clone(m), kind));
+        let what = format!("{kind:?} after restart");
+        assert!(r.timing.disk_hit, "{what}: must be served from disk");
+        assert!(!r.timing.cache_hit, "{what}: memory cache starts empty");
+        let got = r.module.expect(&what);
+        got.validate().unwrap();
+        let want = one_shot(m, kind, &opts);
+        assert_identical(&want.buf, &got.buf, &what);
+        // The disk-loaded module links to the same image as a fresh compile.
+        let a = tpde_core::jit::link_in_memory(&got.buf, 0x40_0000, |_| None).unwrap();
+        let b = tpde_core::jit::link_in_memory(&want.buf, 0x40_0000, |_| None).unwrap();
+        assert_eq!(a.fingerprint(), b.fingerprint(), "{what}");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.disk_hits, kinds.len() as u64, "all served from disk");
+    assert_eq!(stats.batched + stats.sharded, 0, "no compile path ran");
+    assert!((stats.disk_hit_rate() - 1.0).abs() < 1e-9);
+    assert!(stats.disk_load_p99 >= stats.disk_load_p50);
+
+    // Re-asking within the same process now hits the promoted memory entry.
+    let again = svc.compile(ModuleRequest::new(Arc::clone(&modules[0]), kinds[0]));
+    assert!(again.timing.cache_hit);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn disk_loaded_tiered_module_still_patches_and_executes() {
+    let dir = temp_dir("tiered");
+    let w = spec_workloads()
+        .into_iter()
+        .find(|w| w.name == "620.omnetpp")
+        .expect("call-heavy workload");
+    let w = Workload { input: 500, ..w };
+    let module = Arc::new(build_workload(&w, IrStyle::O0));
+    let expected = expected_result(&w);
+
+    {
+        let svc = disk_service(2, 8, &dir);
+        svc.compile(ModuleRequest::new(
+            Arc::clone(&module),
+            ServiceBackendKind::CopyPatchTier0,
+        ))
+        .module
+        .expect("cold tiered compile");
+    }
+
+    // Restart; the tiered module comes back from disk with its counter and
+    // call-slot tables intact, executes, and accepts call-slot patches.
+    let svc = disk_service(2, 8, &dir);
+    let r = svc.compile(ModuleRequest::new(
+        Arc::clone(&module),
+        ServiceBackendKind::CopyPatchTier0,
+    ));
+    assert!(r.timing.disk_hit);
+    let t0 = r.module.unwrap().buf;
+    let mut image = tpde_core::jit::link_in_memory(&t0, 0x40_0000, |_| None).unwrap();
+    let mut m = tpde_x64emu::Machine::new();
+    m.load_image(&image);
+    tpde_x64emu::register_default_hostcalls(&mut m, &image);
+    assert_eq!(image.tier_func_count(), Some(module.funcs.len()));
+    let main = image.symbol_addr("bench_main").unwrap();
+    assert_eq!(m.call(main, &[w.input]).unwrap(), expected);
+
+    // Patch kernel 0 into its tier-1 compile and re-run: result unchanged,
+    // counter frozen — call-slot patching works on disk-loaded artifacts.
+    let t1 = compile_baseline(&module, 1).unwrap().buf;
+    let tier1 = tpde_core::jit::link_in_memory(&t1, 0x80_0000, |_| None).unwrap();
+    m.load_image(&tier1);
+    tpde_x64emu::register_default_hostcalls(&mut m, &tier1);
+    let k0_tier1 = tier1.symbol_addr(&module.funcs[0].name).unwrap();
+    assert!(m.apply_call_patch(&mut image, 0, k0_tier1).unwrap());
+    assert_eq!(m.call(main, &[w.input]).unwrap(), expected);
+    let frozen = m.mem.read(image.tier_counter_addr(0).expect("counter"), 8);
+    assert_eq!(frozen, 1, "patched kernel must have left tier 0");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -186,6 +186,7 @@ fn tiered_compiles_are_deterministic_across_pipelines() {
             workers: 4,
             shard_threshold,
             cache_capacity: 0,
+            disk_cache: None,
         });
         let got = svc
             .compile(ModuleRequest::new(
@@ -240,6 +241,7 @@ fn tier1_recompiles_are_byte_identical_per_function() {
         workers: 2,
         shard_threshold: 16,
         cache_capacity: 4,
+        disk_cache: None,
     });
     let recompiled = svc
         .compile(ModuleRequest::new(
