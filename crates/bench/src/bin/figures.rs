@@ -2,7 +2,8 @@
 //! the ablation studies, printing one table per figure.
 //!
 //! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]
-//! [--threads N] [--service] [--tiered] [--disk-cache] [--gate [PCT]]`
+//! [--threads N] [--service] [--tiered] [--disk-cache] [--chaos]
+//! [--gate [PCT]]`
 //! (`--quick` scales down the
 //! workload inputs for a fast smoke run; `--json` additionally writes the
 //! per-workload compile-time speedups to `BENCH_compile.json`; `--threads N`
@@ -27,7 +28,19 @@
 //! path, at ≥ 3× the cold throughput (the store directory defaults to a
 //! fresh temp dir; set `TPDE_DISK_CACHE_DIR` to persist it across
 //! invocations, in which case a pre-warmed first pass skips the cold-side
-//! assertions); `--gate` fails the
+//! assertions); `--chaos` runs the resilience scenario — an open-loop burst
+//! of mixed-priority requests (interactive without deadlines, bulk with
+//! tight ones) hits a disk-backed service while `tpde-core::faultpoint`
+//! rules inject transient disk errors, mmap failures, lock-contention
+//! delays and two worker stalls long enough to trip the watchdog; the run
+//! asserts that no ticket is lost, every successful response stays
+//! byte-identical to the fault-free one-shot compiler, every failure is an
+//! explicit shed class (admission rejection, deadline expiry, watchdog
+//! timeout), bulk traffic is shed while interactive p99 stays bounded, the
+//! watchdog respawned at least one worker, transient disk I/O was retried,
+//! and — after a simulated restart over the same store, and again after
+//! disarming the faults — the full mix compiles byte-identically;
+//! `--gate` fails the
 //! run when this run's compile-time geomean drops more than PCT% — default
 //! 10 — below the last recorded history entry of the same mode). The JSON
 //! file carries a `history` array with one geomean entry per (git commit,
@@ -43,8 +56,10 @@ use tpde_bench::{geomean, measure, measure_parallel, scaled, service_request_mod
 use tpde_core::codebuf::assert_identical;
 use tpde_core::codegen::CompileOptions;
 use tpde_core::diskcache::DiskCacheConfig;
+use tpde_core::error::Error;
+use tpde_core::faultpoint::{arm, sites, FaultAction, FaultRule};
 use tpde_core::jit::{link_in_memory, JitImage};
-use tpde_core::service::{ServiceConfig, TieringController};
+use tpde_core::service::{ServiceConfig, SubmitOptions, Ticket, TieringController};
 use tpde_core::timing::Phase;
 use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle};
 use tpde_llvm::{
@@ -230,6 +245,7 @@ fn service_throughput(quick: bool, worker_counts: &[usize]) -> ServiceReport {
             shard_threshold: 64,
             cache_capacity: 2 * mix.len(),
             disk_cache: None,
+            ..ServiceConfig::default()
         });
         let run_pass = |expect_hits: bool| -> Duration {
             let start = Instant::now();
@@ -354,6 +370,7 @@ fn disk_cache_restart(quick: bool) -> DiskReport {
             shard_threshold: 64,
             cache_capacity: 2 * mix.len(),
             disk_cache: Some(DiskCacheConfig::new(&dir)),
+            ..ServiceConfig::default()
         })
     };
     let run_pass = |svc: &LlvmCompileService| {
@@ -485,6 +502,239 @@ fn disk_cache_restart(quick: bool) -> DiskReport {
     }
 }
 
+/// Results of the resilience scenario (`--chaos`).
+struct ChaosReport {
+    submitted: usize,
+    ok: usize,
+    shed: usize,
+    bulk_shed: usize,
+    coalesced: u64,
+    watchdog_timeouts: u64,
+    workers_respawned: u64,
+    disk_retries: u64,
+    interactive_p99_ms: f64,
+    recovered: usize,
+}
+
+/// The resilience scenario: an open-loop burst of mixed-priority requests
+/// hits a small disk-backed service while armed faultpoints inject
+/// transient disk I/O errors, mmap failures, lock-contention delays and two
+/// worker stalls long past the hang budget. The front-end must degrade
+/// explicitly, never silently: every ticket resolves, every `Ok` response
+/// is byte-identical to the fault-free one-shot compiler, every `Err` is a
+/// shed class (admission rejection, deadline expiry, watchdog timeout),
+/// bulk traffic is shed while interactive p99 stays bounded, the watchdog
+/// respawns the stalled workers, and transient disk errors are absorbed by
+/// retrying. A restarted service over the same store — still under the
+/// transparent disk faults — then answers the whole mix byte-identically,
+/// and so does a final pass after disarming (all asserted).
+fn chaos_resilience(quick: bool) -> ChaosReport {
+    let mult = if quick { 8 } else { 16 };
+    let mut mix = service_request_modules(mult);
+    // The enlarged (sharded) module goes first: the injected stalls land on
+    // its shard participants, pinning workers while the rest of the burst
+    // arrives — and its round-two duplicate must coalesce onto it.
+    mix.rotate_right(1);
+    let opts = CompileOptions::default();
+    let references: Vec<_> = mix
+        .iter()
+        .map(|(_, m)| compile_x64(m, &opts).expect("one-shot reference").buf)
+        .collect();
+
+    let hang = Duration::from_millis(if quick { 150 } else { 250 });
+    let dir = std::env::temp_dir().join(format!("tpde-figures-chaos-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create chaos store dir");
+
+    println!("\n== Chaos: resilient front-end under injected disk and worker faults");
+    println!(
+        "   {} modules x2 rounds, workers=3, bulk queue cap 1, hang budget {} ms",
+        mix.len(),
+        hang.as_millis()
+    );
+
+    // Everything transparent is armed unbounded; the two destructive stalls
+    // are limited so the run converges.
+    let guard = arm(vec![
+        FaultRule::new(sites::DISK_READ, FaultAction::Transient).every(4),
+        FaultRule::new(sites::DISK_RENAME, FaultAction::Transient).every(3),
+        FaultRule::new(sites::DISK_MMAP, FaultAction::Fail).every(3),
+        FaultRule::new(
+            sites::DISK_FLOCK,
+            FaultAction::Delay(Duration::from_micros(500)),
+        )
+        .every(4),
+        FaultRule::new(sites::WORKER_JOB, FaultAction::Delay(2 * hang)).limit(2),
+        FaultRule::new(
+            sites::WORKER_FUNC,
+            FaultAction::Delay(Duration::from_micros(50)),
+        )
+        .every(31),
+    ]);
+    let service_at = || {
+        compile_service(ServiceConfig {
+            workers: 3,
+            shard_threshold: 64,
+            cache_capacity: 2 * mix.len(),
+            disk_cache: Some(DiskCacheConfig::new(&dir)),
+            queue_capacity: 4 * mix.len(),
+            bulk_queue_capacity: 1,
+            hang_timeout: Some(hang),
+        })
+    };
+
+    // Round one is an un-paced burst (the sharded module and its stalled
+    // shards are still in flight when everything behind it is admitted);
+    // round two re-submits the same mix with flipped priorities, paced as
+    // an open-loop arrival process.
+    let svc = service_at();
+    let mut pending: Vec<(usize, bool, Ticket)> = Vec::new();
+    for round in 0..2usize {
+        for (i, (_, m)) in mix.iter().enumerate() {
+            let bulk = (i + round) % 2 == 1;
+            let submit_opts = if bulk {
+                SubmitOptions::bulk().with_deadline(Duration::from_millis(25))
+            } else {
+                SubmitOptions::interactive()
+            };
+            pending.push((
+                i,
+                bulk,
+                svc.submit_with(
+                    ModuleRequest::new(Arc::clone(m), ServiceBackendKind::TpdeX64),
+                    submit_opts,
+                ),
+            ));
+            if round > 0 {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    let submitted = pending.len();
+
+    let (mut ok, mut shed, mut bulk_shed) = (0usize, 0usize, 0usize);
+    let mut interactive_ms: Vec<f64> = Vec::new();
+    for (i, bulk, ticket) in pending {
+        // A lost ticket (worker died without answering) hangs forever; the
+        // generous timeout turns that bug into a crisp failure.
+        let r = ticket
+            .wait_timeout(Duration::from_secs(60))
+            .unwrap_or_else(|| panic!("chaos: lost ticket for {}", mix[i].0));
+        match r.module {
+            Ok(m) => {
+                assert_identical(
+                    &references[i],
+                    &m.buf,
+                    &format!("chaos {} (bulk={bulk})", mix[i].0),
+                );
+                if !bulk {
+                    interactive_ms.push(r.timing.total.as_secs_f64() * 1000.0);
+                }
+                ok += 1;
+            }
+            Err(Error::Rejected { .. } | Error::DeadlineExceeded | Error::Timeout(_)) => {
+                shed += 1;
+                if bulk {
+                    bulk_shed += 1;
+                }
+            }
+            Err(e) => panic!("chaos: unexpected error class for {}: {e}", mix[i].0),
+        }
+    }
+    assert_eq!(ok + shed, submitted, "every ticket resolves exactly once");
+
+    interactive_ms.sort_by(f64::total_cmp);
+    let interactive_p99_ms = interactive_ms
+        .get(((interactive_ms.len() as f64 * 0.99).ceil() as usize).saturating_sub(1))
+        .copied()
+        .unwrap_or(0.0);
+    // The bound is generous (it covers the full injected stall plus queue
+    // drain) but finite: interactive latency must not absorb the bulk
+    // backlog or the 60 s lost-ticket horizon.
+    assert!(
+        interactive_p99_ms < 20_000.0,
+        "interactive p99 must stay bounded under faults ({interactive_p99_ms:.1} ms)"
+    );
+    let s = svc.stats();
+    assert!(
+        s.watchdog_timeouts >= 1,
+        "the stalls must trip the watchdog"
+    );
+    assert!(s.workers_respawned >= 1, "condemned workers must respawn");
+    assert!(s.disk_retries >= 1, "transient disk faults must be retried");
+    assert!(
+        s.coalesced >= 1,
+        "the duplicated in-flight module coalesces"
+    );
+    assert!(bulk_shed >= 1, "bulk traffic must be shed under pressure");
+    println!(
+        "   burst: {ok}/{submitted} ok, {shed} shed ({bulk_shed} bulk), \
+         interactive p99 {interactive_p99_ms:.1} ms"
+    );
+    println!(
+        "   faults absorbed: disk_retries={} coalesced={} watchdog_timeouts={} respawned={}",
+        s.disk_retries, s.coalesced, s.watchdog_timeouts, s.workers_respawned
+    );
+    drop(svc); // simulated crash-restart: memory cache and workers are gone
+
+    // Restarted process, faults still armed: only transparent rules remain
+    // live (the stall budget is spent), so the full mix must now succeed —
+    // from disk where the first pass stored artifacts, recompiled where the
+    // watchdog discarded the poisoned result — byte for byte.
+    let svc = service_at();
+    let mut recovered = 0usize;
+    for ((name, m), want) in mix.iter().zip(&references) {
+        let r = svc.compile_with(
+            ModuleRequest::new(Arc::clone(m), ServiceBackendKind::TpdeX64),
+            SubmitOptions::interactive(),
+        );
+        let got = r
+            .module
+            .unwrap_or_else(|e| panic!("chaos restart: {name}: {e}"));
+        assert_identical(want, &got.buf, &format!("chaos restart {name}"));
+        recovered += 1;
+    }
+    println!(
+        "   restart under transparent faults: {recovered}/{} ok",
+        mix.len()
+    );
+
+    // Disarmed, the same service answers the full mixed-priority mix with
+    // zero faults in the path — nothing the chaos pass did may have left
+    // sticky damage behind.
+    drop(guard);
+    for (i, (name, m)) in mix.iter().enumerate() {
+        let submit_opts = if i % 2 == 1 {
+            SubmitOptions::bulk()
+        } else {
+            SubmitOptions::interactive()
+        };
+        let r = svc.compile_with(
+            ModuleRequest::new(Arc::clone(m), ServiceBackendKind::TpdeX64),
+            submit_opts,
+        );
+        let got = r
+            .module
+            .unwrap_or_else(|e| panic!("chaos disarmed: {name}: {e}"));
+        assert_identical(&references[i], &got.buf, &format!("chaos disarmed {name}"));
+    }
+    println!("   (no lost tickets, explicit shed classes, byte-identity and recovery asserted)");
+
+    let _ = std::fs::remove_dir_all(&dir);
+    ChaosReport {
+        submitted,
+        ok,
+        shed,
+        bulk_shed,
+        coalesced: s.coalesced,
+        watchdog_timeouts: s.watchdog_timeouts,
+        workers_respawned: s.workers_respawned,
+        disk_retries: s.disk_retries,
+        interactive_p99_ms,
+        recovered,
+    }
+}
+
 /// Results of the tiered-execution scenario (`--tiered`): steady-state
 /// emulated execution throughput in `bench_main` iterations per giga-cycle.
 struct TieredReport {
@@ -567,6 +817,7 @@ fn tiered_execution(quick: bool) -> TieredReport {
         shard_threshold: 64,
         cache_capacity: 8,
         disk_cache: None,
+        ..ServiceConfig::default()
     });
     let tier0_buf = svc
         .compile(ModuleRequest::new(
@@ -703,6 +954,7 @@ fn write_json(
     service: Option<&ServiceReport>,
     tiered: Option<&TieredReport>,
     disk: Option<&DiskReport>,
+    chaos: Option<&ChaosReport>,
 ) -> std::io::Result<Vec<String>> {
     use std::fmt::Write as _;
     let sha = git_sha();
@@ -768,6 +1020,22 @@ fn write_json(
         None => {
             if let Some(old) = &replaced {
                 entry.push_str(&salvage_fields(old, "\"disk_"));
+            }
+        }
+    }
+    match chaos {
+        Some(c) => {
+            let _ = write!(
+                entry,
+                ", \"chaos_ok\": {}, \"chaos_shed\": {}, \"chaos_disk_retries\": {}, \
+                 \"chaos_respawned\": {}, \"chaos_p99_ms\": {:.1}",
+                c.ok, c.shed, c.disk_retries, c.workers_respawned, c.interactive_p99_ms
+            );
+        }
+        // no chaos scenario this run: keep the same-SHA entry's numbers
+        None => {
+            if let Some(old) = &replaced {
+                entry.push_str(&salvage_fields(old, "\"chaos_"));
             }
         }
     }
@@ -860,6 +1128,24 @@ fn write_json(
             d.load_p99_ms
         );
     }
+    if let Some(c) = chaos {
+        let _ = writeln!(
+            out,
+            "  \"chaos\": {{\"submitted\": {}, \"ok\": {}, \"shed\": {}, \"bulk_shed\": {}, \
+             \"coalesced\": {}, \"watchdog_timeouts\": {}, \"workers_respawned\": {}, \
+             \"disk_retries\": {}, \"interactive_p99_ms\": {:.1}, \"recovered\": {}}},",
+            c.submitted,
+            c.ok,
+            c.shed,
+            c.bulk_shed,
+            c.coalesced,
+            c.watchdog_timeouts,
+            c.workers_respawned,
+            c.disk_retries,
+            c.interactive_p99_ms,
+            c.recovered
+        );
+    }
     out.push_str("  \"history\": [\n");
     for (i, entry) in history.iter().enumerate() {
         let comma = if i + 1 < history.len() { "," } else { "" };
@@ -936,6 +1222,7 @@ fn main() {
     let service = args.iter().any(|a| a == "--service");
     let tiered = args.iter().any(|a| a == "--tiered");
     let disk = args.iter().any(|a| a == "--disk-cache");
+    let chaos = args.iter().any(|a| a == "--chaos");
     let threads: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
         args.get(i + 1)
             .and_then(|v| v.parse().ok())
@@ -1012,6 +1299,7 @@ fn main() {
     let service_report = service.then(|| service_throughput(quick, &[1, 2, 4]));
     let tiered_report = tiered.then(|| tiered_execution(quick));
     let disk_report = disk.then(|| disk_cache_restart(quick));
+    let chaos_report = chaos.then(|| chaos_resilience(quick));
     let geo = (geomean(&sp_x64), geomean(&sp_a64), geomean(&sp_cp));
     // The gate compares against the committed history; only `--json` runs
     // rewrite the report file.
@@ -1025,6 +1313,7 @@ fn main() {
             service_report.as_ref(),
             tiered_report.as_ref(),
             disk_report.as_ref(),
+            chaos_report.as_ref(),
         ) {
             Ok(prior) => {
                 println!("(wrote BENCH_compile.json)");

@@ -70,6 +70,13 @@
 //! module must pass [`CompiledModule::validate`]. A truncated file, a
 //! flipped byte, a stale format version or a key mismatch all degrade to a
 //! cache miss (the corrupt file is unlinked so the next store can heal it).
+//! Transient I/O errors (`EINTR`/`EAGAIN`) are *retried* with capped
+//! backoff before any such verdict — a signal-interrupted read must not
+//! unlink a perfectly good artifact — and counted in
+//! [`DiskCache::io_retries`]. All I/O paths carry [`crate::faultpoint`]
+//! probes (`disk.read`, `disk.short_read`, `disk.rename`, `disk.flock`,
+//! `disk.mmap`) so the fault-injection harness can exercise exactly these
+//! degradations deterministically.
 //!
 //! # Concurrency
 //!
@@ -86,6 +93,7 @@
 use crate::codebuf::{CodeBuffer, Reloc, RelocKind, SectionKind, SymbolBinding, SymbolId};
 use crate::codegen::{CompileStats, CompiledModule};
 use crate::error::{Error, Result};
+use crate::faultpoint::{self, sites, IoFault};
 use crate::jit::LinkView;
 use crate::service::Fnv1a;
 use crate::timing::PassTimings;
@@ -95,6 +103,7 @@ use std::hash::Hasher;
 use std::io::{self, Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Magic bytes at the start of every artifact file.
 pub const MAGIC: [u8; 8] = *b"TPDEART\0";
@@ -109,6 +118,47 @@ const RELOC_RECORD: usize = 24;
 const STATS_LEN: usize = 48;
 /// Section code of an undefined (external) symbol.
 const SECTION_NONE: u8 = 0xff;
+
+// --------------------------------------------------------------------------
+// Transient-error retry
+// --------------------------------------------------------------------------
+
+/// Attempts per I/O operation before a transient error is given up on.
+const IO_ATTEMPTS: u32 = 4;
+/// Initial retry backoff; doubles per retry, capped at [`IO_BACKOFF_MAX`].
+const IO_BACKOFF: Duration = Duration::from_micros(50);
+const IO_BACKOFF_MAX: Duration = Duration::from_millis(2);
+
+/// Whether an I/O error is transient (`EINTR`/`EAGAIN`-like): the operation
+/// may well succeed if simply repeated, so treating it as corruption — and
+/// unlinking a perfectly good artifact — would be wrong.
+fn is_transient(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::Interrupted | io::ErrorKind::WouldBlock
+    ) || matches!(e.raw_os_error(), Some(4) | Some(11)) // EINTR, EAGAIN
+}
+
+/// Runs `f`, retrying transient failures up to [`IO_ATTEMPTS`] times with
+/// capped exponential backoff. Each retry bumps `retries` (surfaced as
+/// [`crate::timing::ServiceStats::disk_retries`]). The final error — still
+/// transient after exhaustion, or non-transient on first sight — is
+/// returned to the caller, who decides between "miss" and "corrupt".
+fn retry_io<T>(retries: &AtomicU64, mut f: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    let mut backoff = IO_BACKOFF;
+    for attempt in 1.. {
+        match f() {
+            Ok(v) => return Ok(v),
+            Err(e) if is_transient(&e) && attempt < IO_ATTEMPTS => {
+                retries.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(IO_BACKOFF_MAX);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("retry loop always returns")
+}
 
 // --------------------------------------------------------------------------
 // Serialization
@@ -272,14 +322,24 @@ enum Backing {
 }
 
 impl Backing {
-    /// Maps (or reads) the whole file.
+    /// Maps (or reads) the whole file. An injected [`sites::DISK_MMAP`]
+    /// fault skips the mapping attempt, exercising the heap fallback; an
+    /// injected [`sites::DISK_SHORT_READ`] truncates the buffered bytes
+    /// (the hash check downstream must catch it).
     fn from_file(file: &mut File, len: usize) -> io::Result<Backing> {
         #[cfg(unix)]
-        if let Some(ptr) = sys::map_readonly(file, len) {
-            return Ok(Backing::Map { ptr, len });
+        if faultpoint::trip(sites::DISK_MMAP, 0).is_none() {
+            if let Some(ptr) = sys::map_readonly(file, len) {
+                return Ok(Backing::Map { ptr, len });
+            }
         }
         let mut bytes = Vec::with_capacity(len);
         file.read_to_end(&mut bytes)?;
+        match faultpoint::trip(sites::DISK_SHORT_READ, 0) {
+            Some(IoFault::Short) => bytes.truncate(bytes.len() / 2),
+            Some(fault) => return Err(fault.to_io_error()),
+            None => {}
+        }
         Ok(Backing::Heap(bytes))
     }
 
@@ -324,6 +384,9 @@ enum OpenError {
     Missing,
     /// The file exists but failed verification; the loader unlinks it.
     Corrupt,
+    /// Reading failed with a transient error even after retries. The
+    /// artifact is presumed intact — a miss, but **not** unlinked.
+    Unavailable,
 }
 
 /// A verified, mmap-ed view of one on-disk artifact.
@@ -364,14 +427,30 @@ fn rd_i64(b: &[u8], off: usize) -> i64 {
 }
 
 impl Artifact {
-    fn open(path: &Path, expect_key: u64) -> std::result::Result<Artifact, OpenError> {
-        let mut file = match File::open(path) {
-            Ok(f) => f,
+    /// Opens and verifies the artifact at `path`. Each attempt re-opens the
+    /// file from scratch, so transient failures (injected via
+    /// [`sites::DISK_READ`] or real `EINTR`/`EAGAIN`) retry cleanly; a
+    /// transient error that survives the retries is [`OpenError::Unavailable`]
+    /// — a miss that must *not* unlink the (presumed intact) artifact.
+    fn open(
+        path: &Path,
+        expect_key: u64,
+        retries: &AtomicU64,
+    ) -> std::result::Result<Artifact, OpenError> {
+        let backing = retry_io(retries, || {
+            if let Some(fault) = faultpoint::trip(sites::DISK_READ, 0) {
+                return Err(fault.to_io_error());
+            }
+            let mut file = File::open(path)?;
+            let len = file.metadata()?.len() as usize;
+            Backing::from_file(&mut file, len)
+        });
+        let backing = match backing {
+            Ok(b) => b,
             Err(e) if e.kind() == io::ErrorKind::NotFound => return Err(OpenError::Missing),
+            Err(e) if is_transient(&e) => return Err(OpenError::Unavailable),
             Err(_) => return Err(OpenError::Corrupt),
         };
-        let len = file.metadata().map_err(|_| OpenError::Corrupt)?.len() as usize;
-        let backing = Backing::from_file(&mut file, len).map_err(|_| OpenError::Corrupt)?;
         Artifact::parse(backing, expect_key).ok_or(OpenError::Corrupt)
     }
 
@@ -636,20 +715,25 @@ struct IndexLock {
 }
 
 impl IndexLock {
-    fn acquire(dir: &Path) -> Option<IndexLock> {
+    fn acquire(dir: &Path, retries: &AtomicU64) -> Option<IndexLock> {
         #[cfg(unix)]
         {
-            let file = File::options()
-                .create(true)
-                .truncate(false)
-                .write(true)
-                .open(dir.join("index.lock"))
-                .ok()?;
+            let file = retry_io(retries, || {
+                if let Some(fault) = faultpoint::trip(sites::DISK_FLOCK, 0) {
+                    return Err(fault.to_io_error());
+                }
+                File::options()
+                    .create(true)
+                    .truncate(false)
+                    .write(true)
+                    .open(dir.join("index.lock"))
+            })
+            .ok()?;
             sys::lock_exclusive(&file).then_some(IndexLock { file })
         }
         #[cfg(not(unix))]
         {
-            let _ = dir;
+            let _ = (dir, retries);
             Some(IndexLock {})
         }
     }
@@ -672,6 +756,9 @@ static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 /// multiple processes sharing one directory.
 pub struct DiskCache {
     cfg: DiskCacheConfig,
+    /// Transient I/O errors absorbed by retrying (reads, renames, lock-file
+    /// opens); surfaced as [`crate::timing::ServiceStats::disk_retries`].
+    retries: AtomicU64,
 }
 
 impl DiskCache {
@@ -682,12 +769,20 @@ impl DiskCache {
     /// Returns the error of the directory creation.
     pub fn open(cfg: DiskCacheConfig) -> io::Result<DiskCache> {
         fs::create_dir_all(&cfg.dir)?;
-        Ok(DiskCache { cfg })
+        Ok(DiskCache {
+            cfg,
+            retries: AtomicU64::new(0),
+        })
     }
 
     /// The cache directory.
     pub fn dir(&self) -> &Path {
         &self.cfg.dir
+    }
+
+    /// Transient I/O errors absorbed by retrying since this handle opened.
+    pub fn io_retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
     }
 
     fn artifact_path(&self, key: u64) -> PathBuf {
@@ -723,7 +818,12 @@ impl DiskCache {
                 f.write_all(&bytes)?;
                 f.sync_all()?;
                 drop(f);
-                fs::rename(&tmp, &path)
+                retry_io(&self.retries, || {
+                    if let Some(fault) = faultpoint::trip(sites::DISK_RENAME, 0) {
+                        return Err(fault.to_io_error());
+                    }
+                    fs::rename(&tmp, &path)
+                })
             })();
             if let Err(e) = result {
                 let _ = fs::remove_file(&tmp);
@@ -740,12 +840,13 @@ impl DiskCache {
 
     /// Opens the verified artifact stored under `key` as a zero-copy view;
     /// `None` if absent or corrupt (a corrupt file is unlinked so a later
-    /// store heals it).
+    /// store heals it; a persistently *transient* read failure is a miss
+    /// but leaves the artifact in place).
     pub fn open_artifact(&self, key: u64) -> Option<Artifact> {
         let path = self.artifact_path(key);
-        match Artifact::open(&path, key) {
+        match Artifact::open(&path, key, &self.retries) {
             Ok(a) => Some(a),
-            Err(OpenError::Missing) => None,
+            Err(OpenError::Missing | OpenError::Unavailable) => None,
             Err(OpenError::Corrupt) => {
                 let _ = fs::remove_file(&path);
                 None
@@ -848,7 +949,7 @@ impl DiskCache {
     /// — recency and the size bound are best-effort properties; artifact
     /// correctness never depends on them.
     fn touch_and_evict(&self, key: u64) {
-        let Some(_lock) = IndexLock::acquire(&self.cfg.dir) else {
+        let Some(_lock) = IndexLock::acquire(&self.cfg.dir, &self.retries) else {
             return;
         };
         let mut ticks = self.read_index();

@@ -22,6 +22,26 @@ pub enum Error {
     Fixup(String),
     /// Error while emitting an object file or JIT image.
     Emit(String),
+    /// The compile service shed the request at admission: the queue was at
+    /// capacity. Carries the queue depth observed at rejection so callers
+    /// can back off proportionally. Never silent — the ticket resolves
+    /// immediately with this error.
+    Rejected { queue_depth: u64 },
+    /// The request's deadline expired before a worker started (or while a
+    /// sharded compile was still running); the remaining work was skipped.
+    DeadlineExceeded,
+    /// The service watchdog condemned a hung worker and poisoned this
+    /// request's ticket instead of letting the caller block forever.
+    Timeout(String),
+}
+
+impl Error {
+    /// Whether this error is an intentional load-shedding response
+    /// (admission rejection or deadline expiry) rather than a compile
+    /// failure.
+    pub fn is_shed(&self) -> bool {
+        matches!(self, Error::Rejected { .. } | Error::DeadlineExceeded)
+    }
 }
 
 impl fmt::Display for Error {
@@ -34,6 +54,14 @@ impl fmt::Display for Error {
             Error::InvalidIr(what) => write!(f, "invalid IR: {what}"),
             Error::Fixup(what) => write!(f, "label/fixup error: {what}"),
             Error::Emit(what) => write!(f, "emission error: {what}"),
+            Error::Rejected { queue_depth } => {
+                write!(
+                    f,
+                    "request rejected: admission queue full (depth {queue_depth})"
+                )
+            }
+            Error::DeadlineExceeded => write!(f, "deadline exceeded before completion"),
+            Error::Timeout(what) => write!(f, "request timed out: {what}"),
         }
     }
 }
@@ -53,6 +81,16 @@ mod tests {
         assert_eq!(e.to_string(), "unsupported IR construct: vector types");
         let e = Error::RegisterExhausted { bank: "gp" };
         assert!(e.to_string().contains("gp"));
+    }
+
+    #[test]
+    fn shed_errors_are_classified() {
+        assert!(Error::Rejected { queue_depth: 9 }.is_shed());
+        assert!(Error::DeadlineExceeded.is_shed());
+        assert!(!Error::Timeout("hung worker".into()).is_shed());
+        assert!(!Error::Emit("bad".into()).is_shed());
+        let e = Error::Rejected { queue_depth: 9 };
+        assert!(e.to_string().contains("depth 9"));
     }
 
     #[test]

@@ -49,6 +49,7 @@ pub mod codebuf;
 pub mod codegen;
 pub mod diskcache;
 pub mod error;
+pub mod faultpoint;
 pub mod jit;
 pub mod obj;
 pub mod parallel;
@@ -65,5 +66,7 @@ pub use diskcache::{DiskCache, DiskCacheConfig};
 pub use error::{Error, Result};
 pub use parallel::{ParallelDriver, WorkerPool};
 pub use regs::{Reg, RegBank};
-pub use service::{CompileService, ServiceBackend, ServiceConfig, ServiceResponse, Ticket};
+pub use service::{
+    CompileService, Priority, ServiceBackend, ServiceConfig, ServiceResponse, SubmitOptions, Ticket,
+};
 pub use timing::{RequestTiming, ServiceStats};

@@ -41,6 +41,39 @@
 //! was produced by one of the two. Pinned by `crates/llvm/tests/service.rs`
 //! for every workload kind × worker count × backend.
 //!
+//! # Resilience front-end
+//!
+//! Under overload or partial failure the service degrades *explicitly*,
+//! never silently — every ticket resolves, every response is either byte
+//! identical to the one-shot compiler or an explicit error:
+//!
+//! * **Admission control.** [`ServiceConfig::queue_capacity`] bounds the
+//!   number of admitted-but-unstarted requests; the excess is shed at
+//!   submission with [`Error::Rejected`] carrying the observed queue depth.
+//!   [`ServiceConfig::bulk_queue_capacity`] gives [`Priority::Bulk`]
+//!   traffic a tighter bound so bulk is shed first.
+//! * **Priorities and deadlines.** [`CompileService::submit_with`] takes a
+//!   [`SubmitOptions`]: [`Priority::Interactive`] requests are dequeued
+//!   before [`Priority::Bulk`] ones, and a per-request deadline is enforced
+//!   at dequeue (an expired request is answered with
+//!   [`Error::DeadlineExceeded`] without paying for a compile) and checked
+//!   again before and during expensive shard work.
+//! * **Coalescing.** While a cacheable request is queued or compiling, an
+//!   identical submission (same [`ServiceBackend::request_key`]) attaches
+//!   to it instead of compiling twice; the result is fanned out to every
+//!   waiter, closing the thundering-herd window the memory/disk caches
+//!   leave open.
+//! * **Watchdog.** With [`ServiceConfig::hang_timeout`] set, a monitor
+//!   thread watches per-worker heartbeats (stamped at job start and at
+//!   every shard function boundary). A worker stuck longer than the
+//!   timeout is condemned: its ticket is poisoned with [`Error::Timeout`],
+//!   and its slot gets a fresh thread with fresh warm state immediately —
+//!   the stuck thread exits on its own when (if) the backend returns.
+//!
+//! The degradation paths are exercised deterministically by the
+//! [`crate::faultpoint`] injection layer and the `figures --chaos`
+//! scenario.
+//!
 //! # Shutdown
 //!
 //! Dropping the service *drains* the queue: no new requests are accepted,
@@ -51,14 +84,22 @@ use crate::codebuf::CodeBuffer;
 use crate::codegen::{CompileSession, CompileStats, CompiledModule};
 use crate::diskcache::{DiskCache, DiskCacheConfig};
 use crate::error::{Error, Result};
+use crate::faultpoint;
 use crate::parallel::{check_predeclared_func_symbols, merge_shards, Shard};
 use crate::timing::{PassTimings, RequestTiming, ServiceStats};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Poison-tolerant lock: a panic on another thread must not cascade into
+/// every thread that later touches the same service state — the panic
+/// itself is already contained and reported through the ticket.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 /// Deterministic 64-bit FNV-1a hasher, usable with `#[derive(Hash)]` types.
 ///
@@ -110,6 +151,24 @@ pub struct ServiceConfig {
     /// If the store cannot be opened the service logs to stderr and runs
     /// without it rather than failing construction.
     pub disk_cache: Option<DiskCacheConfig>,
+    /// Admission bound: maximum number of admitted-but-unstarted requests.
+    /// A submission over the bound is shed immediately with
+    /// [`Error::Rejected`]; 0 (the default) admits everything. Cache hits
+    /// and coalesced submissions bypass admission — they never occupy a
+    /// worker.
+    pub queue_capacity: usize,
+    /// Tighter admission bound applied to [`Priority::Bulk`] submissions,
+    /// so bulk traffic is shed before interactive traffic suffers;
+    /// 0 (the default) falls back to [`ServiceConfig::queue_capacity`].
+    pub bulk_queue_capacity: usize,
+    /// Hang threshold of the worker watchdog: a worker whose heartbeat is
+    /// older than this is condemned, its ticket poisoned with
+    /// [`Error::Timeout`] and its slot respawned with fresh warm state.
+    /// `None` (the default) disables the watchdog. Heartbeats are stamped
+    /// at job start and at shard function boundaries, so a *single-module*
+    /// compile longer than the timeout is indistinguishable from a hang —
+    /// pick a bound well above the largest expected module.
+    pub hang_timeout: Option<Duration>,
 }
 
 impl ServiceConfig {
@@ -130,7 +189,58 @@ impl Default for ServiceConfig {
             shard_threshold: 64,
             cache_capacity: 128,
             disk_cache: None,
+            queue_capacity: 0,
+            bulk_queue_capacity: 0,
+            hang_timeout: None,
         }
+    }
+}
+
+/// Scheduling class of a request (see [`SubmitOptions`]).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub enum Priority {
+    /// Latency-sensitive JIT traffic: dequeued before any bulk work.
+    #[default]
+    Interactive,
+    /// Throughput traffic (warm-up sweeps, tier promotions, prefetching):
+    /// dequeued only when no interactive work is waiting and shed first
+    /// under load.
+    Bulk,
+}
+
+/// Per-request submission options for [`CompileService::submit_with`].
+#[derive(Clone, Debug, Default)]
+pub struct SubmitOptions {
+    /// Scheduling class; [`Priority::Interactive`] by default.
+    pub priority: Priority,
+    /// Time budget measured from submission. An expired request is
+    /// answered with [`Error::DeadlineExceeded`] at dequeue (before the
+    /// compile starts) or at the next shard function boundary; a compile
+    /// already running on one worker is not interrupted. When an identical
+    /// in-flight request coalesces with this one, the *loosest* deadline
+    /// of the group wins — attaching a waiter never tightens the leader's
+    /// budget.
+    pub deadline: Option<Duration>,
+}
+
+impl SubmitOptions {
+    /// Interactive priority, no deadline (the default).
+    pub fn interactive() -> SubmitOptions {
+        SubmitOptions::default()
+    }
+
+    /// Bulk priority, no deadline.
+    pub fn bulk() -> SubmitOptions {
+        SubmitOptions {
+            priority: Priority::Bulk,
+            ..SubmitOptions::default()
+        }
+    }
+
+    /// Sets the deadline, measured from submission.
+    pub fn with_deadline(mut self, deadline: Duration) -> SubmitOptions {
+        self.deadline = Some(deadline);
+        self
     }
 }
 
@@ -224,12 +334,29 @@ pub struct Ticket {
 impl Ticket {
     /// Blocks until the response is ready.
     pub fn wait(self) -> ServiceResponse {
-        self.rx.recv().unwrap_or_else(|_| ServiceResponse {
+        self.rx
+            .recv()
+            .unwrap_or_else(|_| Ticket::shutdown_response())
+    }
+
+    /// Blocks until the response is ready or `timeout` elapses. Returns
+    /// `None` on timeout; the ticket stays valid, so the caller can retry,
+    /// do other work, or drop it (an abandoned response is discarded).
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<ServiceResponse> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(r) => Some(r),
+            Err(RecvTimeoutError::Timeout) => None,
+            Err(RecvTimeoutError::Disconnected) => Some(Ticket::shutdown_response()),
+        }
+    }
+
+    fn shutdown_response() -> ServiceResponse {
+        ServiceResponse {
             module: Err(Error::Emit(
                 "compile service shut down before answering".into(),
             )),
             timing: RequestTiming::default(),
-        })
+        }
     }
 }
 
@@ -305,8 +432,15 @@ impl ModuleCache {
 struct SingleJob<B: ServiceBackend> {
     req: B::Request,
     key: Option<u64>,
-    tx: Sender<ServiceResponse>,
+    /// Taken exactly once by whoever answers the ticket — normally the
+    /// worker, but the watchdog takes it when it poisons a hung job (the
+    /// late result of the condemned worker is then discarded).
+    tx: Mutex<Option<Sender<ServiceResponse>>>,
     submitted: Instant,
+    /// Deadline in nanoseconds since [`Shared::epoch`]; `u64::MAX` means
+    /// none. Atomic because coalescing relaxes it (`fetch_max`) when a
+    /// looser identical request attaches.
+    deadline_ns: AtomicU64,
 }
 
 /// Mutable rendezvous state of a sharded job.
@@ -336,16 +470,63 @@ struct ShardJob<B: ServiceBackend> {
     abort: AtomicBool,
     collect: Mutex<ShardCollect>,
     submitted: Instant,
+    /// See [`SingleJob::deadline_ns`].
+    deadline_ns: AtomicU64,
 }
 
 enum Job<B: ServiceBackend> {
-    Single(Box<SingleJob<B>>),
+    Single(Arc<SingleJob<B>>),
     Shard(Arc<ShardJob<B>>),
 }
 
+impl<B: ServiceBackend> Clone for Job<B> {
+    fn clone(&self) -> Job<B> {
+        match self {
+            Job::Single(j) => Job::Single(Arc::clone(j)),
+            Job::Shard(j) => Job::Shard(Arc::clone(j)),
+        }
+    }
+}
+
+impl<B: ServiceBackend> Job<B> {
+    fn deadline_ns(&self) -> &AtomicU64 {
+        match self {
+            Job::Single(j) => &j.deadline_ns,
+            Job::Shard(j) => &j.deadline_ns,
+        }
+    }
+}
+
+/// A coalesced submission waiting for an in-flight identical request.
+struct Waiter {
+    tx: Sender<ServiceResponse>,
+    submitted: Instant,
+}
+
+/// An in-flight cacheable request: the job itself plus the identical
+/// submissions that attached to it instead of compiling again.
+struct InflightEntry<B: ServiceBackend> {
+    job: Job<B>,
+    waiters: Vec<Waiter>,
+}
+
 struct JobQueue<B: ServiceBackend> {
-    jobs: VecDeque<Job<B>>,
+    /// Dequeued strictly before `bulk`.
+    interactive: VecDeque<Job<B>>,
+    bulk: VecDeque<Job<B>>,
+    /// Queued-or-compiling cacheable jobs by request key — the coalescing
+    /// rendezvous. Kept inside the queue mutex so attach (submit) and
+    /// remove (completion) cannot race.
+    inflight_keys: HashMap<u64, InflightEntry<B>>,
     closed: bool,
+}
+
+impl<B: ServiceBackend> JobQueue<B> {
+    fn pop(&mut self) -> Option<Job<B>> {
+        self.interactive
+            .pop_front()
+            .or_else(|| self.bulk.pop_front())
+    }
 }
 
 /// Monotone service counters (snapshot via [`CompileService::stats`]).
@@ -366,6 +547,14 @@ struct Counters {
     /// module fans out into.
     inflight: AtomicU64,
     max_queue_depth: AtomicU64,
+    /// Admitted-but-unstarted requests — the depth the admission bound
+    /// compares against (one count per request, not per shard copy).
+    queued: AtomicU64,
+    rejected: AtomicU64,
+    deadline_expired: AtomicU64,
+    coalesced: AtomicU64,
+    watchdog_timeouts: AtomicU64,
+    workers_respawned: AtomicU64,
     total_latency_ns: AtomicU64,
     /// Per-request latency samples (nanoseconds), recorded at completion;
     /// the source of the p50/p99 percentiles in
@@ -374,6 +563,43 @@ struct Counters {
     /// Disk-artifact load latency samples (nanoseconds), one per disk hit:
     /// mmap + verify + validate + materialize.
     disk_load_samples_ns: Mutex<Vec<u64>>,
+}
+
+/// The watchdog's view of one worker: who owns the slot (generation), when
+/// it last made progress (heartbeat) and what it is running (active job).
+struct WorkerSlot<B: ServiceBackend> {
+    /// Bumped by the watchdog when it condemns the worker. The condemned
+    /// thread notices the mismatch after its (late) job, discards its
+    /// result and exits; only the thread whose generation matches may
+    /// touch the slot.
+    generation: AtomicU64,
+    /// Nanoseconds since [`Shared::epoch`] of the last heartbeat; 0 when
+    /// idle. Stamped at job start and at shard function boundaries.
+    heartbeat_ns: AtomicU64,
+    /// The job the current worker is executing, published for the
+    /// watchdog to poison.
+    active: Mutex<Option<Job<B>>>,
+    /// Join handle of the thread currently owning this slot.
+    handle: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl<B: ServiceBackend> WorkerSlot<B> {
+    fn new() -> WorkerSlot<B> {
+        WorkerSlot {
+            generation: AtomicU64::new(0),
+            heartbeat_ns: AtomicU64::new(0),
+            active: Mutex::new(None),
+            handle: Mutex::new(None),
+        }
+    }
+
+    /// Stamps a heartbeat, unless this worker has been condemned (a stale
+    /// thread must not overwrite its replacement's state).
+    fn beat(&self, generation: u64, now_ns: u64) {
+        if self.generation.load(Ordering::Relaxed) == generation {
+            self.heartbeat_ns.store(now_ns.max(1), Ordering::Relaxed);
+        }
+    }
 }
 
 struct Shared<B: ServiceBackend> {
@@ -385,9 +611,36 @@ struct Shared<B: ServiceBackend> {
     /// Disk tier of the cache, if configured and openable.
     disk: Option<DiskCache>,
     counters: Counters,
+    /// Time base of deadlines and heartbeats (created before any submit,
+    /// so every instant in the service's life is at or after it).
+    epoch: Instant,
+    /// One slot per worker thread, indexed by worker id.
+    slots: Vec<WorkerSlot<B>>,
+    /// Stops the watchdog thread at drop.
+    shutdown: AtomicBool,
 }
 
 impl<B: ServiceBackend> Shared<B> {
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Encodes an optional deadline as nanoseconds since the epoch
+    /// (`u64::MAX` = none).
+    fn deadline_ns_from(&self, submitted: Instant, deadline: Option<Duration>) -> u64 {
+        match deadline {
+            None => u64::MAX,
+            Some(d) => (submitted + d)
+                .saturating_duration_since(self.epoch)
+                .as_nanos() as u64,
+        }
+    }
+
+    fn deadline_passed(&self, deadline_ns: &AtomicU64) -> bool {
+        let d = deadline_ns.load(Ordering::Relaxed);
+        d != u64::MAX && self.now_ns() > d
+    }
+
     fn finish_request(&self, tx: &Sender<ServiceResponse>, response: ServiceResponse) {
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         self.counters.inflight.fetch_sub(1, Ordering::Relaxed);
@@ -395,13 +648,61 @@ impl<B: ServiceBackend> Shared<B> {
         self.counters
             .total_latency_ns
             .fetch_add(latency_ns, Ordering::Relaxed);
-        self.counters
-            .latency_samples_ns
-            .lock()
-            .unwrap()
-            .push(latency_ns);
+        lock(&self.counters.latency_samples_ns).push(latency_ns);
         // The submitter may have dropped its ticket; that is not an error.
         let _ = tx.send(response);
+    }
+
+    /// Answers the ticket of a queued job and fans the result out to every
+    /// coalesced waiter. `timing` describes the leader; waiters get their
+    /// own submission-to-now latency and the `coalesced` flag.
+    fn complete(
+        &self,
+        key: Option<u64>,
+        tx: Sender<ServiceResponse>,
+        result: Result<CompiledModule>,
+        timing: RequestTiming,
+    ) {
+        let waiters = match key {
+            Some(k) => lock(&self.queue)
+                .inflight_keys
+                .remove(&k)
+                .map(|e| e.waiters)
+                .unwrap_or_default(),
+            None => Vec::new(),
+        };
+        for w in waiters {
+            // Deep-clone per waiter outside every lock, exactly like a
+            // cache hit: each response owns its buffer.
+            let module = match &result {
+                Ok(m) => Ok(CompiledModule {
+                    buf: m.buf.clone(),
+                    stats: m.stats.clone(),
+                    timings: PassTimings::new(),
+                }),
+                Err(e) => Err(e.clone()),
+            };
+            self.finish_request(
+                &w.tx,
+                ServiceResponse {
+                    module,
+                    timing: RequestTiming {
+                        queued: timing.queued,
+                        total: w.submitted.elapsed(),
+                        sharded: timing.sharded,
+                        coalesced: true,
+                        ..RequestTiming::default()
+                    },
+                },
+            );
+        }
+        self.finish_request(
+            &tx,
+            ServiceResponse {
+                module: result,
+                timing,
+            },
+        );
     }
 
     fn cache_store(&self, key: Option<u64>, result: &Result<CompiledModule>) {
@@ -434,11 +735,12 @@ impl<B: ServiceBackend> Shared<B> {
 /// A long-lived compile service; see the module docs.
 pub struct CompileService<B: ServiceBackend> {
     shared: Arc<Shared<B>>,
-    threads: Vec<JoinHandle<()>>,
+    watchdog: Option<JoinHandle<()>>,
 }
 
 impl<B: ServiceBackend> CompileService<B> {
-    /// Spawns the worker threads and returns the running service.
+    /// Spawns the worker threads (and the watchdog, if configured) and
+    /// returns the running service.
     pub fn new(backend: B, cfg: ServiceConfig) -> CompileService<B> {
         let workers = cfg.workers.max(1);
         let cfg = ServiceConfig { workers, ..cfg };
@@ -452,40 +754,54 @@ impl<B: ServiceBackend> CompileService<B> {
                     None
                 }
             });
+        let hang_timeout = cfg.hang_timeout;
         let shared = Arc::new(Shared {
             cache: Mutex::new(ModuleCache::new(cfg.cache_capacity)),
             disk,
             backend,
             cfg,
             queue: Mutex::new(JobQueue {
-                jobs: VecDeque::new(),
+                interactive: VecDeque::new(),
+                bulk: VecDeque::new(),
+                inflight_keys: HashMap::new(),
                 closed: false,
             }),
             cv: Condvar::new(),
             counters: Counters::default(),
+            epoch: Instant::now(),
+            slots: (0..workers).map(|_| WorkerSlot::new()).collect(),
+            shutdown: AtomicBool::new(false),
         });
-        let threads = (0..workers)
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("tpde-svc-{i}"))
-                    .spawn(move || worker_main(&shared))
-                    .expect("spawn compile service worker")
-            })
-            .collect();
-        CompileService { shared, threads }
+        for i in 0..workers {
+            *lock(&shared.slots[i].handle) = Some(spawn_worker(&shared, i, 0));
+        }
+        let watchdog = hang_timeout.map(|hang| {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("tpde-svc-watchdog".into())
+                .spawn(move || watchdog_main(&shared, hang))
+                .expect("spawn compile service watchdog")
+        });
+        CompileService { shared, watchdog }
     }
 
     /// Number of persistent worker threads.
     pub fn workers(&self) -> usize {
-        self.threads.len()
+        self.shared.cfg.workers
     }
 
-    /// Submits a request and returns immediately with a [`Ticket`].
+    /// Submits a request with default options ([`Priority::Interactive`],
+    /// no deadline) and returns immediately with a [`Ticket`].
     ///
     /// Cache hits are answered before this returns (the ticket resolves
     /// without blocking); misses are queued for the worker pool.
     pub fn submit(&self, req: B::Request) -> Ticket {
+        self.submit_with(req, SubmitOptions::default())
+    }
+
+    /// Submits a request with explicit priority and deadline; see
+    /// [`SubmitOptions`] and the module docs for the shedding rules.
+    pub fn submit_with(&self, req: B::Request, opts: SubmitOptions) -> Ticket {
         let submitted = Instant::now();
         let shared = &self.shared;
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -558,7 +874,8 @@ impl<B: ServiceBackend> CompileService<B> {
 
         let nfuncs = shared.backend.func_count(&req);
         let shard = shared.cfg.workers > 1 && nfuncs >= shared.cfg.shard_threshold.max(2);
-        let mut queue = shared.queue.lock().unwrap();
+        let deadline_ns = shared.deadline_ns_from(submitted, opts.deadline);
+        let mut queue = lock(&shared.queue);
         if queue.closed {
             drop(queue);
             shared.finish_request(
@@ -573,9 +890,51 @@ impl<B: ServiceBackend> CompileService<B> {
             );
             return Ticket { rx };
         }
-        if shard {
+
+        // Coalesce: an identical cacheable request is already queued or
+        // compiling — attach to it instead of compiling twice. Attaching
+        // costs no worker time, so it bypasses admission control, and it
+        // can only *relax* the leader's deadline.
+        if let Some(k) = key {
+            if let Some(entry) = queue.inflight_keys.get_mut(&k) {
+                entry
+                    .job
+                    .deadline_ns()
+                    .fetch_max(deadline_ns, Ordering::Relaxed);
+                entry.waiters.push(Waiter { tx, submitted });
+                shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Ticket { rx };
+            }
+        }
+
+        // Admission control: bound the backlog of unstarted requests and
+        // shed the excess explicitly — a rejected ticket resolves
+        // immediately with the observed depth, it never hangs.
+        let depth = shared.counters.queued.load(Ordering::Relaxed);
+        let limit = match opts.priority {
+            Priority::Bulk if shared.cfg.bulk_queue_capacity > 0 => shared.cfg.bulk_queue_capacity,
+            _ => shared.cfg.queue_capacity,
+        } as u64;
+        if limit > 0 && depth >= limit {
+            drop(queue);
+            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+            shared.finish_request(
+                &tx,
+                ServiceResponse {
+                    module: Err(Error::Rejected { queue_depth: depth }),
+                    timing: RequestTiming {
+                        total: submitted.elapsed(),
+                        ..RequestTiming::default()
+                    },
+                },
+            );
+            return Ticket { rx };
+        }
+        shared.counters.queued.fetch_add(1, Ordering::Relaxed);
+
+        let job = if shard {
             shared.counters.sharded.fetch_add(1, Ordering::Relaxed);
-            let job = Arc::new(ShardJob::<B> {
+            Job::Shard(Arc::new(ShardJob::<B> {
                 req,
                 key,
                 nfuncs,
@@ -592,18 +951,39 @@ impl<B: ServiceBackend> CompileService<B> {
                     started: None,
                 }),
                 submitted,
-            });
-            for _ in 0..shared.cfg.workers {
-                queue.jobs.push_back(Job::Shard(Arc::clone(&job)));
-            }
+                deadline_ns: AtomicU64::new(deadline_ns),
+            }))
         } else {
             shared.counters.batched.fetch_add(1, Ordering::Relaxed);
-            queue.jobs.push_back(Job::Single(Box::new(SingleJob {
+            Job::Single(Arc::new(SingleJob {
                 req,
                 key,
-                tx,
+                tx: Mutex::new(Some(tx)),
                 submitted,
-            })));
+                deadline_ns: AtomicU64::new(deadline_ns),
+            }))
+        };
+        if let Some(k) = key {
+            queue.inflight_keys.insert(
+                k,
+                InflightEntry {
+                    job: job.clone(),
+                    waiters: Vec::new(),
+                },
+            );
+        }
+        let dq = match opts.priority {
+            Priority::Interactive => &mut queue.interactive,
+            Priority::Bulk => &mut queue.bulk,
+        };
+        if shard {
+            // One copy per worker; every worker that pops one joins the
+            // shared function-index queue.
+            for _ in 0..shared.cfg.workers {
+                dq.push_back(job.clone());
+            }
+        } else {
+            dq.push_back(job);
         }
         drop(queue);
         if shard {
@@ -617,6 +997,12 @@ impl<B: ServiceBackend> CompileService<B> {
     /// Submits a request and blocks until its response is ready.
     pub fn compile(&self, req: B::Request) -> ServiceResponse {
         self.submit(req).wait()
+    }
+
+    /// Submits with explicit options and blocks until the response is
+    /// ready.
+    pub fn compile_with(&self, req: B::Request, opts: SubmitOptions) -> ServiceResponse {
+        self.submit_with(req, opts).wait()
     }
 
     /// Snapshot of the request-level statistics.
@@ -650,6 +1036,17 @@ impl<B: ServiceBackend> CompileService<B> {
             p99_latency: std::time::Duration::from_nanos(percentile(&samples, 99)),
             disk_load_p50: std::time::Duration::from_nanos(percentile(&disk_samples, 50)),
             disk_load_p99: std::time::Duration::from_nanos(percentile(&disk_samples, 99)),
+            rejected: c.rejected.load(Ordering::Relaxed),
+            deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
+            coalesced: c.coalesced.load(Ordering::Relaxed),
+            watchdog_timeouts: c.watchdog_timeouts.load(Ordering::Relaxed),
+            workers_respawned: c.workers_respawned.load(Ordering::Relaxed),
+            disk_retries: self
+                .shared
+                .disk
+                .as_ref()
+                .map(|d| d.io_retries())
+                .unwrap_or(0),
         }
     }
 
@@ -665,14 +1062,25 @@ impl<B: ServiceBackend> Drop for CompileService<B> {
     /// are compiled and answered before the worker threads exit.
     fn drop(&mut self) {
         {
-            let mut queue = self.shared.queue.lock().unwrap();
+            let mut queue = lock(&self.shared.queue);
             queue.closed = true;
         }
         self.shared.cv.notify_all();
-        for t in self.threads.drain(..) {
-            // A worker that panicked already poisoned its job's ticket;
-            // don't double-panic during drop.
-            let _ = t.join();
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        // Join the watchdog first so it cannot condemn (and replace) a
+        // worker while we are collecting the slot handles below.
+        if let Some(w) = self.watchdog.take() {
+            let _ = w.join();
+        }
+        for slot in &self.shared.slots {
+            // A condemned thread's handle was already replaced (the thread
+            // runs detached until its stuck job returns); we join only the
+            // current owner of each slot. A worker that panicked already
+            // poisoned its job's ticket; don't double-panic during drop.
+            let handle = lock(&slot.handle).take();
+            if let Some(t) = handle {
+                let _ = t.join();
+            }
         }
     }
 }
@@ -695,26 +1103,61 @@ fn catch_compile<R>(what: &str, f: impl FnOnce() -> Result<R>) -> (Result<R>, bo
     }
 }
 
-fn worker_main<B: ServiceBackend>(shared: &Shared<B>) {
+fn spawn_worker<B: ServiceBackend>(
+    shared: &Arc<Shared<B>>,
+    slot: usize,
+    generation: u64,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::Builder::new()
+        .name(format!("tpde-svc-{slot}-g{generation}"))
+        .spawn(move || worker_main(&shared, slot, generation))
+        .expect("spawn compile service worker")
+}
+
+fn worker_main<B: ServiceBackend>(shared: &Arc<Shared<B>>, slot_idx: usize, generation: u64) {
+    let slot = &shared.slots[slot_idx];
     let mut session = CompileSession::new();
     let mut worker = shared.backend.new_worker();
     loop {
         let job = {
-            let mut queue = shared.queue.lock().unwrap();
+            let mut queue = lock(&shared.queue);
             loop {
-                if let Some(job) = queue.jobs.pop_front() {
+                if let Some(job) = queue.pop() {
                     break job;
                 }
                 if queue.closed {
                     return;
                 }
-                queue = shared.cv.wait(queue).unwrap();
+                queue = shared.cv.wait(queue).unwrap_or_else(|e| e.into_inner());
             }
         };
-        let poisoned = match job {
-            Job::Single(job) => run_single(shared, *job, &mut worker, &mut session),
-            Job::Shard(job) => run_shard_participant(shared, &job, &mut worker, &mut session),
+        // Publish the job and stamp a heartbeat before starting; the
+        // watchdog condemns this slot if the heartbeat goes stale.
+        *lock(&slot.active) = Some(job.clone());
+        slot.beat(generation, shared.now_ns());
+        let poisoned = match &job {
+            Job::Single(j) => run_single(shared, j, &mut worker, &mut session),
+            Job::Shard(j) => {
+                run_shard_participant(shared, slot, generation, j, &mut worker, &mut session)
+            }
         };
+        // Withdraw from the watchdog's view — unless this worker has been
+        // condemned meanwhile, in which case the slot (and its active/
+        // heartbeat state) belongs to the replacement thread now.
+        let condemned = {
+            let mut active = lock(&slot.active);
+            if slot.generation.load(Ordering::Relaxed) == generation {
+                slot.heartbeat_ns.store(0, Ordering::Relaxed);
+                *active = None;
+                false
+            } else {
+                true
+            }
+        };
+        if condemned {
+            return;
+        }
         if poisoned {
             // A caught panic may have left the warm state half-updated;
             // start this worker over with fresh scratch. The thread — and
@@ -727,26 +1170,54 @@ fn worker_main<B: ServiceBackend>(shared: &Shared<B>) {
 
 fn run_single<B: ServiceBackend>(
     shared: &Shared<B>,
-    job: SingleJob<B>,
+    job: &Arc<SingleJob<B>>,
     worker: &mut B::Worker,
     session: &mut CompileSession,
 ) -> bool {
+    shared.counters.queued.fetch_sub(1, Ordering::Relaxed);
     let started = Instant::now();
+    // Deadline enforcement at dequeue: an expired request is answered
+    // without paying for the compile.
+    if shared.deadline_passed(&job.deadline_ns) {
+        shared
+            .counters
+            .deadline_expired
+            .fetch_add(1, Ordering::Relaxed);
+        if let Some(tx) = lock(&job.tx).take() {
+            shared.complete(
+                job.key,
+                tx,
+                Err(Error::DeadlineExceeded),
+                RequestTiming {
+                    queued: started - job.submitted,
+                    total: job.submitted.elapsed(),
+                    ..RequestTiming::default()
+                },
+            );
+        }
+        return false;
+    }
     let (result, poisoned) = catch_compile("compile_module", || {
+        if faultpoint::trip(faultpoint::sites::WORKER_JOB, 0).is_some() {
+            return Err(Error::Emit("injected worker fault".into()));
+        }
         shared.backend.compile_module(&job.req, worker, session)
     });
+    // Whoever takes the sender answers the ticket; the watchdog takes it
+    // when it poisons a hung job, and the condemned worker's late result
+    // is then discarded (its warm state is suspect — don't even cache it).
+    let Some(tx) = lock(&job.tx).take() else {
+        return poisoned;
+    };
     shared.cache_store(job.key, &result);
-    shared.finish_request(
-        &job.tx,
-        ServiceResponse {
-            module: result,
-            timing: RequestTiming {
-                queued: started - job.submitted,
-                total: job.submitted.elapsed(),
-                cache_hit: false,
-                disk_hit: false,
-                sharded: false,
-            },
+    shared.complete(
+        job.key,
+        tx,
+        result,
+        RequestTiming {
+            queued: started - job.submitted,
+            total: job.submitted.elapsed(),
+            ..RequestTiming::default()
         },
     );
     poisoned
@@ -754,19 +1225,50 @@ fn run_single<B: ServiceBackend>(
 
 fn run_shard_participant<B: ServiceBackend>(
     shared: &Shared<B>,
+    slot: &WorkerSlot<B>,
+    generation: u64,
     job: &Arc<ShardJob<B>>,
     worker: &mut B::Worker,
     session: &mut CompileSession,
 ) -> bool {
     {
-        let mut c = job.collect.lock().unwrap();
+        let mut c = lock(&job.collect);
         if c.done {
-            return false; // answered already (all work handed out and merged)
+            return false; // answered already (merged, expired or poisoned)
+        }
+        if c.started.is_none() {
+            // First participant: the request leaves the admission backlog
+            // here. Re-check the deadline before the expensive sharded
+            // compile spins up the whole pool.
+            c.started = Some(Instant::now());
+            shared.counters.queued.fetch_sub(1, Ordering::Relaxed);
+            if shared.deadline_passed(&job.deadline_ns) {
+                shared
+                    .counters
+                    .deadline_expired
+                    .fetch_add(1, Ordering::Relaxed);
+                job.abort.store(true, Ordering::Relaxed);
+                c.done = true;
+                let tx = c.tx.take();
+                let queued = c.started.map(|s| s - job.submitted).unwrap_or_default();
+                drop(c);
+                if let Some(tx) = tx {
+                    shared.complete(
+                        job.key,
+                        tx,
+                        Err(Error::DeadlineExceeded),
+                        RequestTiming {
+                            queued,
+                            total: job.submitted.elapsed(),
+                            sharded: true,
+                            ..RequestTiming::default()
+                        },
+                    );
+                }
+                return false;
+            }
         }
         c.active += 1;
-        if c.started.is_none() {
-            c.started = Some(Instant::now());
-        }
     }
 
     // The same per-worker shard loop as `compile_sharded`, but driven by a
@@ -776,6 +1278,9 @@ fn run_shard_participant<B: ServiceBackend>(
     // but the rendezvous bookkeeping below still runs so the ticket is
     // answered.
     let (outcome, poisoned) = catch_compile("shard compile", || {
+        if faultpoint::trip(faultpoint::sites::WORKER_JOB, 1).is_some() {
+            return Err(Error::Emit("injected worker fault".into()));
+        }
         shared.backend.prepare_session(&job.req, worker, session);
         let mut buf = CodeBuffer::new();
         buf.enable_declare_log();
@@ -790,6 +1295,28 @@ fn run_shard_participant<B: ServiceBackend>(
             }
             let i = job.next.fetch_add(1, Ordering::Relaxed);
             if i >= job.nfuncs {
+                break;
+            }
+            // Function boundaries are the shard path's progress marks: a
+            // heartbeat for the watchdog and a deadline re-check, so one
+            // expired request cannot keep monopolizing the whole pool.
+            slot.beat(generation, shared.now_ns());
+            if shared.deadline_passed(&job.deadline_ns) {
+                if !job.abort.swap(true, Ordering::Relaxed) {
+                    shared
+                        .counters
+                        .deadline_expired
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                err = Some((i as u32, Error::DeadlineExceeded));
+                break;
+            }
+            if faultpoint::trip(faultpoint::sites::WORKER_FUNC, i as u64).is_some() {
+                job.abort.store(true, Ordering::Relaxed);
+                err = Some((
+                    i as u32,
+                    Error::Emit(format!("injected worker fault at f{i}")),
+                ));
                 break;
             }
             let start = buf.mark();
@@ -832,7 +1359,7 @@ fn run_shard_participant<B: ServiceBackend>(
         )
     });
 
-    let mut c = job.collect.lock().unwrap();
+    let mut c = lock(&job.collect);
     c.stats.merge(&stats);
     c.timings.merge(&timings);
     if let Some((i, e)) = err {
@@ -844,53 +1371,162 @@ fn run_shard_participant<B: ServiceBackend>(
     c.active -= 1;
     let drained =
         job.next.load(Ordering::Relaxed) >= job.nfuncs || job.abort.load(Ordering::Relaxed);
-    if c.active == 0 && drained && !c.done {
-        c.done = true;
-        let result = finish_shard_job(shared, job, &mut c);
+    if c.active != 0 || !drained || c.done {
+        return poisoned;
+    }
+    // Last participant: take everything the merge needs out of the
+    // rendezvous and run it *outside* the collect lock, in a catch region
+    // of its own — a panic during the merge must answer the ticket and
+    // poison only this worker's warm state, never the collect mutex.
+    c.done = true;
+    let first_err = c.err.take();
+    let shards = std::mem::take(&mut c.shards);
+    let merged_stats = std::mem::take(&mut c.stats);
+    let merged_timings = std::mem::replace(&mut c.timings, PassTimings::new());
+    let queued = c.started.map(|s| s - job.submitted).unwrap_or_default();
+    drop(c);
+
+    let (result, merge_poisoned) = if let Some((_, e)) = first_err {
+        (Err(e), false)
+    } else {
+        catch_compile("shard merge", || {
+            merge_shard_job(shared, job, shards, merged_stats, merged_timings)
+        })
+    };
+    // The watchdog may have poisoned the ticket while the merge (or the
+    // slowest participant) was stuck; whoever holds the sender answers.
+    let tx = lock(&job.collect).tx.take();
+    if let Some(tx) = tx {
         shared.cache_store(job.key, &result);
-        let queued = c.started.map(|s| s - job.submitted).unwrap_or_default();
-        let tx = c.tx.take().expect("shard response already sent");
-        drop(c);
-        shared.finish_request(
-            &tx,
-            ServiceResponse {
-                module: result,
-                timing: RequestTiming {
-                    queued,
-                    total: job.submitted.elapsed(),
-                    cache_hit: false,
-                    disk_hit: false,
-                    sharded: true,
-                },
+        shared.complete(
+            job.key,
+            tx,
+            result,
+            RequestTiming {
+                queued,
+                total: job.submitted.elapsed(),
+                sharded: true,
+                ..RequestTiming::default()
             },
         );
     }
-    poisoned
+    poisoned || merge_poisoned
 }
 
-/// Merges a finished shard job into the response module (or surfaces the
-/// lowest-index compile error).
-fn finish_shard_job<B: ServiceBackend>(
+/// Merges the shards of a finished job into the response module.
+fn merge_shard_job<B: ServiceBackend>(
     shared: &Shared<B>,
     job: &ShardJob<B>,
-    c: &mut ShardCollect,
+    shards: Vec<Shard>,
+    stats: CompileStats,
+    timings: PassTimings,
 ) -> Result<CompiledModule> {
-    if let Some((_, e)) = c.err.take() {
-        return Err(e);
+    if faultpoint::trip(faultpoint::sites::WORKER_MERGE, 0).is_some() {
+        return Err(Error::Emit("injected merge fault".into()));
     }
     let mut merged = CodeBuffer::new();
     shared.backend.predeclare(&job.req, &mut merged);
     check_predeclared_func_symbols(&merged, job.nfuncs)?;
-    let shards = std::mem::take(&mut c.shards);
     merge_shards(&mut merged, job.nfuncs, &shards)?;
     // Tiered backends declare the tier tables inside function bodies; define
     // them after the merge like the sequential drivers do (no-op otherwise).
     merged.define_tier_tables(job.nfuncs);
     Ok(CompiledModule {
         buf: merged,
-        stats: std::mem::take(&mut c.stats),
-        timings: std::mem::replace(&mut c.timings, PassTimings::new()),
+        stats,
+        timings,
     })
+}
+
+/// The watchdog loop: scans the worker slots and condemns any worker whose
+/// heartbeat is older than `hang`. Condemnation poisons the stuck job's
+/// ticket with [`Error::Timeout`] (fanning the error out to coalesced
+/// waiters), bumps the slot generation so the stuck thread retires itself
+/// when it eventually returns, and spawns a replacement with fresh warm
+/// state so pool capacity recovers immediately.
+fn watchdog_main<B: ServiceBackend>(shared: &Arc<Shared<B>>, hang: Duration) {
+    let hang_ns = hang.as_nanos() as u64;
+    let poll = (hang / 4).clamp(Duration::from_millis(1), Duration::from_millis(10));
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(poll);
+        let now = shared.now_ns();
+        for (i, slot) in shared.slots.iter().enumerate() {
+            let beat = slot.heartbeat_ns.load(Ordering::Relaxed);
+            if beat == 0 || now.saturating_sub(beat) < hang_ns {
+                continue;
+            }
+            let mut active = lock(&slot.active);
+            // Re-check under the lock: the worker may have finished (or
+            // made progress) between the scan and the lock.
+            let beat = slot.heartbeat_ns.load(Ordering::Relaxed);
+            if beat == 0 || shared.now_ns().saturating_sub(beat) < hang_ns {
+                continue;
+            }
+            let Some(job) = active.take() else { continue };
+            slot.generation.fetch_add(1, Ordering::Relaxed);
+            let generation = slot.generation.load(Ordering::Relaxed);
+            slot.heartbeat_ns.store(0, Ordering::Relaxed);
+            shared
+                .counters
+                .watchdog_timeouts
+                .fetch_add(1, Ordering::Relaxed);
+            // Respawn (and count) before answering the ticket, so a caller
+            // unblocked by the poisoned response already sees the slot's
+            // replacement in the stats.
+            *lock(&slot.handle) = Some(spawn_worker(shared, i, generation));
+            shared
+                .counters
+                .workers_respawned
+                .fetch_add(1, Ordering::Relaxed);
+            poison_job(shared, &job, hang);
+            drop(active);
+        }
+    }
+}
+
+/// Answers the ticket of a hung job with a timeout error (the condemned
+/// worker's late result, if any, is discarded because the sender is gone).
+fn poison_job<B: ServiceBackend>(shared: &Shared<B>, job: &Job<B>, hang: Duration) {
+    let msg = format!("worker hung past the {hang:?} watchdog timeout");
+    match job {
+        Job::Single(j) => {
+            if let Some(tx) = lock(&j.tx).take() {
+                shared.complete(
+                    j.key,
+                    tx,
+                    Err(Error::Timeout(msg)),
+                    RequestTiming {
+                        total: j.submitted.elapsed(),
+                        ..RequestTiming::default()
+                    },
+                );
+            }
+        }
+        Job::Shard(j) => {
+            j.abort.store(true, Ordering::Relaxed);
+            let tx = {
+                let mut c = lock(&j.collect);
+                if c.done {
+                    None
+                } else {
+                    c.done = true;
+                    c.tx.take()
+                }
+            };
+            if let Some(tx) = tx {
+                shared.complete(
+                    j.key,
+                    tx,
+                    Err(Error::Timeout(msg)),
+                    RequestTiming {
+                        total: j.submitted.elapsed(),
+                        sharded: true,
+                        ..RequestTiming::default()
+                    },
+                );
+            }
+        }
+    }
 }
 
 /// Nearest-rank percentile of ascending-sorted latency samples (0 if empty).
@@ -1002,14 +1638,22 @@ mod tests {
         fail_at: Option<u32>,
         /// Forced panic for function index, for worker-survival tests.
         panic_at: Option<u32>,
+        /// Sleep per compiled function — makes compiles slow enough for the
+        /// admission/deadline/watchdog tests to observe them in flight.
+        delay: Duration,
     }
 
     impl ByteModule {
         fn new(data: Vec<u8>) -> Arc<ByteModule> {
+            ByteModule::slow(data, Duration::ZERO)
+        }
+
+        fn slow(data: Vec<u8>, delay: Duration) -> Arc<ByteModule> {
             Arc::new(ByteModule {
                 data,
                 fail_at: None,
                 panic_at: None,
+                delay,
             })
         }
     }
@@ -1062,6 +1706,9 @@ mod tests {
             if req.panic_at == Some(f) {
                 panic!("synthetic backend panic at f{f}");
             }
+            if !req.delay.is_zero() {
+                std::thread::sleep(req.delay);
+            }
             buf.emit_u8(req.data[f as usize]);
             buf.emit_u8(f as u8);
             stats.funcs += 1;
@@ -1107,7 +1754,7 @@ mod tests {
                 workers,
                 shard_threshold,
                 cache_capacity: cache,
-                disk_cache: None,
+                ..ServiceConfig::default()
             },
         )
     }
@@ -1134,6 +1781,7 @@ mod tests {
                 shard_threshold: 16,
                 cache_capacity: cache,
                 disk_cache: Some(crate::diskcache::DiskCacheConfig::new(dir)),
+                ..ServiceConfig::default()
             },
         )
     }
@@ -1298,6 +1946,7 @@ mod tests {
             data: (0..16).collect(),
             fail_at: Some(9),
             panic_at: None,
+            delay: Duration::ZERO,
         });
         let r = svc.compile(Arc::clone(&bad));
         assert!(matches!(r.module.unwrap_err(), Error::Unsupported(_)));
@@ -1316,6 +1965,7 @@ mod tests {
                 data: (0..16).collect(),
                 fail_at: None,
                 panic_at: Some(7),
+                delay: Duration::ZERO,
             });
             let r = svc.compile(Arc::clone(&bad));
             let err = format!("{}", r.module.unwrap_err());
@@ -1419,5 +2069,235 @@ mod tests {
         // A never-entered function is not promoted even at threshold 0.
         assert_eq!(c.poll(|_| 0, |_| panic!("cold promotion")).unwrap(), 0);
         assert_eq!(c.poll(|_| 1, |_| Ok(())).unwrap(), 1);
+    }
+
+    // ----------------------------------------------------------------------
+    // Resilience front-end: admission, deadlines, coalescing, watchdog
+    // ----------------------------------------------------------------------
+
+    fn front_service(cfg: ServiceConfig) -> CompileService<ByteBackend> {
+        CompileService::new(ByteBackend, cfg)
+    }
+
+    /// Occupies the single worker with a slow module and gives the worker
+    /// time to dequeue it, so follow-up submissions sit in the backlog.
+    fn occupy_worker(svc: &CompileService<ByteBackend>, delay: Duration) -> Ticket {
+        let t = svc.submit(ByteModule::slow(vec![0xEE], delay));
+        std::thread::sleep(Duration::from_millis(20));
+        t
+    }
+
+    #[test]
+    fn admission_rejects_over_capacity_with_observed_depth() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 0,
+            queue_capacity: 2,
+            ..ServiceConfig::default()
+        });
+        let blocker = occupy_worker(&svc, Duration::from_millis(80));
+        // Two distinct requests fill the backlog; the third is shed.
+        let b = svc.submit(ByteModule::new(vec![1]));
+        let c = svc.submit(ByteModule::new(vec![2]));
+        let d = svc.submit(ByteModule::new(vec![3]));
+        let err = d.wait().module.unwrap_err();
+        assert_eq!(err, Error::Rejected { queue_depth: 2 });
+        assert!(err.is_shed());
+        // Admitted requests are unaffected by the shed one.
+        assert!(blocker.wait().module.is_ok());
+        assert!(b.wait().module.is_ok());
+        assert!(c.wait().module.is_ok());
+        let stats = svc.stats();
+        assert_eq!(stats.rejected, 1);
+        assert_eq!(stats.shed(), 1);
+        assert_eq!(stats.completed, 4);
+    }
+
+    #[test]
+    fn bulk_is_shed_before_interactive() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 0,
+            queue_capacity: 4,
+            bulk_queue_capacity: 1,
+            ..ServiceConfig::default()
+        });
+        let blocker = occupy_worker(&svc, Duration::from_millis(80));
+        let b = svc.submit(ByteModule::new(vec![1])); // backlog depth 1
+        let c = svc.submit_with(ByteModule::new(vec![2]), SubmitOptions::bulk());
+        let d = svc.submit(ByteModule::new(vec![3])); // interactive still fits
+        assert!(matches!(
+            c.wait().module.unwrap_err(),
+            Error::Rejected { .. }
+        ));
+        assert!(b.wait().module.is_ok());
+        assert!(d.wait().module.is_ok());
+        assert!(blocker.wait().module.is_ok());
+        assert_eq!(svc.stats().rejected, 1);
+    }
+
+    #[test]
+    fn interactive_dequeues_before_earlier_bulk() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let blocker = occupy_worker(&svc, Duration::from_millis(80));
+        let bulk = svc.submit_with(
+            ByteModule::slow(vec![1], Duration::from_millis(30)),
+            SubmitOptions::bulk(),
+        );
+        let inter = svc.submit(ByteModule::slow(vec![2], Duration::from_millis(30)));
+        let rb = bulk.wait();
+        let ri = inter.wait();
+        assert!(blocker.wait().module.is_ok());
+        assert!(rb.module.is_ok() && ri.module.is_ok());
+        // The later interactive submission ran first: it spent less time
+        // queued than the bulk one that was submitted before it.
+        assert!(
+            ri.timing.queued < rb.timing.queued,
+            "interactive queued {:?} !< bulk queued {:?}",
+            ri.timing.queued,
+            rb.timing.queued
+        );
+    }
+
+    #[test]
+    fn deadline_expired_at_dequeue_is_shed_explicitly() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let blocker = occupy_worker(&svc, Duration::from_millis(80));
+        let t = svc.submit_with(
+            ByteModule::new(vec![1]),
+            SubmitOptions::interactive().with_deadline(Duration::from_millis(10)),
+        );
+        let r = t.wait();
+        assert_eq!(r.module.unwrap_err(), Error::DeadlineExceeded);
+        assert!(blocker.wait().module.is_ok());
+        // The pool still serves fresh requests afterwards.
+        assert!(svc.compile(ByteModule::new(vec![2])).module.is_ok());
+        let stats = svc.stats();
+        assert_eq!(stats.deadline_expired, 1);
+        assert_eq!(stats.shed(), 1);
+    }
+
+    #[test]
+    fn deadline_expiring_mid_shard_aborts_the_sweep() {
+        let svc = front_service(ServiceConfig {
+            workers: 2,
+            shard_threshold: 4,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        // 12 functions x 10 ms across 2 workers: the 20 ms budget expires
+        // mid-sweep, at a function boundary.
+        let m = ByteModule::slow((0..12).collect(), Duration::from_millis(10));
+        let r = svc.compile_with(
+            m,
+            SubmitOptions::interactive().with_deadline(Duration::from_millis(20)),
+        );
+        assert_eq!(r.module.unwrap_err(), Error::DeadlineExceeded);
+        assert!(r.timing.sharded);
+        assert_eq!(svc.stats().deadline_expired, 1);
+        assert!(svc.compile(ByteModule::new(vec![7])).module.is_ok());
+    }
+
+    #[test]
+    fn identical_inflight_requests_coalesce_onto_one_compile() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 8,
+            ..ServiceConfig::default()
+        });
+        let m = ByteModule::slow(vec![5; 4], Duration::from_millis(20));
+        let t1 = svc.submit(Arc::clone(&m));
+        let t2 = svc.submit(Arc::clone(&m));
+        let t3 = svc.submit(Arc::clone(&m));
+        let r1 = t1.wait();
+        let r2 = t2.wait();
+        let r3 = t3.wait();
+        assert!(!r1.timing.coalesced);
+        assert!(r2.timing.coalesced && r3.timing.coalesced);
+        let lead = r1.module.unwrap();
+        for r in [r2, r3] {
+            crate::codebuf::assert_identical(&lead.buf, &r.module.unwrap().buf, "coalesced");
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.coalesced, 2);
+        assert_eq!(stats.batched, 1, "exactly one compile ran");
+        assert_eq!(stats.completed, 3);
+        assert_eq!(stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn wait_timeout_times_out_then_delivers() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let t = svc.submit(ByteModule::slow(vec![1], Duration::from_millis(60)));
+        assert!(t.wait_timeout(Duration::from_millis(5)).is_none());
+        let r = t
+            .wait_timeout(Duration::from_secs(30))
+            .expect("response after the compile finishes");
+        assert!(r.module.is_ok());
+    }
+
+    #[test]
+    fn watchdog_poisons_hung_job_and_respawned_worker_serves_on() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 8,
+            hang_timeout: Some(Duration::from_millis(40)),
+            ..ServiceConfig::default()
+        });
+        // A single-function compile sleeping far past the hang threshold:
+        // the heartbeat (stamped once, at job start) goes stale and the
+        // watchdog condemns the worker instead of letting the ticket hang.
+        let hung = svc.compile(ByteModule::slow(vec![1], Duration::from_millis(250)));
+        let err = hung.module.unwrap_err();
+        assert!(
+            matches!(&err, Error::Timeout(msg) if msg.contains("hung")),
+            "unexpected error: {err}"
+        );
+        assert!(!err.is_shed(), "a timeout is a failure, not shedding");
+        let stats = svc.stats();
+        assert!(stats.watchdog_timeouts >= 1);
+        assert!(stats.workers_respawned >= 1);
+        // The respawned worker (fresh warm state) keeps serving, and the
+        // condemned thread's late result was discarded, not cached.
+        let good = svc.compile(ByteModule::new(vec![2; 6]));
+        assert!(good.module.is_ok());
+        assert!(!good.timing.cache_hit);
+    }
+
+    #[test]
+    fn watchdog_timeout_fans_out_to_coalesced_waiters() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 8,
+            hang_timeout: Some(Duration::from_millis(40)),
+            ..ServiceConfig::default()
+        });
+        let m = ByteModule::slow(vec![3], Duration::from_millis(250));
+        let t1 = svc.submit(Arc::clone(&m));
+        let t2 = svc.submit(Arc::clone(&m));
+        for t in [t1, t2] {
+            assert!(matches!(t.wait().module.unwrap_err(), Error::Timeout(_)));
+        }
+        assert_eq!(svc.stats().coalesced, 1);
     }
 }

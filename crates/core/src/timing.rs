@@ -110,6 +110,10 @@ pub struct RequestTiming {
     /// Whether the module was sharded across the pool (vs. batched onto one
     /// worker).
     pub sharded: bool,
+    /// Whether the response was produced by coalescing onto an identical
+    /// in-flight request (this request never occupied a worker; it shares
+    /// the leader's compile byte for byte).
+    pub coalesced: bool,
 }
 
 /// Aggregate request-level statistics of a
@@ -157,6 +161,21 @@ pub struct ServiceStats {
     pub p50_latency: Duration,
     /// Nearest-rank p99 submission-to-response latency.
     pub p99_latency: Duration,
+    /// Requests shed at admission because the queue was at capacity.
+    pub rejected: u64,
+    /// Requests shed because their deadline expired before (or during)
+    /// compilation.
+    pub deadline_expired: u64,
+    /// Requests answered by coalescing onto an identical in-flight request
+    /// instead of compiling again.
+    pub coalesced: u64,
+    /// Hung jobs whose tickets the watchdog poisoned with a timeout error.
+    pub watchdog_timeouts: u64,
+    /// Worker threads condemned and respawned by the watchdog.
+    pub workers_respawned: u64,
+    /// Transient disk cache I/O errors absorbed by retrying (`EINTR`-like;
+    /// each retry would previously have been treated as corruption).
+    pub disk_retries: u64,
 }
 
 impl ServiceStats {
@@ -181,6 +200,13 @@ impl ServiceStats {
         } else {
             self.disk_hits as f64 / reached as f64
         }
+    }
+
+    /// Requests intentionally shed by the front-end (admission rejection +
+    /// deadline expiry). Every shed request still resolves its ticket with
+    /// an explicit error.
+    pub fn shed(&self) -> u64 {
+        self.rejected + self.deadline_expired
     }
 
     /// Mean submission-to-response latency (zero before the first response).

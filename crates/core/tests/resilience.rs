@@ -1,0 +1,371 @@
+//! Fault-injection suite: arms destructive [`tpde_core::faultpoint`] rules
+//! (short reads, hard failures, panics, hangs) against the disk cache and
+//! the compile service and asserts the degradation contract — every fault
+//! is either absorbed (retry, fallback) or surfaces as an explicit error,
+//! and the affected component heals afterwards.
+//!
+//! Every test wraps *all* of its cache/service activity in an [`arm`]
+//! scope. Armed sections are serialized process-wide by the guard, so the
+//! destructive rules of one test can never leak into another.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+use tpde_core::codebuf::{assert_identical, CodeBuffer, SectionKind, SymbolBinding, SymbolId};
+use tpde_core::codegen::{CompileSession, CompileStats, CompiledModule};
+use tpde_core::diskcache::{DiskCache, DiskCacheConfig};
+use tpde_core::error::{Error, Result};
+use tpde_core::faultpoint::{arm, sites, FaultAction, FaultRule};
+use tpde_core::service::{CompileService, Fnv1a, ServiceBackend, ServiceConfig};
+use tpde_core::timing::PassTimings;
+
+// --------------------------------------------------------------------------
+// Helpers
+// --------------------------------------------------------------------------
+
+/// A fresh, empty temp directory unique to `tag`.
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("tpde-resilience-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn cache(dir: &Path) -> DiskCache {
+    DiskCache::open(DiskCacheConfig::new(dir)).unwrap()
+}
+
+/// A small but non-trivial module to store and reload.
+fn sample_module() -> CompiledModule {
+    let mut buf = CodeBuffer::new();
+    let f = buf.declare_symbol("func", SymbolBinding::Global, true);
+    buf.emit_slice(&[0x55, 0x48, 0x89, 0xe5, 0xc3]);
+    buf.define_symbol(f, SectionKind::Text, 0, 5);
+    buf.append(SectionKind::ROData, b"resilience");
+    CompiledModule {
+        buf,
+        stats: CompileStats {
+            funcs: 1,
+            insts: 3,
+            ..CompileStats::default()
+        },
+        timings: PassTimings::new(),
+    }
+}
+
+/// A toy service backend over the public API: a "module" is a list of
+/// byte-sized functions, each emitting its payload byte and its index.
+struct ToyBackend;
+
+struct ToyModule {
+    data: Vec<u8>,
+}
+
+fn toy(data: Vec<u8>) -> Arc<ToyModule> {
+    Arc::new(ToyModule { data })
+}
+
+impl ServiceBackend for ToyBackend {
+    type Request = Arc<ToyModule>;
+    type Worker = ();
+
+    fn new_worker(&self) {}
+
+    fn request_key(&self, req: &Arc<ToyModule>) -> Option<u64> {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a::new();
+        req.data.hash(&mut h);
+        Some(h.finish())
+    }
+
+    fn func_count(&self, req: &Arc<ToyModule>) -> usize {
+        req.data.len()
+    }
+
+    fn prepare_session(&self, _req: &Arc<ToyModule>, _w: &mut (), _s: &mut CompileSession) {}
+
+    fn predeclare(&self, req: &Arc<ToyModule>, buf: &mut CodeBuffer) {
+        for i in 0..req.data.len() {
+            buf.declare_symbol(&format!("f{i}"), SymbolBinding::Global, true);
+        }
+    }
+
+    fn compile_func(
+        &self,
+        req: &Arc<ToyModule>,
+        _w: &mut (),
+        _s: &mut CompileSession,
+        buf: &mut CodeBuffer,
+        f: u32,
+        stats: &mut CompileStats,
+        _t: &mut PassTimings,
+    ) -> Result<bool> {
+        buf.emit_u8(req.data[f as usize]);
+        buf.emit_u8(f as u8);
+        stats.funcs += 1;
+        Ok(true)
+    }
+
+    fn compile_module(
+        &self,
+        req: &Arc<ToyModule>,
+        worker: &mut (),
+        session: &mut CompileSession,
+    ) -> Result<CompiledModule> {
+        let mut buf = CodeBuffer::new();
+        self.predeclare(req, &mut buf);
+        let mut stats = CompileStats::default();
+        let mut timings = PassTimings::new();
+        for f in 0..req.data.len() as u32 {
+            let start = buf.text_offset();
+            self.compile_func(req, worker, session, &mut buf, f, &mut stats, &mut timings)?;
+            buf.define_symbol(
+                SymbolId(f),
+                SectionKind::Text,
+                start,
+                buf.text_offset() - start,
+            );
+        }
+        Ok(CompiledModule {
+            buf,
+            stats,
+            timings,
+        })
+    }
+}
+
+fn toy_service(cfg: ServiceConfig) -> CompileService<ToyBackend> {
+    CompileService::new(ToyBackend, cfg)
+}
+
+// --------------------------------------------------------------------------
+// Disk cache under injected faults
+// --------------------------------------------------------------------------
+
+#[test]
+fn transient_read_faults_are_retried_and_absorbed() {
+    let dir = temp_dir("transient-retried");
+    let module = sample_module();
+    let _g = arm(vec![
+        // Two transient errors on the first two read attempts; the third
+        // attempt succeeds within the retry budget.
+        FaultRule::new(sites::DISK_READ, FaultAction::Transient).limit(2),
+    ]);
+    let store = cache(&dir);
+    store.store(1, &module).unwrap();
+    let loaded = store.load(1).expect("transient faults must be retried");
+    assert_identical(&module.buf, &loaded.buf, "after transient retries");
+    assert!(store.io_retries() >= 2, "retries must be counted");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn exhausted_transient_faults_miss_without_unlinking() {
+    let dir = temp_dir("transient-exhausted");
+    let module = sample_module();
+    let store = {
+        let _g = arm(Vec::new());
+        let store = cache(&dir);
+        store.store(2, &module).unwrap();
+        store
+    };
+    {
+        // Every read attempt fails transiently: the retry budget runs out.
+        let _g = arm(vec![FaultRule::new(
+            sites::DISK_READ,
+            FaultAction::Transient,
+        )]);
+        assert!(store.load(2).is_none(), "exhausted retries are a miss");
+    }
+    // The artifact was NOT treated as corrupt: once the interference stops
+    // it loads again, no recompile-and-heal needed.
+    let _g = arm(Vec::new());
+    assert!(store.contains(2), "transient failure must not unlink");
+    let loaded = store.load(2).expect("artifact intact after the storm");
+    assert_identical(&module.buf, &loaded.buf, "after exhausted transients");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mmap_failure_falls_back_to_heap_buffers() {
+    let dir = temp_dir("mmap-fallback");
+    let module = sample_module();
+    let _g = arm(vec![FaultRule::new(sites::DISK_MMAP, FaultAction::Fail)]);
+    let store = cache(&dir);
+    store.store(3, &module).unwrap();
+    let artifact = store.open_artifact(3).expect("open via heap fallback");
+    assert!(!artifact.is_mapped(), "mmap fault must force the heap path");
+    let loaded = artifact.to_module().unwrap();
+    assert_identical(&module.buf, &loaded.buf, "heap-backed artifact");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn short_read_is_caught_as_corruption_and_heals() {
+    let dir = temp_dir("short-read");
+    let module = sample_module();
+    let store = {
+        let _g = arm(Vec::new());
+        let store = cache(&dir);
+        store.store(4, &module).unwrap();
+        store
+    };
+    {
+        // Force the heap path (short reads only exist there), then truncate
+        // the buffered bytes: the payload-length/hash verification must
+        // reject the artifact rather than serve half a module.
+        let _g = arm(vec![
+            FaultRule::new(sites::DISK_MMAP, FaultAction::Fail),
+            FaultRule::new(sites::DISK_SHORT_READ, FaultAction::Short),
+        ]);
+        assert!(store.load(4).is_none(), "short read must never verify");
+    }
+    // Treated as corruption: unlinked, and the next store heals it.
+    let _g = arm(Vec::new());
+    assert!(!store.contains(4), "corrupt artifact is unlinked");
+    assert!(store.store(4, &module).unwrap());
+    assert_identical(&module.buf, &store.load(4).unwrap().buf, "healed");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn hard_rename_failure_degrades_the_store_not_the_answer() {
+    let dir = temp_dir("rename-fail");
+    let module = sample_module();
+    {
+        let _g = arm(vec![FaultRule::new(sites::DISK_RENAME, FaultAction::Fail)]);
+        let store = cache(&dir);
+        let err = store.store(5, &module).unwrap_err();
+        assert!(err.to_string().contains("injected"), "{err}");
+        assert!(!store.contains(5), "failed publish leaves no artifact");
+        assert!(store.load(5).is_none(), "and the key simply misses");
+    }
+    // Disarmed, the same store succeeds — the failure was not sticky.
+    let _g = arm(Vec::new());
+    let store = cache(&dir);
+    assert!(store.store(5, &module).unwrap());
+    assert_identical(&module.buf, &store.load(5).unwrap().buf, "recovered");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn transient_rename_faults_are_retried() {
+    let dir = temp_dir("rename-transient");
+    let module = sample_module();
+    let _g = arm(vec![FaultRule::new(
+        sites::DISK_RENAME,
+        FaultAction::Transient,
+    )
+    .limit(2)]);
+    let store = cache(&dir);
+    assert!(
+        store.store(6, &module).unwrap(),
+        "publish absorbs transients"
+    );
+    assert!(store.io_retries() >= 2);
+    assert_identical(&module.buf, &store.load(6).unwrap().buf, "stored");
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flock_contention_delay_only_adds_latency() {
+    let dir = temp_dir("flock-delay");
+    let module = sample_module();
+    let _g = arm(vec![FaultRule::new(
+        sites::DISK_FLOCK,
+        FaultAction::Delay(Duration::from_millis(2)),
+    )]);
+    let store = cache(&dir);
+    store.store(7, &module).unwrap();
+    assert_identical(
+        &module.buf,
+        &store.load(7).unwrap().buf,
+        "despite lock delay",
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+// --------------------------------------------------------------------------
+// Service worker loop under injected faults
+// --------------------------------------------------------------------------
+
+#[test]
+fn injected_merge_panic_answers_the_ticket_and_the_pool_recovers() {
+    let _g = arm(vec![FaultRule::new(
+        sites::WORKER_MERGE,
+        FaultAction::Panic,
+    )
+    .limit(1)]);
+    let svc = toy_service(ServiceConfig {
+        workers: 2,
+        shard_threshold: 4,
+        cache_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    let m = toy((0..16).collect());
+    let r = svc.compile(Arc::clone(&m));
+    let err = format!("{}", r.module.unwrap_err());
+    assert!(err.contains("panicked"), "unexpected error: {err}");
+    // The panic fired at the merge, past the per-shard catch regions: the
+    // ticket still resolved, the collect mutex is unpoisoned, and the same
+    // request now compiles correctly (the limit-1 rule is spent).
+    let again = svc.compile(Arc::clone(&m)).module.unwrap();
+    let reference = ToyBackend
+        .compile_module(&m, &mut (), &mut CompileSession::new())
+        .unwrap();
+    assert_identical(&reference.buf, &again.buf, "after merge panic");
+}
+
+#[test]
+fn injected_shard_panic_at_chosen_function_is_contained() {
+    let _g = arm(vec![FaultRule::new(sites::WORKER_FUNC, FaultAction::Panic)
+        .at_index(5)
+        .limit(1)]);
+    let svc = toy_service(ServiceConfig {
+        workers: 2,
+        shard_threshold: 4,
+        cache_capacity: 8,
+        ..ServiceConfig::default()
+    });
+    let m = toy((0..16).collect());
+    let err = format!("{}", svc.compile(Arc::clone(&m)).module.unwrap_err());
+    assert!(
+        err.contains("panicked") && err.contains("service.func"),
+        "unexpected error: {err}"
+    );
+    let again = svc.compile(Arc::clone(&m)).module.unwrap();
+    let reference = ToyBackend
+        .compile_module(&m, &mut (), &mut CompileSession::new())
+        .unwrap();
+    assert_identical(&reference.buf, &again.buf, "after shard panic");
+}
+
+#[test]
+fn injected_hang_is_condemned_by_the_watchdog() {
+    let _g = arm(vec![
+        // Index 0 is the single-job probe position; the delay lands inside
+        // the compile, after the start-of-job heartbeat, so the heartbeat
+        // goes stale and the watchdog must poison the ticket.
+        FaultRule::new(
+            sites::WORKER_JOB,
+            FaultAction::Delay(Duration::from_millis(250)),
+        )
+        .at_index(0)
+        .limit(1),
+    ]);
+    let svc = toy_service(ServiceConfig {
+        workers: 1,
+        shard_threshold: 100,
+        cache_capacity: 8,
+        hang_timeout: Some(Duration::from_millis(40)),
+        ..ServiceConfig::default()
+    });
+    let r = svc.compile(toy(vec![1, 2, 3]));
+    assert!(matches!(r.module.unwrap_err(), Error::Timeout(_)));
+    let stats = svc.stats();
+    assert!(stats.watchdog_timeouts >= 1);
+    assert!(stats.workers_respawned >= 1);
+    // The respawned worker serves the next request normally.
+    assert!(svc.compile(toy(vec![4, 5, 6])).module.is_ok());
+}

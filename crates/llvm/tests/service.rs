@@ -35,6 +35,7 @@ fn service(workers: usize, cache: usize) -> LlvmCompileService {
         shard_threshold: 16,
         cache_capacity: cache,
         disk_cache: None,
+        ..ServiceConfig::default()
     })
 }
 
@@ -53,6 +54,7 @@ fn disk_service(workers: usize, cache: usize, dir: &Path) -> LlvmCompileService 
         shard_threshold: 16,
         cache_capacity: cache,
         disk_cache: Some(DiskCacheConfig::new(dir)),
+        ..ServiceConfig::default()
     })
 }
 
@@ -293,6 +295,7 @@ fn cache_eviction_keeps_serving_correct_bytes() {
         shard_threshold: 1000,
         cache_capacity: 2,
         disk_cache: None,
+        ..ServiceConfig::default()
     });
     let modules: Vec<Arc<Module>> = spec_workloads()
         .iter()

@@ -187,6 +187,7 @@ fn tiered_compiles_are_deterministic_across_pipelines() {
             shard_threshold,
             cache_capacity: 0,
             disk_cache: None,
+            ..ServiceConfig::default()
         });
         let got = svc
             .compile(ModuleRequest::new(
@@ -242,6 +243,7 @@ fn tier1_recompiles_are_byte_identical_per_function() {
         shard_threshold: 16,
         cache_capacity: 4,
         disk_cache: None,
+        ..ServiceConfig::default()
     });
     let recompiled = svc
         .compile(ModuleRequest::new(
