@@ -3,7 +3,7 @@
 //!
 //! Usage: `cargo run -p tpde-bench --bin figures [--quick] [--json]
 //! [--threads N] [--service] [--tiered] [--disk-cache] [--chaos]
-//! [--gate [PCT]]`
+//! [--fuzz [N]] [--fuzz-seed S] [--gate [PCT]]`
 //! (`--quick` scales down the
 //! workload inputs for a fast smoke run; `--json` additionally writes the
 //! per-workload compile-time speedups to `BENCH_compile.json`; `--threads N`
@@ -40,15 +40,23 @@
 //! watchdog respawned at least one worker, transient disk I/O was retried,
 //! and — after a simulated restart over the same store, and again after
 //! disarming the faults — the full mix compiles byte-identically;
-//! `--gate` fails the
+//! `--fuzz [N]` runs the differential fuzzing campaign — N seeded random
+//! modules (default 200 quick / 1000 full) compiled through every service
+//! backend kind, asserting byte identity against the one-shot compilers
+//! and emulator-equal results across the executable x86-64 back-ends,
+//! plus one corrupted mutant per module that the IR verifier and the
+//! service must reject with a typed error; failures are minimized and
+//! written to `fuzz_failures/` as seed-reproducible test cases
+//! (`--fuzz-seed S` overrides the campaign seed, which is always
+//! printed); `--gate` fails the
 //! run when this run's compile-time geomean drops more than PCT% — default
 //! 10 — below the last recorded history entry of the same mode). The JSON
 //! file carries a `history` array with one geomean entry per (git commit,
 //! mode): each run appends (or, for the same SHA and mode, replaces) its
 //! entry instead of overwriting the trajectory, so the file records the
 //! compile-time speedup across PRs; `--threads`/`--service`/`--tiered`/
-//! `--disk-cache` runs add `par_tN`/`svc_*`/`tier_*`/`disk_*` fields to
-//! their entry.
+//! `--disk-cache`/`--fuzz` runs add `par_tN`/`svc_*`/`tier_*`/`disk_*`/
+//! `fuzz_*` fields to their entry.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -938,6 +946,118 @@ fn tiered_execution(quick: bool) -> TieredReport {
     report
 }
 
+/// Results of the differential fuzzing campaign (`--fuzz`).
+struct FuzzScenarioReport {
+    modules: usize,
+    total_insts: usize,
+    mutants_rejected: u64,
+    executed: usize,
+    compared: usize,
+}
+
+/// Executes `bench_main(input)` from a compiled buffer under an
+/// instruction budget, so a buggy candidate that loops forever reports a
+/// timeout instead of hanging the campaign.
+fn fuzz_exec(
+    buf: &tpde_core::codebuf::CodeBuffer,
+    input: u64,
+    max_insts: u64,
+) -> Result<u64, String> {
+    let image = link_in_memory(buf, 0x40_0000, |_| None).map_err(|e| e.to_string())?;
+    let mut m = Machine::new();
+    m.max_insts = max_insts;
+    m.load_image(&image);
+    register_default_hostcalls(&mut m, &image);
+    let addr = image
+        .symbol_addr("bench_main")
+        .ok_or_else(|| "no bench_main symbol".to_string())?;
+    m.call(addr, &[input]).map_err(|e| format!("{e:?}"))
+}
+
+/// Runs the differential fuzzing campaign (`--fuzz [N]`): `n` seeded
+/// random modules through every service backend kind (byte identity
+/// against the one-shot compilers — the whole AArch64 check — plus
+/// emulator-equal results across the executable x86-64 kinds) and one
+/// corrupted mutant per module, which the verifier and the service must
+/// reject with a typed error. Result-mismatch failures are re-minimized
+/// and every failure is written to `fuzz_failures/` as a reproducer
+/// (`gen_module(seed)` rebuilds the input) before the run aborts.
+fn fuzz_campaign(n: usize, seed: u64) -> FuzzScenarioReport {
+    use tpde_llvm::fuzz::{self, FuzzConfig};
+    println!("\n== Fuzz: differential campaign, {n} random modules, seed {seed:#x}");
+    let cfg = FuzzConfig {
+        modules: n,
+        seed,
+        mutants_per_module: 1,
+        workers: 3,
+    };
+    let rep = fuzz::run_fuzz(&cfg, &|b, i| fuzz_exec(b, i, 100_000_000));
+    println!("   {}", rep.summary());
+    println!(
+        "   service: {} invalid rejected at admission, {} backend panics, {} respawns",
+        rep.rejected_invalid, rep.panics_backend, rep.workers_respawned
+    );
+    if !rep.failures.is_empty() {
+        let dir = std::path::Path::new("fuzz_failures");
+        let _ = std::fs::create_dir_all(dir);
+        for (i, f) in rep.failures.iter().enumerate() {
+            println!("   FAILURE seed {:#x}: {} ({})", f.seed, f.kind, f.detail);
+            let mut ir = f.ir.clone();
+            if f.kind == "result mismatch" {
+                // Shrink while any executable pair still disagrees, so the
+                // reproducer is a few instructions instead of a whole module.
+                let input = f.seed & 0x3F;
+                let mut differs = |m: &tpde_llvm::ir::Module| -> bool {
+                    let mut first: Option<u64> = None;
+                    for kind in fuzz::EXEC_KINDS {
+                        let Ok(buf) = fuzz::one_shot_buf(m, kind) else {
+                            return false;
+                        };
+                        let Ok(r) = fuzz_exec(&buf, input, 200_000) else {
+                            return false;
+                        };
+                        match first {
+                            None => first = Some(r),
+                            Some(r0) if r0 != r => return true,
+                            Some(_) => {}
+                        }
+                    }
+                    false
+                };
+                let full = fuzz::gen_module(f.seed);
+                let small = fuzz::minimize(&full, &mut differs, 400);
+                if differs(&small) {
+                    ir = small.dump();
+                }
+            }
+            let path = dir.join(format!("fuzz_{i:03}_{:016x}.txt", f.seed));
+            let _ = std::fs::write(
+                &path,
+                format!(
+                    "seed: {:#x}\nkind: {}\ndetail: {}\n\n{}\n",
+                    f.seed, f.kind, f.detail, ir
+                ),
+            );
+        }
+        println!(
+            "   wrote {} reproducer(s) to fuzz_failures/",
+            rep.failures.len()
+        );
+    }
+    assert!(
+        rep.ok(),
+        "fuzz campaign found {} failure(s); reproducers in fuzz_failures/",
+        rep.failures.len()
+    );
+    FuzzScenarioReport {
+        modules: rep.modules,
+        total_insts: rep.total_insts,
+        mutants_rejected: rep.rejected_invalid,
+        executed: rep.executed,
+        compared: rep.compared,
+    }
+}
+
 /// Writes the machine-readable compile-time speedup report, appending this
 /// run's geomeans to the per-commit history carried over from the previous
 /// report.
@@ -955,6 +1075,7 @@ fn write_json(
     tiered: Option<&TieredReport>,
     disk: Option<&DiskReport>,
     chaos: Option<&ChaosReport>,
+    fuzz: Option<&FuzzScenarioReport>,
 ) -> std::io::Result<Vec<String>> {
     use std::fmt::Write as _;
     let sha = git_sha();
@@ -1036,6 +1157,22 @@ fn write_json(
         None => {
             if let Some(old) = &replaced {
                 entry.push_str(&salvage_fields(old, "\"chaos_"));
+            }
+        }
+    }
+    match fuzz {
+        Some(f) => {
+            let _ = write!(
+                entry,
+                ", \"fuzz_modules\": {}, \"fuzz_insts\": {}, \"fuzz_mutants_rejected\": {}, \
+                 \"fuzz_execs\": {}, \"fuzz_compared\": {}",
+                f.modules, f.total_insts, f.mutants_rejected, f.executed, f.compared
+            );
+        }
+        // no fuzz campaign this run: keep the same-SHA entry's numbers
+        None => {
+            if let Some(old) = &replaced {
+                entry.push_str(&salvage_fields(old, "\"fuzz_"));
             }
         }
     }
@@ -1223,6 +1360,30 @@ fn main() {
     let tiered = args.iter().any(|a| a == "--tiered");
     let disk = args.iter().any(|a| a == "--disk-cache");
     let chaos = args.iter().any(|a| a == "--chaos");
+    // `--fuzz` takes an optional module count (defaults scale with the
+    // mode); `--fuzz-seed` overrides the fixed campaign seed, e.g. with a
+    // time-derived one in the scheduled CI job (the seed is printed, so
+    // any failure is reproducible).
+    let fuzz_n: Option<usize> = args.iter().position(|a| a == "--fuzz").map(|i| {
+        args.get(i + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 200 } else { 1000 })
+    });
+    let fuzz_seed: u64 = args
+        .iter()
+        .position(|a| a == "--fuzz-seed")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| {
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => v.parse().ok(),
+            };
+            parsed.unwrap_or_else(|| {
+                eprintln!("--fuzz-seed requires a u64 (decimal or 0x-hex)");
+                std::process::exit(2);
+            })
+        })
+        .unwrap_or(0xC60_2026);
     let threads: Option<usize> = args.iter().position(|a| a == "--threads").map(|i| {
         args.get(i + 1)
             .and_then(|v| v.parse().ok())
@@ -1300,6 +1461,7 @@ fn main() {
     let tiered_report = tiered.then(|| tiered_execution(quick));
     let disk_report = disk.then(|| disk_cache_restart(quick));
     let chaos_report = chaos.then(|| chaos_resilience(quick));
+    let fuzz_report = fuzz_n.map(|n| fuzz_campaign(n, fuzz_seed));
     let geo = (geomean(&sp_x64), geomean(&sp_a64), geomean(&sp_cp));
     // The gate compares against the committed history; only `--json` runs
     // rewrite the report file.
@@ -1314,6 +1476,7 @@ fn main() {
             tiered_report.as_ref(),
             disk_report.as_ref(),
             chaos_report.as_ref(),
+            fuzz_report.as_ref(),
         ) {
             Ok(prior) => {
                 println!("(wrote BENCH_compile.json)");

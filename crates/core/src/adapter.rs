@@ -279,6 +279,38 @@ pub trait IrAdapter {
     fn val_name(&self, val: ValueRef) -> Cow<'_, str> {
         Cow::Owned(format!("v{}", val.0))
     }
+
+    // ---- verification support (optional) ----------------------------------
+    //
+    // The queries below exist only for the IR verifier ([`crate::verify`]).
+    // They are *optional*: an adapter that cannot (or does not want to)
+    // answer them returns `None`, and the verifier skips the corresponding
+    // structural checks. Code generation never calls them.
+
+    /// Whether `inst` is a block terminator (branch, return, unreachable).
+    ///
+    /// `None` means "unknown"; the verifier then skips terminator-placement
+    /// checks for this adapter.
+    fn inst_is_terminator(&self, inst: InstRef) -> Option<bool> {
+        let _ = inst;
+        None
+    }
+
+    /// If `inst` is a direct call, the callee and the number of arguments
+    /// actually passed. `None` for non-calls, indirect calls, or adapters
+    /// that do not track calls.
+    fn inst_call_target(&self, inst: InstRef) -> Option<(FuncRef, usize)> {
+        let _ = inst;
+        None
+    }
+
+    /// Number of formal parameters of `func` (any function of the module,
+    /// not just the current one). `None` if unknown; the verifier then
+    /// skips call-arity checks against that callee.
+    fn func_param_count(&self, func: FuncRef) -> Option<usize> {
+        let _ = func;
+        None
+    }
 }
 
 #[cfg(test)]

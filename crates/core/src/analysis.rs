@@ -208,6 +208,14 @@ impl LoopDiscovery {
             let succs = adapter.block_succs(BlockRef(frame.block));
             if (frame.next as usize) < succs.len() {
                 let succ = succs[frame.next as usize].0;
+                // Successor indices are trusted here (dense-index contract);
+                // the service path bounds-checks them with `crate::verify`
+                // before analysis runs. Fail with a diagnosable message in
+                // debug builds instead of an opaque slice panic below.
+                debug_assert!(
+                    (succ as usize) < self.traversed.len(),
+                    "successor b{succ} out of range — IR must pass verify::Verifier first"
+                );
                 frame.next += 1;
                 let b0 = frame.block;
                 if !self.traversed[succ as usize] {

@@ -55,9 +55,11 @@ pub mod obj;
 pub mod parallel;
 pub mod regalloc;
 pub mod regs;
+pub mod rng;
 pub mod service;
 pub mod target;
 pub mod timing;
+pub mod verify;
 
 pub use adapter::{BlockRef, FuncRef, IrAdapter, Linkage, ValueRef};
 pub use analysis::{Analysis, Analyzer, LoopInfo};
@@ -66,7 +68,9 @@ pub use diskcache::{DiskCache, DiskCacheConfig};
 pub use error::{Error, Result};
 pub use parallel::{ParallelDriver, WorkerPool};
 pub use regs::{Reg, RegBank};
+pub use rng::{SplitMix64, Xoshiro256};
 pub use service::{
     CompileService, Priority, ServiceBackend, ServiceConfig, ServiceResponse, SubmitOptions, Ticket,
 };
 pub use timing::{RequestTiming, ServiceStats};
+pub use verify::{Verifier, VerifyError};

@@ -270,6 +270,20 @@ pub trait ServiceBackend: Send + Sync + 'static {
     /// uncacheable.
     fn request_key(&self, req: &Self::Request) -> Option<u64>;
 
+    /// Validates the request's IR before admission. Backends with a
+    /// structured IR run [`crate::verify::Verifier`] here; the default
+    /// accepts everything (for backends whose requests carry opaque data).
+    ///
+    /// An `Err` (conventionally [`Error::InvalidIr`]) rejects the request
+    /// at admission: the ticket resolves immediately, no worker sees the
+    /// request, and [`ServiceStats::rejected_invalid`] is incremented —
+    /// malformed input is answered as an error, never absorbed by per-job
+    /// panic containment.
+    fn verify(&self, req: &Self::Request) -> Result<()> {
+        let _ = req;
+        Ok(())
+    }
+
     /// Number of functions in the request's module (drives placement).
     fn func_count(&self, req: &Self::Request) -> usize;
 
@@ -551,6 +565,12 @@ struct Counters {
     /// compares against (one count per request, not per shard copy).
     queued: AtomicU64,
     rejected: AtomicU64,
+    /// Requests whose IR failed [`ServiceBackend::verify`] at admission
+    /// (answered `Error::InvalidIr` without touching a worker).
+    rejected_invalid: AtomicU64,
+    /// Worker panics contained by `catch_compile` on verified input — i.e.
+    /// genuine backend bugs, now that bad input is rejected at admission.
+    panics_backend: AtomicU64,
     deadline_expired: AtomicU64,
     coalesced: AtomicU64,
     watchdog_timeouts: AtomicU64,
@@ -872,6 +892,29 @@ impl<B: ServiceBackend> CompileService<B> {
             }
         }
 
+        // Verify before admission: malformed IR is a caller error, answered
+        // immediately with the typed reason. It must never reach a worker —
+        // the back-ends assume the IrAdapter contract unchecked, so letting
+        // bad input through would surface as a contained panic (and a
+        // condemned worker) instead of an actionable `InvalidIr`.
+        if let Err(e) = shared.backend.verify(&req) {
+            shared
+                .counters
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            shared.finish_request(
+                &tx,
+                ServiceResponse {
+                    module: Err(e),
+                    timing: RequestTiming {
+                        total: submitted.elapsed(),
+                        ..RequestTiming::default()
+                    },
+                },
+            );
+            return Ticket { rx };
+        }
+
         let nfuncs = shared.backend.func_count(&req);
         let shard = shared.cfg.workers > 1 && nfuncs >= shared.cfg.shard_threshold.max(2);
         let deadline_ns = shared.deadline_ns_from(submitted, opts.deadline);
@@ -903,6 +946,31 @@ impl<B: ServiceBackend> CompileService<B> {
                     .fetch_max(deadline_ns, Ordering::Relaxed);
                 entry.waiters.push(Waiter { tx, submitted });
                 shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Ticket { rx };
+            }
+            // An identical in-flight compile may have finished between the
+            // cache lookup above and taking the queue lock (verification
+            // runs in that window). Successful compiles store into the
+            // cache *before* leaving `inflight_keys`, so re-checking the
+            // cache here closes the race: a just-finished compile is
+            // served as a hit rather than re-admitted as a second compile.
+            // Lock order is queue -> cache; no path acquires them reversed.
+            let late_hit = shared.cache.lock().unwrap().get(k);
+            if let Some(entry) = late_hit {
+                drop(queue);
+                shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                let module = entry.to_module();
+                shared.finish_request(
+                    &tx,
+                    ServiceResponse {
+                        module: Ok(module),
+                        timing: RequestTiming {
+                            total: submitted.elapsed(),
+                            cache_hit: true,
+                            ..RequestTiming::default()
+                        },
+                    },
+                );
                 return Ticket { rx };
             }
         }
@@ -1037,6 +1105,8 @@ impl<B: ServiceBackend> CompileService<B> {
             disk_load_p50: std::time::Duration::from_nanos(percentile(&disk_samples, 50)),
             disk_load_p99: std::time::Duration::from_nanos(percentile(&disk_samples, 99)),
             rejected: c.rejected.load(Ordering::Relaxed),
+            rejected_invalid: c.rejected_invalid.load(Ordering::Relaxed),
+            panics_backend: c.panics_backend.load(Ordering::Relaxed),
             deadline_expired: c.deadline_expired.load(Ordering::Relaxed),
             coalesced: c.coalesced.load(Ordering::Relaxed),
             watchdog_timeouts: c.watchdog_timeouts.load(Ordering::Relaxed),
@@ -1136,6 +1206,21 @@ fn worker_main<B: ServiceBackend>(shared: &Arc<Shared<B>>, slot_idx: usize, gene
         // watchdog condemns this slot if the heartbeat goes stale.
         *lock(&slot.active) = Some(job.clone());
         slot.beat(generation, shared.now_ns());
+        // Codegen is gated on verified-only input: every admitted request
+        // already passed `ServiceBackend::verify`, so a failure here means
+        // the admission gate has a hole (or the request mutated). Checked
+        // in debug builds only, like the faultpoint assertions.
+        #[cfg(debug_assertions)]
+        {
+            let req = match &job {
+                Job::Single(j) => &j.req,
+                Job::Shard(j) => &j.req,
+            };
+            debug_assert!(
+                shared.backend.verify(req).is_ok(),
+                "unverified request reached a service worker"
+            );
+        }
         let poisoned = match &job {
             Job::Single(j) => run_single(shared, j, &mut worker, &mut session),
             Job::Shard(j) => {
@@ -1203,6 +1288,16 @@ fn run_single<B: ServiceBackend>(
         }
         shared.backend.compile_module(&job.req, worker, session)
     });
+    if poisoned {
+        // A contained panic on *verified* input is a genuine backend bug —
+        // counted separately from invalid-IR rejections, which never reach
+        // a worker. Counted before the ticket is answered so a caller that
+        // waits and then snapshots stats observes it.
+        shared
+            .counters
+            .panics_backend
+            .fetch_add(1, Ordering::Relaxed);
+    }
     // Whoever takes the sender answers the ticket; the watchdog takes it
     // when it poisons a hung job, and the condemned worker's late result
     // is then discarded (its warm state is suspect — don't even cache it).
@@ -1346,6 +1441,14 @@ fn run_shard_participant<B: ServiceBackend>(
         }
         Ok((buf, records, stats, timings, err))
     });
+    if poisoned {
+        // Backend bug on verified input (see `run_single`); counted before
+        // the rendezvous below can answer the ticket.
+        shared
+            .counters
+            .panics_backend
+            .fetch_add(1, Ordering::Relaxed);
+    }
     let (buf, records, stats, timings, err) = outcome.unwrap_or_else(|panic_err| {
         job.abort.store(true, Ordering::Relaxed);
         (
@@ -1393,6 +1496,12 @@ fn run_shard_participant<B: ServiceBackend>(
             merge_shard_job(shared, job, shards, merged_stats, merged_timings)
         })
     };
+    if merge_poisoned {
+        shared
+            .counters
+            .panics_backend
+            .fetch_add(1, Ordering::Relaxed);
+    }
     // The watchdog may have poisoned the ticket while the merge (or the
     // slowest participant) was stuck; whoever holds the sender answers.
     let tx = lock(&job.collect).tx.take();
@@ -1674,6 +1783,14 @@ mod tests {
 
         fn func_count(&self, req: &Arc<ByteModule>) -> usize {
             req.data.len()
+        }
+
+        /// Toy IR verifier: byte `0xFF` is the one malformed "function".
+        fn verify(&self, req: &Arc<ByteModule>) -> Result<()> {
+            match req.data.iter().position(|&b| b == 0xFF) {
+                Some(i) => Err(Error::InvalidIr(format!("byte 0xFF at f{i}"))),
+                None => Ok(()),
+            }
         }
 
         fn prepare_session(
@@ -1972,7 +2089,58 @@ mod tests {
             assert!(err.contains("panicked"), "unexpected error: {err}");
             let good = ByteModule::new((0..16).collect());
             assert!(svc.compile(good).module.is_ok(), "pool died after panic");
+            // The contained panic is classified as a backend bug, not as
+            // invalid input (the request passed verification).
+            let stats = svc.stats();
+            assert!(stats.panics_backend >= 1, "panic not counted");
+            assert_eq!(stats.rejected_invalid, 0);
         }
+    }
+
+    #[test]
+    fn invalid_ir_is_rejected_at_admission() {
+        let svc = service(2, 100, 8);
+        let bad = ByteModule::new(vec![1, 0xFF, 3]);
+        let r = svc.compile(Arc::clone(&bad));
+        match r.module {
+            Err(Error::InvalidIr(what)) => assert!(what.contains("f1"), "got: {what}"),
+            other => panic!("expected InvalidIr, got {other:?}"),
+        }
+        // Rejection happened at admission: no worker compiled (or panicked
+        // over) the module, no respawn, and the dedicated counter moved.
+        let stats = svc.stats();
+        assert_eq!(stats.rejected_invalid, 1);
+        assert_eq!(stats.panics_backend, 0);
+        assert_eq!(stats.workers_respawned, 0);
+        assert_eq!(stats.rejected, 0, "InvalidIr must not count as shed");
+        // Invalid modules never enter the cache: resubmission is rejected
+        // again rather than served.
+        let r2 = svc.compile(bad);
+        assert!(matches!(r2.module, Err(Error::InvalidIr(_))));
+        assert_eq!(svc.stats().rejected_invalid, 2);
+        // The pool still serves valid requests.
+        assert!(svc.compile(ByteModule::new(vec![1, 2])).module.is_ok());
+    }
+
+    #[test]
+    fn invalid_ir_ticket_resolves_immediately() {
+        // Regression test: an admission-rejected invalid-IR submission must
+        // resolve without waiting out a timeout — even while every worker
+        // is busy with a slow compile.
+        let svc = service(1, 100, 0);
+        let slow = svc.submit(ByteModule::slow(vec![1; 4], Duration::from_millis(80)));
+        let started = Instant::now();
+        let bad = svc.submit(ByteModule::new(vec![0xFF]));
+        let r = bad
+            .wait_timeout(Duration::from_secs(10))
+            .expect("invalid-IR ticket must already be resolved");
+        assert!(matches!(r.module, Err(Error::InvalidIr(_))));
+        assert!(
+            started.elapsed() < Duration::from_millis(500),
+            "rejection waited on the queue: {:?}",
+            started.elapsed()
+        );
+        assert!(slow.wait().module.is_ok());
     }
 
     #[test]

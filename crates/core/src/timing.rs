@@ -163,6 +163,15 @@ pub struct ServiceStats {
     pub p99_latency: Duration,
     /// Requests shed at admission because the queue was at capacity.
     pub rejected: u64,
+    /// Requests rejected at admission because their IR failed
+    /// [`crate::service::ServiceBackend::verify`] — answered
+    /// [`crate::error::Error::InvalidIr`] immediately, never compiled.
+    /// A caller error, so *not* counted by [`ServiceStats::shed`].
+    pub rejected_invalid: u64,
+    /// Worker panics contained on *verified* input — genuine backend bugs.
+    /// With admission verification in place, malformed IR shows up in
+    /// [`ServiceStats::rejected_invalid`], never here.
+    pub panics_backend: u64,
     /// Requests shed because their deadline expired before (or during)
     /// compilation.
     pub deadline_expired: u64,

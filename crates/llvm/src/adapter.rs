@@ -205,7 +205,12 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
                 let op_start = self.s.operands.len() as u32;
                 inst.visit_operands(|v| {
                     self.s.operands.push(ValueRef(v.0));
-                    self.s.use_counts[v.0 as usize] += 1;
+                    // Tolerate out-of-range ids while indexing: the verifier
+                    // reads the raw operand list and rejects them with a
+                    // typed error before codegen consults any use count.
+                    if let Some(c) = self.s.use_counts.get_mut(v.0 as usize) {
+                        *c += 1;
+                    }
                 });
                 self.s
                     .operand_ranges
@@ -239,10 +244,13 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
                         block: BlockRef(blk.0),
                         value: ValueRef(v.0),
                     });
-                    self.s.use_counts[v.0 as usize] += 1;
+                    if let Some(c) = self.s.use_counts.get_mut(v.0 as usize) {
+                        *c += 1;
+                    }
                 }
-                self.s.phi_inc_ranges[p.res.0 as usize] =
-                    (inc_start, self.s.phi_inc.len() as u32 - inc_start);
+                if let Some(r) = self.s.phi_inc_ranges.get_mut(p.res.0 as usize) {
+                    *r = (inc_start, self.s.phi_inc.len() as u32 - inc_start);
+                }
             }
             self.s
                 .phi_ranges
@@ -321,6 +329,25 @@ impl<'m> IrAdapter for LlvmAdapter<'m> {
             ValueDef::Const(bits) => bits,
             _ => 0,
         }
+    }
+
+    // Verification support: this adapter can classify terminators and
+    // direct calls exactly, so the verifier checks terminator placement
+    // and call arity for LLVM-IR modules.
+
+    fn inst_is_terminator(&self, inst: InstRef) -> Option<bool> {
+        Some(self.inst(inst).is_terminator())
+    }
+
+    fn inst_call_target(&self, inst: InstRef) -> Option<(FuncRef, usize)> {
+        match self.inst(inst) {
+            Inst::Call { callee, args, .. } => Some((FuncRef(callee.0), args.len())),
+            _ => None,
+        }
+    }
+
+    fn func_param_count(&self, func: FuncRef) -> Option<usize> {
+        self.module.funcs.get(func.idx()).map(|f| f.params.len())
     }
 }
 

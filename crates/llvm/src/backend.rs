@@ -20,11 +20,12 @@ use tpde_core::codegen::{
     declare_func_symbols, CallTarget, CodeGen, CompileOptions, CompileSession, CompileStats,
     CompiledModule, FuncCodeGen, InstCompiler, TierConfig,
 };
-use tpde_core::error::Result;
+use tpde_core::error::{Error, Result};
 use tpde_core::parallel::{ParallelDriver, WorkerPool};
 use tpde_core::service::{CompileService, Fnv1a, ServiceBackend, ServiceConfig, ServiceResponse};
 use tpde_core::target::Target;
 use tpde_core::timing::PassTimings;
+use tpde_core::verify::Verifier;
 use tpde_enc::{A64Target, X64Target};
 use tpde_snippets::{AsmOperand, SnippetEmitter};
 
@@ -706,6 +707,18 @@ impl ServiceBackend for LlvmServiceBackend {
         req.opts.hash(&mut h);
         req.module.content_hash().hash(&mut h);
         Some(h.finish())
+    }
+
+    /// Admission-time IR verification: every defined function must satisfy
+    /// the adapter contract (see [`tpde_core::verify`]) before any worker
+    /// compiles it. Runs on the submitting thread, so a fresh verifier per
+    /// call keeps concurrent submitters from serializing on shared scratch;
+    /// the cold rejection path may allocate.
+    fn verify(&self, req: &ModuleRequest) -> Result<()> {
+        let mut adapter = LlvmAdapter::new(&req.module);
+        Verifier::new()
+            .verify_module(&mut adapter)
+            .map_err(Error::from)
     }
 
     fn func_count(&self, req: &ModuleRequest) -> usize {

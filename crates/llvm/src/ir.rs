@@ -269,6 +269,55 @@ impl Inst {
         }
     }
 
+    /// Calls `f` with a mutable reference to every operand value read by
+    /// this instruction, in the same order as [`Inst::visit_operands`].
+    /// Used by IR-rewriting tools (the fuzzer's mutator and the test-case
+    /// minimizer) to redirect uses without matching on every variant.
+    pub fn visit_operands_mut(&mut self, mut f: impl FnMut(&mut Value)) {
+        match self {
+            Inst::Bin { lhs, rhs, .. }
+            | Inst::Div { lhs, rhs, .. }
+            | Inst::Shift { lhs, rhs, .. }
+            | Inst::Icmp { lhs, rhs, .. }
+            | Inst::Fbin { lhs, rhs, .. }
+            | Inst::Fcmp { lhs, rhs, .. } => {
+                f(lhs);
+                f(rhs);
+            }
+            Inst::Fneg { v, .. }
+            | Inst::Cast { v, .. }
+            | Inst::IntToFp { v, .. }
+            | Inst::FpToInt { v, .. }
+            | Inst::FpConvert { v, .. } => f(v),
+            Inst::Load { addr, .. } => f(addr),
+            Inst::Store { addr, value, .. } => {
+                f(addr);
+                f(value);
+            }
+            Inst::Gep { base, index, .. } => {
+                f(base);
+                if let Some(i) = index {
+                    f(i);
+                }
+            }
+            Inst::Select {
+                cond, tval, fval, ..
+            } => {
+                f(cond);
+                f(tval);
+                f(fval);
+            }
+            Inst::Call { args, .. } => args.iter_mut().for_each(f),
+            Inst::CondBr { cond, .. } => f(cond),
+            Inst::Ret { value } => {
+                if let Some(v) = value {
+                    f(v);
+                }
+            }
+            Inst::Br { .. } => {}
+        }
+    }
+
     /// Calls `f` for every successor block if this is a terminator.
     /// Allocation-free variant of [`Inst::successors`].
     pub fn visit_successors(&self, mut f: impl FnMut(Block)) {
@@ -393,6 +442,51 @@ impl Function {
             .map(|b| b.insts.len() + b.phis.len())
             .sum()
     }
+
+    /// Writes a human-readable listing of the function (used by the fuzzer
+    /// to print reproducible `(seed, shrunken IR)` artifacts).
+    fn dump(&self, out: &mut String) {
+        use std::fmt::Write;
+        let params = self
+            .params
+            .iter()
+            .map(|t| format!("{t:?}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        if self.is_decl {
+            let _ = writeln!(out, "declare @{}({}) -> {:?}", self.name, params, self.ret);
+            return;
+        }
+        let _ = writeln!(out, "func @{}({}) -> {:?} {{", self.name, params, self.ret);
+        for (i, v) in self.values.iter().enumerate() {
+            match v.def {
+                ValueDef::Const(bits) => {
+                    let _ = writeln!(out, "  v{i} = const.{:?} {:#x}", v.ty, bits);
+                }
+                ValueDef::StackSlot(s) => {
+                    let (size, align) = self.stack_slots[s as usize];
+                    let _ = writeln!(out, "  v{i} = slot{s} (size {size}, align {align})");
+                }
+                _ => {}
+            }
+        }
+        for (bi, block) in self.blocks.iter().enumerate() {
+            let _ = writeln!(out, "b{bi}:");
+            for phi in &block.phis {
+                let inc = phi
+                    .incoming
+                    .iter()
+                    .map(|(b, v)| format!("[b{}, v{}]", b.0, v.0))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let _ = writeln!(out, "  v{} = phi.{:?} {}", phi.res.0, phi.ty, inc);
+            }
+            for inst in &block.insts {
+                let _ = writeln!(out, "  {inst:?}");
+            }
+        }
+        let _ = writeln!(out, "}}");
+    }
 }
 
 /// A module: a set of functions.
@@ -443,6 +537,16 @@ impl Module {
     /// Total number of instructions in the module.
     pub fn inst_count(&self) -> usize {
         self.funcs.iter().map(|f| f.inst_count()).sum()
+    }
+
+    /// Human-readable listing of the whole module — the format of the
+    /// fuzzer's `(seed, shrunken IR)` reproduction artifacts.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        for f in &self.funcs {
+            f.dump(&mut out);
+        }
+        out
     }
 
     /// Deterministic content hash of the module: every function with its

@@ -23,6 +23,7 @@
 pub mod adapter;
 pub mod backend;
 pub mod baselines;
+pub mod fuzz;
 pub mod ir;
 pub mod workloads;
 

@@ -742,6 +742,21 @@ mod tests {
     }
 
     #[test]
+    fn all_workloads_pass_the_verifier() {
+        // The verifier now gates service admission, so a false rejection
+        // here would make every benchmark module uncompilable.
+        let mut v = tpde_core::verify::Verifier::new();
+        for w in spec_workloads() {
+            for style in [IrStyle::O0, IrStyle::O1] {
+                let m = build_workload(&w, style);
+                let mut a = crate::adapter::LlvmAdapter::new(&m);
+                let r = v.verify_module(&mut a);
+                assert!(r.is_ok(), "{} ({style:?}): {:?}", w.name, r);
+            }
+        }
+    }
+
+    #[test]
     fn o1_style_has_phis_o0_mostly_not() {
         let w = &spec_workloads()[5]; // int loop
         let o0 = build_workload(w, IrStyle::O0);

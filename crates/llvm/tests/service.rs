@@ -170,21 +170,24 @@ fn concurrent_stress_interleaves_small_and_large_modules() {
     let opts = CompileOptions::default();
     let svc = service(4, 0);
     // Build a mix: every workload kind (small modules, batched) plus
-    // enlarged copies of two workloads (sharded), alternating backends.
+    // enlarged copies of a few workloads (sharded), with a seeded PRNG
+    // picking backends and enlargements so the interleaving varies more
+    // than a fixed modulus while staying reproducible.
+    let mut rng = tpde_core::rng::Xoshiro256::new(0x0057_A355);
     let mut requests: Vec<(String, ModuleRequest)> = Vec::new();
+    let mut enlarged = 0;
     for (i, w) in spec_workloads().iter().enumerate() {
         let w = small(w);
         let module = Arc::new(build_workload(&w, IrStyle::O0));
-        let kind = if i % 2 == 0 {
-            ServiceBackendKind::TpdeX64
-        } else {
-            ServiceBackendKind::TpdeA64
-        };
+        let kind = *rng.pick(&[ServiceBackendKind::TpdeX64, ServiceBackendKind::TpdeA64]);
         requests.push((
             format!("{} {kind:?}", w.name),
             ModuleRequest::new(module, kind),
         ));
-        if i % 4 == 0 {
+        // Always shard the first workload (the queue-depth assertion below
+        // needs at least one slow module), then a random ~quarter of the rest.
+        if i == 0 || (rng.chance(1, 4) && enlarged < 3) {
+            enlarged += 1;
             let big = Workload {
                 funcs: w.funcs * 8,
                 ..w.clone()
