@@ -69,8 +69,10 @@ pub use error::{Error, Result};
 pub use parallel::{ParallelDriver, WorkerPool};
 pub use regs::{Reg, RegBank};
 pub use rng::{SplitMix64, Xoshiro256};
+pub use service::ring;
 pub use service::{
-    CompileService, Priority, ServiceBackend, ServiceConfig, ServiceResponse, SubmitOptions, Ticket,
+    ClientId, CompileService, Priority, Request, ServiceBackend, ServiceConfig, ServiceResponse,
+    SubmitOptions, Ticket, TicketRef, WakeupMode,
 };
-pub use timing::{RequestTiming, ServiceStats};
+pub use timing::{ClientStats, RequestTiming, ServiceStats};
 pub use verify::{Verifier, VerifyError};

@@ -41,6 +41,30 @@
 //! was produced by one of the two. Pinned by `crates/llvm/tests/service.rs`
 //! for every workload kind × worker count × backend.
 //!
+//! # Async front-end
+//!
+//! Submission is asynchronous and lock-free on the hot path: a request is
+//! admitted (cache lookup, verification, coalescing, shedding), pushed
+//! into a bounded lock-free [`ring::Ring`], and exactly as many workers
+//! as the job needs are woken through per-worker [`front::Parker`] state
+//! machines — no mutex, no condvar, no thundering herd. Workers drain the
+//! ring into a weighted deficit-round-robin scheduler
+//! ([`fairness::DrrQueue`]) whose mutex is contended only
+//! worker-vs-worker. Requests carry a [`ClientId`]; within a priority
+//! lane the scheduler round-robins across clients (weighted), and when a
+//! queue capacity is configured a client's backlog share is bounded by
+//! `capacity / active_clients`, so one greedy client is shed while others
+//! still admit. See [`front`] for the full picture (and the ticket
+//! completion-state machine) and [`ring`] for the ingress queue.
+//!
+//! A running *bulk* sharded compile is additionally **preemptible**: an
+//! interactive arrival sets the job's `preempt` flag, participants pause
+//! at the next function boundary (the existing deadline-probe point),
+//! bank their partial shards and requeue the job, freeing the pool for
+//! the interactive request; the job later resumes where it left off and
+//! merges byte-identically. [`WakeupMode::Condvar`] keeps the legacy
+//! mutex+condvar ingress selectable as the measured baseline.
+//!
 //! # Resilience front-end
 //!
 //! Under overload or partial failure the service degrades *explicitly*,
@@ -51,9 +75,10 @@
 //!   number of admitted-but-unstarted requests; the excess is shed at
 //!   submission with [`Error::Rejected`] carrying the observed queue depth.
 //!   [`ServiceConfig::bulk_queue_capacity`] gives [`Priority::Bulk`]
-//!   traffic a tighter bound so bulk is shed first.
-//! * **Priorities and deadlines.** [`CompileService::submit_with`] takes a
-//!   [`SubmitOptions`]: [`Priority::Interactive`] requests are dequeued
+//!   traffic a tighter bound so bulk is shed first, and per-client
+//!   fair-share bounds (see above) shed a flooding client first.
+//! * **Priorities and deadlines.** A [`Request`] carries a priority and an
+//!   optional deadline: [`Priority::Interactive`] requests are dequeued
 //!   before [`Priority::Bulk`] ones, and a per-request deadline is enforced
 //!   at dequeue (an expired request is answered with
 //!   [`Error::DeadlineExceeded`] without paying for a compile) and checked
@@ -80,17 +105,26 @@
 //! but every submitted request — queued or in flight — is compiled and its
 //! ticket answered before the worker threads exit.
 
+pub mod fairness;
+pub mod front;
+pub mod ring;
+
+pub use fairness::ClientId;
+pub use front::{Request, TicketRef, WakeupMode};
+
 use crate::codebuf::CodeBuffer;
 use crate::codegen::{CompileSession, CompileStats, CompiledModule};
 use crate::diskcache::{DiskCache, DiskCacheConfig};
 use crate::error::{Error, Result};
 use crate::faultpoint;
 use crate::parallel::{check_predeclared_func_symbols, merge_shards, Shard};
-use crate::timing::{PassTimings, RequestTiming, ServiceStats};
+use crate::timing::{ClientStats, PassTimings, RequestTiming, Reservoir, ServiceStats};
+use fairness::ClientTable;
+use front::{Dispatcher, Submission};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -169,6 +203,15 @@ pub struct ServiceConfig {
     /// compile longer than the timeout is indistinguishable from a hang —
     /// pick a bound well above the largest expected module.
     pub hang_timeout: Option<Duration>,
+    /// How submissions reach the worker pool: the lock-free ring with
+    /// parker wakeups ([`WakeupMode::Ring`], the default) or the legacy
+    /// mutex+condvar path kept as a measured baseline.
+    pub wakeup: WakeupMode,
+    /// Slot count of the submission ring (rounded up to a power of two);
+    /// 0 (the default) picks 1024. A full ring is a latency event, not an
+    /// admission event — the push spills to the scheduler mutex, counted
+    /// in [`ServiceStats::ring_fallbacks`].
+    pub ring_capacity: usize,
 }
 
 impl ServiceConfig {
@@ -192,6 +235,8 @@ impl Default for ServiceConfig {
             queue_capacity: 0,
             bulk_queue_capacity: 0,
             hang_timeout: None,
+            wakeup: WakeupMode::default(),
+            ring_capacity: 0,
         }
     }
 }
@@ -208,7 +253,10 @@ pub enum Priority {
     Bulk,
 }
 
-/// Per-request submission options for [`CompileService::submit_with`].
+/// Per-request submission options of the deprecated
+/// [`CompileService::submit_with`]/[`CompileService::compile_with`] shims.
+/// New code builds a [`Request`] instead, which carries the same
+/// attributes plus the fairness ones ([`ClientId`], weight).
 #[derive(Clone, Debug, Default)]
 pub struct SubmitOptions {
     /// Scheduling class; [`Priority::Interactive`] by default.
@@ -336,7 +384,10 @@ pub struct ServiceResponse {
     pub timing: RequestTiming,
 }
 
-/// Handle to one in-flight request; redeem with [`Ticket::wait`].
+/// Handle to one in-flight request; redeem with the consuming
+/// [`Ticket::wait`], or borrow a non-consuming [`TicketRef`] via
+/// [`Ticket::by_ref`] for poll loops and bounded waits. The
+/// completion-state machine is documented in [`front`].
 ///
 /// Tickets outlive the service: dropping the [`CompileService`] drains the
 /// queue first, so a ticket submitted before the drop still resolves.
@@ -350,27 +401,19 @@ impl Ticket {
     pub fn wait(self) -> ServiceResponse {
         self.rx
             .recv()
-            .unwrap_or_else(|_| Ticket::shutdown_response())
+            .unwrap_or_else(|_| front::shutdown_response())
     }
 
-    /// Blocks until the response is ready or `timeout` elapses. Returns
-    /// `None` on timeout; the ticket stays valid, so the caller can retry,
-    /// do other work, or drop it (an abandoned response is discarded).
+    /// Borrows a non-consuming view for [`TicketRef::poll`] and
+    /// [`TicketRef::wait_timeout`].
+    pub fn by_ref(&self) -> TicketRef<'_> {
+        TicketRef { rx: &self.rx }
+    }
+
+    /// Blocks until the response is ready or `timeout` elapses.
+    #[deprecated(note = "use `ticket.by_ref().wait_timeout(..)`")]
     pub fn wait_timeout(&self, timeout: Duration) -> Option<ServiceResponse> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(r) => Some(r),
-            Err(RecvTimeoutError::Timeout) => None,
-            Err(RecvTimeoutError::Disconnected) => Some(Ticket::shutdown_response()),
-        }
-    }
-
-    fn shutdown_response() -> ServiceResponse {
-        ServiceResponse {
-            module: Err(Error::Emit(
-                "compile service shut down before answering".into(),
-            )),
-            timing: RequestTiming::default(),
-        }
+        self.by_ref().wait_timeout(timeout)
     }
 }
 
@@ -442,10 +485,19 @@ impl ModuleCache {
     }
 }
 
+/// Scheduling attributes shared by both job kinds: who submitted it and
+/// how the dispatcher should treat it.
+struct JobMeta {
+    client: ClientId,
+    weight: u32,
+    priority: Priority,
+}
+
 /// A small-module job: compiled whole on whichever worker pops it.
 struct SingleJob<B: ServiceBackend> {
     req: B::Request,
     key: Option<u64>,
+    meta: JobMeta,
     /// Taken exactly once by whoever answers the ticket — normally the
     /// worker, but the watchdog takes it when it poisons a hung job (the
     /// late result of the condemned worker is then discarded).
@@ -469,8 +521,13 @@ struct ShardCollect {
     /// Set once the response has been produced (later poppers skip).
     done: bool,
     tx: Option<Sender<ServiceResponse>>,
-    /// Time the first participant started compiling.
+    /// Time the first participant started compiling. Reset to `None` when
+    /// the job is paused and requeued, so the resume re-runs the
+    /// first-participant bookkeeping (backlog accounting, deadline
+    /// re-check).
     started: Option<Instant>,
+    /// Times this job was cooperatively paused by an interactive arrival.
+    preemptions: u32,
 }
 
 /// A large-module job: `workers` copies are enqueued and every worker that
@@ -479,9 +536,16 @@ struct ShardCollect {
 struct ShardJob<B: ServiceBackend> {
     req: B::Request,
     key: Option<u64>,
+    meta: JobMeta,
     nfuncs: usize,
     next: AtomicUsize,
     abort: AtomicBool,
+    /// Cooperative preemption request: set by an interactive admission
+    /// while this *bulk* job is running. Participants check it at every
+    /// function boundary (before claiming the next index, so no claimed
+    /// function is ever left uncompiled), bank their partial shards and
+    /// requeue the job; the resume continues from [`ShardJob::next`].
+    preempt: AtomicBool,
     collect: Mutex<ShardCollect>,
     submitted: Instant,
     /// See [`SingleJob::deadline_ns`].
@@ -509,12 +573,30 @@ impl<B: ServiceBackend> Job<B> {
             Job::Shard(j) => &j.deadline_ns,
         }
     }
+
+    fn meta(&self) -> &JobMeta {
+        match self {
+            Job::Single(j) => &j.meta,
+            Job::Shard(j) => &j.meta,
+        }
+    }
+
+    fn submission(&self) -> Submission<Job<B>> {
+        let meta = self.meta();
+        Submission {
+            class: meta.priority,
+            client: meta.client,
+            weight: meta.weight,
+            item: self.clone(),
+        }
+    }
 }
 
 /// A coalesced submission waiting for an in-flight identical request.
 struct Waiter {
     tx: Sender<ServiceResponse>,
     submitted: Instant,
+    client: ClientId,
 }
 
 /// An in-flight cacheable request: the job itself plus the identical
@@ -522,25 +604,6 @@ struct Waiter {
 struct InflightEntry<B: ServiceBackend> {
     job: Job<B>,
     waiters: Vec<Waiter>,
-}
-
-struct JobQueue<B: ServiceBackend> {
-    /// Dequeued strictly before `bulk`.
-    interactive: VecDeque<Job<B>>,
-    bulk: VecDeque<Job<B>>,
-    /// Queued-or-compiling cacheable jobs by request key — the coalescing
-    /// rendezvous. Kept inside the queue mutex so attach (submit) and
-    /// remove (completion) cannot race.
-    inflight_keys: HashMap<u64, InflightEntry<B>>,
-    closed: bool,
-}
-
-impl<B: ServiceBackend> JobQueue<B> {
-    fn pop(&mut self) -> Option<Job<B>> {
-        self.interactive
-            .pop_front()
-            .or_else(|| self.bulk.pop_front())
-    }
 }
 
 /// Monotone service counters (snapshot via [`CompileService::stats`]).
@@ -575,14 +638,34 @@ struct Counters {
     coalesced: AtomicU64,
     watchdog_timeouts: AtomicU64,
     workers_respawned: AtomicU64,
+    /// Bulk shard jobs cooperatively paused (and requeued) for an
+    /// interactive arrival.
+    preemptions: AtomicU64,
     total_latency_ns: AtomicU64,
     /// Per-request latency samples (nanoseconds), recorded at completion;
     /// the source of the p50/p99 percentiles in
-    /// [`crate::timing::ServiceStats`].
-    latency_samples_ns: Mutex<Vec<u64>>,
+    /// [`crate::timing::ServiceStats`]. A lock-free reservoir, so
+    /// completion on the workers never contends with a concurrent
+    /// [`CompileService::stats`] snapshot.
+    latency_samples_ns: Reservoir,
     /// Disk-artifact load latency samples (nanoseconds), one per disk hit:
     /// mmap + verify + validate + materialize.
-    disk_load_samples_ns: Mutex<Vec<u64>>,
+    disk_load_samples_ns: Reservoir,
+}
+
+/// Capacity of each client's sliding latency window (completion-side).
+const CLIENT_WINDOW: usize = 128;
+
+/// Completion-side per-client accounting behind a short-lived mutex (the
+/// hot submission path never touches it; workers update it once per
+/// response).
+#[derive(Default)]
+struct ClientRecord {
+    completed: u64,
+    shed: u64,
+    preemptions: u64,
+    /// Latency samples of the most recent completions, nanoseconds.
+    window: VecDeque<u64>,
 }
 
 /// The watchdog's view of one worker: who owns the slot (generation), when
@@ -625,8 +708,18 @@ impl<B: ServiceBackend> WorkerSlot<B> {
 struct Shared<B: ServiceBackend> {
     backend: B,
     cfg: ServiceConfig,
-    queue: Mutex<JobQueue<B>>,
-    cv: Condvar,
+    /// The async front-end: lock-free ring ingress, DRR fairness
+    /// scheduler, parker wakeups (or the legacy condvar, by config).
+    dispatch: Dispatcher<Job<B>>,
+    /// Queued-or-compiling cacheable jobs by request key — the coalescing
+    /// rendezvous. Attach (submit) and remove (completion) both run under
+    /// this mutex, so they cannot race; lock order is inflight → cache,
+    /// never reversed.
+    inflight: Mutex<HashMap<u64, InflightEntry<B>>>,
+    /// Lock-free per-client backlog counts driving fair-share admission.
+    client_backlog: ClientTable,
+    /// Completion-side per-client statistics.
+    client_stats: Mutex<HashMap<u64, ClientRecord>>,
     cache: Mutex<ModuleCache>,
     /// Disk tier of the cache, if configured and openable.
     disk: Option<DiskCache>,
@@ -661,14 +754,39 @@ impl<B: ServiceBackend> Shared<B> {
         d != u64::MAX && self.now_ns() > d
     }
 
-    fn finish_request(&self, tx: &Sender<ServiceResponse>, response: ServiceResponse) {
+    /// A request leaves the admission backlog (its job started, or it was
+    /// swept at shutdown): undo the submit-side accounting.
+    fn depart_backlog(&self, client: ClientId) {
+        self.counters.queued.fetch_sub(1, Ordering::Relaxed);
+        self.client_backlog.decr(client);
+    }
+
+    fn finish_request(
+        &self,
+        tx: &Sender<ServiceResponse>,
+        response: ServiceResponse,
+        client: ClientId,
+    ) {
         self.counters.completed.fetch_add(1, Ordering::Relaxed);
         self.counters.inflight.fetch_sub(1, Ordering::Relaxed);
         let latency_ns = response.timing.total.as_nanos() as u64;
         self.counters
             .total_latency_ns
             .fetch_add(latency_ns, Ordering::Relaxed);
-        lock(&self.counters.latency_samples_ns).push(latency_ns);
+        self.counters.latency_samples_ns.record(latency_ns);
+        {
+            let mut clients = lock(&self.client_stats);
+            let rec = clients.entry(client.0).or_default();
+            if response.module.is_ok() {
+                rec.completed += 1;
+            } else {
+                rec.shed += 1;
+            }
+            rec.window.push_back(latency_ns);
+            if rec.window.len() > CLIENT_WINDOW {
+                rec.window.pop_front();
+            }
+        }
         // The submitter may have dropped its ticket; that is not an error.
         let _ = tx.send(response);
     }
@@ -682,10 +800,10 @@ impl<B: ServiceBackend> Shared<B> {
         tx: Sender<ServiceResponse>,
         result: Result<CompiledModule>,
         timing: RequestTiming,
+        client: ClientId,
     ) {
         let waiters = match key {
-            Some(k) => lock(&self.queue)
-                .inflight_keys
+            Some(k) => lock(&self.inflight)
                 .remove(&k)
                 .map(|e| e.waiters)
                 .unwrap_or_default(),
@@ -714,6 +832,7 @@ impl<B: ServiceBackend> Shared<B> {
                         ..RequestTiming::default()
                     },
                 },
+                w.client,
             );
         }
         self.finish_request(
@@ -722,6 +841,7 @@ impl<B: ServiceBackend> Shared<B> {
                 module: result,
                 timing,
             },
+            client,
         );
     }
 
@@ -775,18 +895,20 @@ impl<B: ServiceBackend> CompileService<B> {
                 }
             });
         let hang_timeout = cfg.hang_timeout;
+        let ring_capacity = if cfg.ring_capacity == 0 {
+            1024
+        } else {
+            cfg.ring_capacity
+        };
         let shared = Arc::new(Shared {
             cache: Mutex::new(ModuleCache::new(cfg.cache_capacity)),
             disk,
             backend,
+            dispatch: Dispatcher::new(cfg.wakeup, workers, ring_capacity),
             cfg,
-            queue: Mutex::new(JobQueue {
-                interactive: VecDeque::new(),
-                bulk: VecDeque::new(),
-                inflight_keys: HashMap::new(),
-                closed: false,
-            }),
-            cv: Condvar::new(),
+            inflight: Mutex::new(HashMap::new()),
+            client_backlog: ClientTable::new(),
+            client_stats: Mutex::new(HashMap::new()),
             counters: Counters::default(),
             epoch: Instant::now(),
             slots: (0..workers).map(|_| WorkerSlot::new()).collect(),
@@ -810,18 +932,21 @@ impl<B: ServiceBackend> CompileService<B> {
         self.shared.cfg.workers
     }
 
-    /// Submits a request with default options ([`Priority::Interactive`],
-    /// no deadline) and returns immediately with a [`Ticket`].
+    /// Submits a request and returns immediately with a [`Ticket`].
     ///
-    /// Cache hits are answered before this returns (the ticket resolves
-    /// without blocking); misses are queued for the worker pool.
-    pub fn submit(&self, req: B::Request) -> Ticket {
-        self.submit_with(req, SubmitOptions::default())
-    }
-
-    /// Submits a request with explicit priority and deadline; see
-    /// [`SubmitOptions`] and the module docs for the shedding rules.
-    pub fn submit_with(&self, req: B::Request, opts: SubmitOptions) -> Ticket {
+    /// [`Request::new`] defaults to [`Priority::Interactive`], no deadline
+    /// and the anonymous client; use the builder methods to override. Cache
+    /// hits are answered before this returns (the ticket resolves without
+    /// blocking); misses go through fair-share admission and the lock-free
+    /// submission ring to the worker pool.
+    pub fn submit(&self, req: Request<B>) -> Ticket {
+        let Request {
+            payload: req,
+            priority,
+            deadline,
+            client,
+            weight,
+        } = req;
         let submitted = Instant::now();
         let shared = &self.shared;
         shared.counters.submitted.fetch_add(1, Ordering::Relaxed);
@@ -850,6 +975,7 @@ impl<B: ServiceBackend> CompileService<B> {
                             ..RequestTiming::default()
                         },
                     },
+                    client,
                 );
                 return Ticket { rx };
             }
@@ -866,9 +992,7 @@ impl<B: ServiceBackend> CompileService<B> {
                     shared
                         .counters
                         .disk_load_samples_ns
-                        .lock()
-                        .unwrap()
-                        .push(load_started.elapsed().as_nanos() as u64);
+                        .record(load_started.elapsed().as_nanos() as u64);
                     let entry = Arc::new(CacheEntry {
                         buf: module.buf.clone(),
                         stats: module.stats.clone(),
@@ -885,6 +1009,7 @@ impl<B: ServiceBackend> CompileService<B> {
                                 ..RequestTiming::default()
                             },
                         },
+                        client,
                     );
                     return Ticket { rx };
                 }
@@ -911,16 +1036,15 @@ impl<B: ServiceBackend> CompileService<B> {
                         ..RequestTiming::default()
                     },
                 },
+                client,
             );
             return Ticket { rx };
         }
 
         let nfuncs = shared.backend.func_count(&req);
         let shard = shared.cfg.workers > 1 && nfuncs >= shared.cfg.shard_threshold.max(2);
-        let deadline_ns = shared.deadline_ns_from(submitted, opts.deadline);
-        let mut queue = lock(&shared.queue);
-        if queue.closed {
-            drop(queue);
+        let deadline_ns = shared.deadline_ns_from(submitted, deadline);
+        if shared.dispatch.is_closed() {
             shared.finish_request(
                 &tx,
                 ServiceResponse {
@@ -930,34 +1054,46 @@ impl<B: ServiceBackend> CompileService<B> {
                         ..RequestTiming::default()
                     },
                 },
+                client,
             );
             return Ticket { rx };
         }
+
+        // Coalescing, the late cache re-check and admission all run under
+        // the inflight lock: the map is the rendezvous, and holding its
+        // lock across the whole decision means two identical submissions
+        // cannot both miss the map and both insert.
+        let mut inflight = lock(&shared.inflight);
 
         // Coalesce: an identical cacheable request is already queued or
         // compiling — attach to it instead of compiling twice. Attaching
         // costs no worker time, so it bypasses admission control, and it
         // can only *relax* the leader's deadline.
         if let Some(k) = key {
-            if let Some(entry) = queue.inflight_keys.get_mut(&k) {
+            if let Some(entry) = inflight.get_mut(&k) {
                 entry
                     .job
                     .deadline_ns()
                     .fetch_max(deadline_ns, Ordering::Relaxed);
-                entry.waiters.push(Waiter { tx, submitted });
+                entry.waiters.push(Waiter {
+                    tx,
+                    submitted,
+                    client,
+                });
                 shared.counters.coalesced.fetch_add(1, Ordering::Relaxed);
                 return Ticket { rx };
             }
             // An identical in-flight compile may have finished between the
-            // cache lookup above and taking the queue lock (verification
+            // cache lookup above and taking the inflight lock (verification
             // runs in that window). Successful compiles store into the
-            // cache *before* leaving `inflight_keys`, so re-checking the
+            // cache *before* leaving the inflight map, so re-checking the
             // cache here closes the race: a just-finished compile is
             // served as a hit rather than re-admitted as a second compile.
-            // Lock order is queue -> cache; no path acquires them reversed.
+            // Lock order is inflight -> cache; no path acquires them
+            // reversed.
             let late_hit = shared.cache.lock().unwrap().get(k);
             if let Some(entry) = late_hit {
-                drop(queue);
+                drop(inflight);
                 shared.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
                 let module = entry.to_module();
                 shared.finish_request(
@@ -970,6 +1106,7 @@ impl<B: ServiceBackend> CompileService<B> {
                             ..RequestTiming::default()
                         },
                     },
+                    client,
                 );
                 return Ticket { rx };
             }
@@ -977,29 +1114,60 @@ impl<B: ServiceBackend> CompileService<B> {
 
         // Admission control: bound the backlog of unstarted requests and
         // shed the excess explicitly — a rejected ticket resolves
-        // immediately with the observed depth, it never hangs.
-        let depth = shared.counters.queued.load(Ordering::Relaxed);
-        let limit = match opts.priority {
+        // immediately with the observed depth, it never hangs. The bound
+        // is fair-share: each client with a backlog owns an equal slice of
+        // the capacity, so one greedy client exhausts its own slice while
+        // everyone else still gets in. With a single active client the
+        // slice is the whole capacity — identical to the old global bound.
+        let limit = match priority {
             Priority::Bulk if shared.cfg.bulk_queue_capacity > 0 => shared.cfg.bulk_queue_capacity,
             _ => shared.cfg.queue_capacity,
         } as u64;
-        if limit > 0 && depth >= limit {
-            drop(queue);
-            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
-            shared.finish_request(
-                &tx,
-                ServiceResponse {
-                    module: Err(Error::Rejected { queue_depth: depth }),
-                    timing: RequestTiming {
-                        total: submitted.elapsed(),
-                        ..RequestTiming::default()
+        if limit > 0 {
+            let share = (limit / shared.client_backlog.active()).max(1);
+            let reject_depth = if shared.client_backlog.queued(client) >= share {
+                Some(shared.counters.queued.load(Ordering::Relaxed))
+            } else {
+                // Keep the global bound exact under concurrent worker-side
+                // decrements: claim a backlog slot only if one is free.
+                shared
+                    .counters
+                    .queued
+                    .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |d| {
+                        if d >= limit {
+                            None
+                        } else {
+                            Some(d + 1)
+                        }
+                    })
+                    .err()
+            };
+            if let Some(depth) = reject_depth {
+                drop(inflight);
+                shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                shared.finish_request(
+                    &tx,
+                    ServiceResponse {
+                        module: Err(Error::Rejected { queue_depth: depth }),
+                        timing: RequestTiming {
+                            total: submitted.elapsed(),
+                            ..RequestTiming::default()
+                        },
                     },
-                },
-            );
-            return Ticket { rx };
+                    client,
+                );
+                return Ticket { rx };
+            }
+        } else {
+            shared.counters.queued.fetch_add(1, Ordering::Relaxed);
         }
-        shared.counters.queued.fetch_add(1, Ordering::Relaxed);
+        shared.client_backlog.incr(client);
 
+        let meta = JobMeta {
+            client,
+            weight,
+            priority,
+        };
         let job = if shard {
             shared.counters.sharded.fetch_add(1, Ordering::Relaxed);
             Job::Shard(Arc::new(ShardJob::<B> {
@@ -1008,6 +1176,8 @@ impl<B: ServiceBackend> CompileService<B> {
                 nfuncs,
                 next: AtomicUsize::new(0),
                 abort: AtomicBool::new(false),
+                preempt: AtomicBool::new(false),
+                meta,
                 collect: Mutex::new(ShardCollect {
                     shards: Vec::new(),
                     stats: CompileStats::default(),
@@ -1015,6 +1185,7 @@ impl<B: ServiceBackend> CompileService<B> {
                     err: None,
                     active: 0,
                     done: false,
+                    preemptions: 0,
                     tx: Some(tx),
                     started: None,
                 }),
@@ -1026,13 +1197,14 @@ impl<B: ServiceBackend> CompileService<B> {
             Job::Single(Arc::new(SingleJob {
                 req,
                 key,
+                meta,
                 tx: Mutex::new(Some(tx)),
                 submitted,
                 deadline_ns: AtomicU64::new(deadline_ns),
             }))
         };
         if let Some(k) = key {
-            queue.inflight_keys.insert(
+            inflight.insert(
                 k,
                 InflightEntry {
                     job: job.clone(),
@@ -1040,36 +1212,51 @@ impl<B: ServiceBackend> CompileService<B> {
                 },
             );
         }
-        let dq = match opts.priority {
-            Priority::Interactive => &mut queue.interactive,
-            Priority::Bulk => &mut queue.bulk,
-        };
-        if shard {
-            // One copy per worker; every worker that pops one joins the
-            // shared function-index queue.
-            for _ in 0..shared.cfg.workers {
-                dq.push_back(job.clone());
-            }
-        } else {
-            dq.push_back(job);
+        drop(inflight);
+
+        // One copy per worker for shards; every worker that pops one joins
+        // the shared function-index queue.
+        let copies = if shard { shared.cfg.workers } else { 1 };
+        for _ in 0..copies {
+            shared.dispatch.enqueue(job.submission());
         }
-        drop(queue);
-        if shard {
-            shared.cv.notify_all();
-        } else {
-            shared.cv.notify_one();
+        shared.dispatch.wake(copies);
+
+        // Cooperative preemption: an interactive arrival pauses running
+        // bulk shard jobs so its own compile does not sit behind them. The
+        // flag is polled at the per-function probe in the participant
+        // loop; pausing is lossless (the job re-queues and resumes).
+        if priority == Priority::Interactive {
+            for slot in &shared.slots {
+                if let Some(Job::Shard(j)) = &*lock(&slot.active) {
+                    if j.meta.priority == Priority::Bulk {
+                        j.preempt.store(true, Ordering::Relaxed);
+                    }
+                }
+            }
         }
         Ticket { rx }
     }
 
     /// Submits a request and blocks until its response is ready.
-    pub fn compile(&self, req: B::Request) -> ServiceResponse {
+    pub fn compile(&self, req: Request<B>) -> ServiceResponse {
         self.submit(req).wait()
     }
 
-    /// Submits with explicit options and blocks until the response is
-    /// ready.
+    /// Compatibility shim for the pre-[`Request`] two-method API.
+    #[deprecated(note = "build a `Request` and call `submit` instead")]
+    pub fn submit_with(&self, req: B::Request, opts: SubmitOptions) -> Ticket {
+        let mut r = Request::new(req).priority(opts.priority);
+        if let Some(d) = opts.deadline {
+            r = r.deadline(d);
+        }
+        self.submit(r)
+    }
+
+    /// Compatibility shim for the pre-[`Request`] two-method API.
+    #[deprecated(note = "build a `Request` and call `compile` instead")]
     pub fn compile_with(&self, req: B::Request, opts: SubmitOptions) -> ServiceResponse {
+        #[allow(deprecated)]
         self.submit_with(req, opts).wait()
     }
 
@@ -1080,10 +1267,30 @@ impl<B: ServiceBackend> CompileService<B> {
             let cache = self.shared.cache.lock().unwrap();
             (cache.evictions, cache.map.len() as u64)
         };
-        let mut samples = c.latency_samples_ns.lock().unwrap().clone();
+        let mut samples = c.latency_samples_ns.snapshot();
         samples.sort_unstable();
-        let mut disk_samples = c.disk_load_samples_ns.lock().unwrap().clone();
+        let mut disk_samples = c.disk_load_samples_ns.snapshot();
         disk_samples.sort_unstable();
+        let clients = {
+            let map = lock(&self.shared.client_stats);
+            let mut v: Vec<ClientStats> = map
+                .iter()
+                .map(|(&client, rec)| {
+                    let mut w: Vec<u64> = rec.window.iter().copied().collect();
+                    w.sort_unstable();
+                    ClientStats {
+                        client,
+                        completed: rec.completed,
+                        shed: rec.shed,
+                        preemptions: rec.preemptions,
+                        p50_latency: std::time::Duration::from_nanos(percentile(&w, 50)),
+                        p99_latency: std::time::Duration::from_nanos(percentile(&w, 99)),
+                    }
+                })
+                .collect();
+            v.sort_by_key(|c| c.client);
+            v
+        };
         ServiceStats {
             submitted: c.submitted.load(Ordering::Relaxed),
             completed: c.completed.load(Ordering::Relaxed),
@@ -1111,6 +1318,9 @@ impl<B: ServiceBackend> CompileService<B> {
             coalesced: c.coalesced.load(Ordering::Relaxed),
             watchdog_timeouts: c.watchdog_timeouts.load(Ordering::Relaxed),
             workers_respawned: c.workers_respawned.load(Ordering::Relaxed),
+            preemptions: c.preemptions.load(Ordering::Relaxed),
+            ring_fallbacks: self.shared.dispatch.ring_fallbacks(),
+            clients,
             disk_retries: self
                 .shared
                 .disk
@@ -1130,12 +1340,15 @@ impl<B: ServiceBackend> CompileService<B> {
 impl<B: ServiceBackend> Drop for CompileService<B> {
     /// Drains the queue: already-submitted requests (queued or in flight)
     /// are compiled and answered before the worker threads exit.
+    ///
+    /// Shutdown routes through the ring's close protocol: workers keep
+    /// consuming until the ring *and* the fairness scheduler are empty,
+    /// spinning out claimed-but-unpublished slots (they read as
+    /// [`ring::Pop::Pending`], never as empty), so a submission racing
+    /// with drop is either answered by a worker or swept below — never
+    /// silently lost.
     fn drop(&mut self) {
-        {
-            let mut queue = lock(&self.shared.queue);
-            queue.closed = true;
-        }
-        self.shared.cv.notify_all();
+        self.shared.dispatch.close();
         self.shared.shutdown.store(true, Ordering::Relaxed);
         // Join the watchdog first so it cannot condemn (and replace) a
         // worker while we are collecting the slot handles below.
@@ -1151,6 +1364,48 @@ impl<B: ServiceBackend> Drop for CompileService<B> {
             if let Some(t) = handle {
                 let _ = t.join();
             }
+        }
+        // Backstop sweep: with every worker joined, anything still in the
+        // front-end (e.g. a publish delayed past the last worker's exit by
+        // fault injection) is answered with the shutdown error rather than
+        // left to hang its ticket.
+        for job in self.shared.dispatch.drain_remaining() {
+            let (key, tx, submitted, client) = match &job {
+                Job::Single(j) => match lock(&j.tx).take() {
+                    Some(tx) => (j.key, tx, j.submitted, j.meta.client),
+                    None => continue,
+                },
+                Job::Shard(j) => {
+                    let tx = {
+                        let mut c = lock(&j.collect);
+                        // Only the first surviving copy of an unstarted
+                        // shard job answers; the rest are duplicates.
+                        if c.done || c.started.is_some() {
+                            None
+                        } else {
+                            c.done = true;
+                            c.tx.take()
+                        }
+                    };
+                    match tx {
+                        Some(tx) => (j.key, tx, j.submitted, j.meta.client),
+                        None => continue,
+                    }
+                }
+            };
+            self.shared.depart_backlog(client);
+            self.shared.complete(
+                key,
+                tx,
+                Err(Error::Emit(
+                    "compile service shut down before answering".into(),
+                )),
+                RequestTiming {
+                    total: submitted.elapsed(),
+                    ..RequestTiming::default()
+                },
+                client,
+            );
         }
     }
 }
@@ -1189,18 +1444,10 @@ fn worker_main<B: ServiceBackend>(shared: &Arc<Shared<B>>, slot_idx: usize, gene
     let slot = &shared.slots[slot_idx];
     let mut session = CompileSession::new();
     let mut worker = shared.backend.new_worker();
+    shared.dispatch.register(slot_idx);
     loop {
-        let job = {
-            let mut queue = lock(&shared.queue);
-            loop {
-                if let Some(job) = queue.pop() {
-                    break job;
-                }
-                if queue.closed {
-                    return;
-                }
-                queue = shared.cv.wait(queue).unwrap_or_else(|e| e.into_inner());
-            }
+        let Some(job) = shared.dispatch.next(slot_idx) else {
+            return;
         };
         // Publish the job and stamp a heartbeat before starting; the
         // watchdog condemns this slot if the heartbeat goes stale.
@@ -1259,7 +1506,7 @@ fn run_single<B: ServiceBackend>(
     worker: &mut B::Worker,
     session: &mut CompileSession,
 ) -> bool {
-    shared.counters.queued.fetch_sub(1, Ordering::Relaxed);
+    shared.depart_backlog(job.meta.client);
     let started = Instant::now();
     // Deadline enforcement at dequeue: an expired request is answered
     // without paying for the compile.
@@ -1278,6 +1525,7 @@ fn run_single<B: ServiceBackend>(
                     total: job.submitted.elapsed(),
                     ..RequestTiming::default()
                 },
+                job.meta.client,
             );
         }
         return false;
@@ -1314,6 +1562,7 @@ fn run_single<B: ServiceBackend>(
             total: job.submitted.elapsed(),
             ..RequestTiming::default()
         },
+        job.meta.client,
     );
     poisoned
 }
@@ -1332,11 +1581,12 @@ fn run_shard_participant<B: ServiceBackend>(
             return false; // answered already (merged, expired or poisoned)
         }
         if c.started.is_none() {
-            // First participant: the request leaves the admission backlog
+            // First participant (of this round — a paused job passes here
+            // again on resume): the request leaves the admission backlog
             // here. Re-check the deadline before the expensive sharded
             // compile spins up the whole pool.
             c.started = Some(Instant::now());
-            shared.counters.queued.fetch_sub(1, Ordering::Relaxed);
+            shared.depart_backlog(job.meta.client);
             if shared.deadline_passed(&job.deadline_ns) {
                 shared
                     .counters
@@ -1346,6 +1596,7 @@ fn run_shard_participant<B: ServiceBackend>(
                 c.done = true;
                 let tx = c.tx.take();
                 let queued = c.started.map(|s| s - job.submitted).unwrap_or_default();
+                let preemptions = c.preemptions;
                 drop(c);
                 if let Some(tx) = tx {
                     shared.complete(
@@ -1356,8 +1607,10 @@ fn run_shard_participant<B: ServiceBackend>(
                             queued,
                             total: job.submitted.elapsed(),
                             sharded: true,
+                            preemptions,
                             ..RequestTiming::default()
                         },
+                        job.meta.client,
                     );
                 }
                 return false;
@@ -1384,8 +1637,17 @@ fn run_shard_participant<B: ServiceBackend>(
         let mut stats = CompileStats::default();
         let mut timings = PassTimings::new();
         let mut err: Option<(u32, Error)> = None;
+        let mut preempted = false;
         loop {
             if job.abort.load(Ordering::Relaxed) {
+                break;
+            }
+            // Cooperative preemption probe, *before* claiming an index: a
+            // paused participant must not leave behind a claimed-but-
+            // uncompiled function, or the resumed job's merge would have a
+            // hole. Checked at the same cadence as the deadline probe.
+            if job.preempt.load(Ordering::Relaxed) {
+                preempted = true;
                 break;
             }
             let i = job.next.fetch_add(1, Ordering::Relaxed);
@@ -1439,7 +1701,7 @@ fn run_shard_participant<B: ServiceBackend>(
                 }
             }
         }
-        Ok((buf, records, stats, timings, err))
+        Ok((buf, records, stats, timings, err, preempted))
     });
     if poisoned {
         // Backend bug on verified input (see `run_single`); counted before
@@ -1449,7 +1711,7 @@ fn run_shard_participant<B: ServiceBackend>(
             .panics_backend
             .fetch_add(1, Ordering::Relaxed);
     }
-    let (buf, records, stats, timings, err) = outcome.unwrap_or_else(|panic_err| {
+    let (buf, records, stats, timings, err, _preempted) = outcome.unwrap_or_else(|panic_err| {
         job.abort.store(true, Ordering::Relaxed);
         (
             CodeBuffer::new(),
@@ -1459,6 +1721,7 @@ fn run_shard_participant<B: ServiceBackend>(
             // u32::MAX so a real per-function error from another
             // participant takes precedence in the report.
             Some((u32::MAX, panic_err)),
+            false,
         )
     });
 
@@ -1470,11 +1733,39 @@ fn run_shard_participant<B: ServiceBackend>(
             c.err = Some((i, e));
         }
     }
+    // Partial shards from a paused round stay in the rendezvous; the merge
+    // sorts records by function index across *all* shards, so a function
+    // compiled before a pause lands exactly where it would have without
+    // one — byte-identity survives preemption.
     c.shards.push(Shard { buf, records });
     c.active -= 1;
     let drained =
         job.next.load(Ordering::Relaxed) >= job.nfuncs || job.abort.load(Ordering::Relaxed);
-    if c.active != 0 || !drained || c.done {
+    if c.active != 0 || c.done {
+        return poisoned;
+    }
+    if !drained {
+        // Every participant has stopped but functions remain unclaimed:
+        // the job was preempted. The last participant out re-arms the
+        // rendezvous (next round's first participant re-stamps `started`
+        // and re-runs the deadline check), puts the request back into the
+        // admission backlog it will depart again on resume, and re-queues
+        // one copy per worker on the bulk lane.
+        c.preemptions += 1;
+        c.started = None;
+        drop(c);
+        shared.counters.preemptions.fetch_add(1, Ordering::Relaxed);
+        lock(&shared.client_stats)
+            .entry(job.meta.client.0)
+            .or_default()
+            .preemptions += 1;
+        shared.counters.queued.fetch_add(1, Ordering::Relaxed);
+        shared.client_backlog.incr(job.meta.client);
+        job.preempt.store(false, Ordering::Relaxed);
+        let requeued = Job::Shard(Arc::clone(job));
+        for _ in 0..shared.cfg.workers {
+            shared.dispatch.requeue(requeued.submission());
+        }
         return poisoned;
     }
     // Last participant: take everything the merge needs out of the
@@ -1487,6 +1778,7 @@ fn run_shard_participant<B: ServiceBackend>(
     let merged_stats = std::mem::take(&mut c.stats);
     let merged_timings = std::mem::replace(&mut c.timings, PassTimings::new());
     let queued = c.started.map(|s| s - job.submitted).unwrap_or_default();
+    let preemptions = c.preemptions;
     drop(c);
 
     let (result, merge_poisoned) = if let Some((_, e)) = first_err {
@@ -1515,8 +1807,10 @@ fn run_shard_participant<B: ServiceBackend>(
                 queued,
                 total: job.submitted.elapsed(),
                 sharded: true,
+                preemptions,
                 ..RequestTiming::default()
             },
+            job.meta.client,
         );
     }
     poisoned || merge_poisoned
@@ -1608,6 +1902,7 @@ fn poison_job<B: ServiceBackend>(shared: &Shared<B>, job: &Job<B>, hang: Duratio
                         total: j.submitted.elapsed(),
                         ..RequestTiming::default()
                     },
+                    j.meta.client,
                 );
             }
         }
@@ -1632,6 +1927,7 @@ fn poison_job<B: ServiceBackend>(shared: &Shared<B>, job: &Job<B>, hang: Duratio
                         sharded: true,
                         ..RequestTiming::default()
                     },
+                    j.meta.client,
                 );
             }
         }
@@ -1919,11 +2215,11 @@ mod tests {
     fn batched_and_sharded_agree() {
         let module = ByteModule::new((0..40).collect());
         // Batched: threshold above the module size, one worker.
-        let batched = service(1, 100, 0).compile(Arc::clone(&module));
+        let batched = service(1, 100, 0).compile(Request::new(Arc::clone(&module)));
         let batched = batched.module.unwrap();
         // Sharded: threshold below, several workers.
         let svc = service(4, 8, 0);
-        let response = svc.compile(Arc::clone(&module));
+        let response = svc.compile(Request::new(Arc::clone(&module)));
         assert!(response.timing.sharded);
         let sharded = response.module.unwrap();
         crate::codebuf::assert_identical(&batched.buf, &sharded.buf, "service shard vs batch");
@@ -1936,10 +2232,13 @@ mod tests {
         let modules: Vec<_> = (0..12u8)
             .map(|i| ByteModule::new(vec![i; (i as usize % 5) * 10 + 1]))
             .collect();
-        let tickets: Vec<_> = modules.iter().map(|m| svc.submit(Arc::clone(m))).collect();
+        let tickets: Vec<_> = modules
+            .iter()
+            .map(|m| svc.submit(Request::new(Arc::clone(m))))
+            .collect();
         for (m, t) in modules.iter().zip(tickets) {
             let got = t.wait().module.unwrap();
-            let want = svc.compile(Arc::clone(m)); // cache may answer; still identical
+            let want = svc.compile(Request::new(Arc::clone(m))); // cache may answer; still identical
             crate::codebuf::assert_identical(
                 &want.module.unwrap().buf,
                 &got.buf,
@@ -1955,9 +2254,9 @@ mod tests {
     fn cache_hits_are_identical_and_counted() {
         let svc = service(2, 100, 8);
         let module = ByteModule::new(vec![7; 10]);
-        let cold = svc.compile(Arc::clone(&module));
+        let cold = svc.compile(Request::new(Arc::clone(&module)));
         assert!(!cold.timing.cache_hit);
-        let warm = svc.compile(Arc::clone(&module));
+        let warm = svc.compile(Request::new(Arc::clone(&module)));
         assert!(warm.timing.cache_hit);
         crate::codebuf::assert_identical(
             &cold.module.unwrap().buf,
@@ -1966,7 +2265,7 @@ mod tests {
         );
         // A structurally identical but distinct allocation also hits.
         let clone = ByteModule::new(vec![7; 10]);
-        assert!(svc.compile(clone).timing.cache_hit);
+        assert!(svc.compile(Request::new(clone)).timing.cache_hit);
         let stats = svc.stats();
         assert_eq!(stats.cache_hits, 2);
         assert_eq!(stats.cache_misses, 1);
@@ -1979,13 +2278,13 @@ mod tests {
         let a = ByteModule::new(vec![1]);
         let b = ByteModule::new(vec![2]);
         let c = ByteModule::new(vec![3]);
-        svc.compile(Arc::clone(&a));
-        svc.compile(Arc::clone(&b));
-        svc.compile(Arc::clone(&a)); // refresh a; b is now LRU
-        svc.compile(Arc::clone(&c)); // evicts b
-        assert!(svc.compile(Arc::clone(&a)).timing.cache_hit);
-        assert!(svc.compile(Arc::clone(&c)).timing.cache_hit);
-        assert!(!svc.compile(Arc::clone(&b)).timing.cache_hit);
+        svc.compile(Request::new(Arc::clone(&a)));
+        svc.compile(Request::new(Arc::clone(&b)));
+        svc.compile(Request::new(Arc::clone(&a))); // refresh a; b is now LRU
+        svc.compile(Request::new(Arc::clone(&c))); // evicts b
+        assert!(svc.compile(Request::new(Arc::clone(&a))).timing.cache_hit);
+        assert!(svc.compile(Request::new(Arc::clone(&c))).timing.cache_hit);
+        assert!(!svc.compile(Request::new(Arc::clone(&b))).timing.cache_hit);
         assert!(svc.stats().evictions >= 1);
     }
 
@@ -1996,8 +2295,14 @@ mod tests {
         let large = ByteModule::new((0..40).collect()); // sharded at threshold 16
         let (small_ref, large_ref) = {
             let svc = disk_service(2, 8, &dir);
-            let a = svc.compile(Arc::clone(&small)).module.unwrap();
-            let b = svc.compile(Arc::clone(&large)).module.unwrap();
+            let a = svc
+                .compile(Request::new(Arc::clone(&small)))
+                .module
+                .unwrap();
+            let b = svc
+                .compile(Request::new(Arc::clone(&large)))
+                .module
+                .unwrap();
             let stats = svc.stats();
             assert_eq!(stats.disk_hits, 0);
             assert_eq!(stats.disk_misses, 2);
@@ -2006,7 +2311,7 @@ mod tests {
         }; // drop = simulated process exit; artifacts persist on disk
         let svc = disk_service(2, 8, &dir);
         for (module, reference) in [(&small, &small_ref), (&large, &large_ref)] {
-            let r = svc.compile(Arc::clone(module));
+            let r = svc.compile(Request::new(Arc::clone(module)));
             assert!(r.timing.disk_hit, "restart must answer from disk");
             assert!(!r.timing.cache_hit && !r.timing.sharded);
             let got = r.module.unwrap();
@@ -2028,11 +2333,15 @@ mod tests {
     fn disk_hit_promotes_into_memory_cache() {
         let dir = temp_dir("promote");
         let module = ByteModule::new(vec![9; 6]);
-        drop(disk_service(1, 8, &dir).compile(Arc::clone(&module)));
+        drop(disk_service(1, 8, &dir).compile(Request::new(Arc::clone(&module))));
         let svc = disk_service(1, 8, &dir);
-        assert!(svc.compile(Arc::clone(&module)).timing.disk_hit);
+        assert!(
+            svc.compile(Request::new(Arc::clone(&module)))
+                .timing
+                .disk_hit
+        );
         // The disk hit warmed the in-memory cache; the repeat stays in RAM.
-        let again = svc.compile(Arc::clone(&module));
+        let again = svc.compile(Request::new(Arc::clone(&module)));
         assert!(again.timing.cache_hit && !again.timing.disk_hit);
         assert_eq!(svc.stats().disk_hits, 1);
         drop(svc);
@@ -2045,10 +2354,15 @@ mod tests {
         let module = ByteModule::new(vec![5; 10]);
         let writer = disk_service(1, 8, &dir);
         let reader = disk_service(1, 8, &dir);
-        assert!(!writer.compile(Arc::clone(&module)).timing.disk_hit);
+        assert!(
+            !writer
+                .compile(Request::new(Arc::clone(&module)))
+                .timing
+                .disk_hit
+        );
         // The second service instance (stands in for a second process —
         // same directory, nothing shared in memory) hits the artifact.
-        let r = reader.compile(Arc::clone(&module));
+        let r = reader.compile(Request::new(Arc::clone(&module)));
         assert!(r.timing.disk_hit);
         r.module.unwrap().validate().unwrap();
         drop(reader);
@@ -2065,11 +2379,11 @@ mod tests {
             panic_at: None,
             delay: Duration::ZERO,
         });
-        let r = svc.compile(Arc::clone(&bad));
+        let r = svc.compile(Request::new(Arc::clone(&bad)));
         assert!(matches!(r.module.unwrap_err(), Error::Unsupported(_)));
         // The pool keeps serving after a failed module.
         let good = ByteModule::new((0..16).collect());
-        assert!(svc.compile(good).module.is_ok());
+        assert!(svc.compile(Request::new(good)).module.is_ok());
     }
 
     #[test]
@@ -2084,11 +2398,14 @@ mod tests {
                 panic_at: Some(7),
                 delay: Duration::ZERO,
             });
-            let r = svc.compile(Arc::clone(&bad));
+            let r = svc.compile(Request::new(Arc::clone(&bad)));
             let err = format!("{}", r.module.unwrap_err());
             assert!(err.contains("panicked"), "unexpected error: {err}");
             let good = ByteModule::new((0..16).collect());
-            assert!(svc.compile(good).module.is_ok(), "pool died after panic");
+            assert!(
+                svc.compile(Request::new(good)).module.is_ok(),
+                "pool died after panic"
+            );
             // The contained panic is classified as a backend bug, not as
             // invalid input (the request passed verification).
             let stats = svc.stats();
@@ -2101,7 +2418,7 @@ mod tests {
     fn invalid_ir_is_rejected_at_admission() {
         let svc = service(2, 100, 8);
         let bad = ByteModule::new(vec![1, 0xFF, 3]);
-        let r = svc.compile(Arc::clone(&bad));
+        let r = svc.compile(Request::new(Arc::clone(&bad)));
         match r.module {
             Err(Error::InvalidIr(what)) => assert!(what.contains("f1"), "got: {what}"),
             other => panic!("expected InvalidIr, got {other:?}"),
@@ -2115,11 +2432,14 @@ mod tests {
         assert_eq!(stats.rejected, 0, "InvalidIr must not count as shed");
         // Invalid modules never enter the cache: resubmission is rejected
         // again rather than served.
-        let r2 = svc.compile(bad);
+        let r2 = svc.compile(Request::new(bad));
         assert!(matches!(r2.module, Err(Error::InvalidIr(_))));
         assert_eq!(svc.stats().rejected_invalid, 2);
         // The pool still serves valid requests.
-        assert!(svc.compile(ByteModule::new(vec![1, 2])).module.is_ok());
+        assert!(svc
+            .compile(Request::new(ByteModule::new(vec![1, 2])))
+            .module
+            .is_ok());
     }
 
     #[test]
@@ -2128,10 +2448,14 @@ mod tests {
         // resolve without waiting out a timeout — even while every worker
         // is busy with a slow compile.
         let svc = service(1, 100, 0);
-        let slow = svc.submit(ByteModule::slow(vec![1; 4], Duration::from_millis(80)));
+        let slow = svc.submit(Request::new(ByteModule::slow(
+            vec![1; 4],
+            Duration::from_millis(80),
+        )));
         let started = Instant::now();
-        let bad = svc.submit(ByteModule::new(vec![0xFF]));
+        let bad = svc.submit(Request::new(ByteModule::new(vec![0xFF])));
         let r = bad
+            .by_ref()
             .wait_timeout(Duration::from_secs(10))
             .expect("invalid-IR ticket must already be resolved");
         assert!(matches!(r.module, Err(Error::InvalidIr(_))));
@@ -2147,7 +2471,10 @@ mod tests {
     fn drop_drains_in_flight_requests() {
         let svc = service(2, 8, 0);
         let modules: Vec<_> = (0..8u8).map(|i| ByteModule::new(vec![i; 30])).collect();
-        let tickets: Vec<_> = modules.iter().map(|m| svc.submit(Arc::clone(m))).collect();
+        let tickets: Vec<_> = modules
+            .iter()
+            .map(|m| svc.submit(Request::new(Arc::clone(m))))
+            .collect();
         drop(svc); // must drain, not abandon
         for t in tickets {
             assert!(t.wait().module.is_ok(), "request dropped at teardown");
@@ -2158,7 +2485,7 @@ mod tests {
     fn latency_percentiles_are_populated() {
         let svc = service(2, 8, 0);
         for i in 0..8u8 {
-            svc.compile(ByteModule::new(vec![i; 4]));
+            svc.compile(Request::new(ByteModule::new(vec![i; 4])));
         }
         let stats = svc.stats();
         assert!(stats.p50_latency <= stats.p99_latency);
@@ -2250,7 +2577,7 @@ mod tests {
     /// Occupies the single worker with a slow module and gives the worker
     /// time to dequeue it, so follow-up submissions sit in the backlog.
     fn occupy_worker(svc: &CompileService<ByteBackend>, delay: Duration) -> Ticket {
-        let t = svc.submit(ByteModule::slow(vec![0xEE], delay));
+        let t = svc.submit(Request::new(ByteModule::slow(vec![0xEE], delay)));
         std::thread::sleep(Duration::from_millis(20));
         t
     }
@@ -2266,9 +2593,9 @@ mod tests {
         });
         let blocker = occupy_worker(&svc, Duration::from_millis(80));
         // Two distinct requests fill the backlog; the third is shed.
-        let b = svc.submit(ByteModule::new(vec![1]));
-        let c = svc.submit(ByteModule::new(vec![2]));
-        let d = svc.submit(ByteModule::new(vec![3]));
+        let b = svc.submit(Request::new(ByteModule::new(vec![1])));
+        let c = svc.submit(Request::new(ByteModule::new(vec![2])));
+        let d = svc.submit(Request::new(ByteModule::new(vec![3])));
         let err = d.wait().module.unwrap_err();
         assert_eq!(err, Error::Rejected { queue_depth: 2 });
         assert!(err.is_shed());
@@ -2293,9 +2620,9 @@ mod tests {
             ..ServiceConfig::default()
         });
         let blocker = occupy_worker(&svc, Duration::from_millis(80));
-        let b = svc.submit(ByteModule::new(vec![1])); // backlog depth 1
-        let c = svc.submit_with(ByteModule::new(vec![2]), SubmitOptions::bulk());
-        let d = svc.submit(ByteModule::new(vec![3])); // interactive still fits
+        let b = svc.submit(Request::new(ByteModule::new(vec![1]))); // backlog depth 1
+        let c = svc.submit(Request::new(ByteModule::new(vec![2])).priority(Priority::Bulk));
+        let d = svc.submit(Request::new(ByteModule::new(vec![3]))); // interactive still fits
         assert!(matches!(
             c.wait().module.unwrap_err(),
             Error::Rejected { .. }
@@ -2315,11 +2642,14 @@ mod tests {
             ..ServiceConfig::default()
         });
         let blocker = occupy_worker(&svc, Duration::from_millis(80));
-        let bulk = svc.submit_with(
-            ByteModule::slow(vec![1], Duration::from_millis(30)),
-            SubmitOptions::bulk(),
+        let bulk = svc.submit(
+            Request::new(ByteModule::slow(vec![1], Duration::from_millis(30)))
+                .priority(Priority::Bulk),
         );
-        let inter = svc.submit(ByteModule::slow(vec![2], Duration::from_millis(30)));
+        let inter = svc.submit(Request::new(ByteModule::slow(
+            vec![2],
+            Duration::from_millis(30),
+        )));
         let rb = bulk.wait();
         let ri = inter.wait();
         assert!(blocker.wait().module.is_ok());
@@ -2343,15 +2673,16 @@ mod tests {
             ..ServiceConfig::default()
         });
         let blocker = occupy_worker(&svc, Duration::from_millis(80));
-        let t = svc.submit_with(
-            ByteModule::new(vec![1]),
-            SubmitOptions::interactive().with_deadline(Duration::from_millis(10)),
-        );
+        let t =
+            svc.submit(Request::new(ByteModule::new(vec![1])).deadline(Duration::from_millis(10)));
         let r = t.wait();
         assert_eq!(r.module.unwrap_err(), Error::DeadlineExceeded);
         assert!(blocker.wait().module.is_ok());
         // The pool still serves fresh requests afterwards.
-        assert!(svc.compile(ByteModule::new(vec![2])).module.is_ok());
+        assert!(svc
+            .compile(Request::new(ByteModule::new(vec![2])))
+            .module
+            .is_ok());
         let stats = svc.stats();
         assert_eq!(stats.deadline_expired, 1);
         assert_eq!(stats.shed(), 1);
@@ -2368,14 +2699,14 @@ mod tests {
         // 12 functions x 10 ms across 2 workers: the 20 ms budget expires
         // mid-sweep, at a function boundary.
         let m = ByteModule::slow((0..12).collect(), Duration::from_millis(10));
-        let r = svc.compile_with(
-            m,
-            SubmitOptions::interactive().with_deadline(Duration::from_millis(20)),
-        );
+        let r = svc.compile(Request::new(m).deadline(Duration::from_millis(20)));
         assert_eq!(r.module.unwrap_err(), Error::DeadlineExceeded);
         assert!(r.timing.sharded);
         assert_eq!(svc.stats().deadline_expired, 1);
-        assert!(svc.compile(ByteModule::new(vec![7])).module.is_ok());
+        assert!(svc
+            .compile(Request::new(ByteModule::new(vec![7])))
+            .module
+            .is_ok());
     }
 
     #[test]
@@ -2387,9 +2718,9 @@ mod tests {
             ..ServiceConfig::default()
         });
         let m = ByteModule::slow(vec![5; 4], Duration::from_millis(20));
-        let t1 = svc.submit(Arc::clone(&m));
-        let t2 = svc.submit(Arc::clone(&m));
-        let t3 = svc.submit(Arc::clone(&m));
+        let t1 = svc.submit(Request::new(Arc::clone(&m)));
+        let t2 = svc.submit(Request::new(Arc::clone(&m)));
+        let t3 = svc.submit(Request::new(Arc::clone(&m)));
         let r1 = t1.wait();
         let r2 = t2.wait();
         let r3 = t3.wait();
@@ -2414,12 +2745,21 @@ mod tests {
             cache_capacity: 0,
             ..ServiceConfig::default()
         });
-        let t = svc.submit(ByteModule::slow(vec![1], Duration::from_millis(60)));
-        assert!(t.wait_timeout(Duration::from_millis(5)).is_none());
+        let t = svc.submit(Request::new(ByteModule::slow(
+            vec![1],
+            Duration::from_millis(60),
+        )));
+        assert!(t.by_ref().poll().is_none());
+        assert!(t.by_ref().wait_timeout(Duration::from_millis(5)).is_none());
         let r = t
+            .by_ref()
             .wait_timeout(Duration::from_secs(30))
             .expect("response after the compile finishes");
         assert!(r.module.is_ok());
+        // The consuming wait still works after non-consuming polls: the
+        // response was taken above, so a second wait reports shutdown-style
+        // closure rather than hanging.
+        assert!(t.wait().module.is_err());
     }
 
     #[test]
@@ -2434,7 +2774,10 @@ mod tests {
         // A single-function compile sleeping far past the hang threshold:
         // the heartbeat (stamped once, at job start) goes stale and the
         // watchdog condemns the worker instead of letting the ticket hang.
-        let hung = svc.compile(ByteModule::slow(vec![1], Duration::from_millis(250)));
+        let hung = svc.compile(Request::new(ByteModule::slow(
+            vec![1],
+            Duration::from_millis(250),
+        )));
         let err = hung.module.unwrap_err();
         assert!(
             matches!(&err, Error::Timeout(msg) if msg.contains("hung")),
@@ -2446,7 +2789,7 @@ mod tests {
         assert!(stats.workers_respawned >= 1);
         // The respawned worker (fresh warm state) keeps serving, and the
         // condemned thread's late result was discarded, not cached.
-        let good = svc.compile(ByteModule::new(vec![2; 6]));
+        let good = svc.compile(Request::new(ByteModule::new(vec![2; 6])));
         assert!(good.module.is_ok());
         assert!(!good.timing.cache_hit);
     }
@@ -2461,11 +2804,139 @@ mod tests {
             ..ServiceConfig::default()
         });
         let m = ByteModule::slow(vec![3], Duration::from_millis(250));
-        let t1 = svc.submit(Arc::clone(&m));
-        let t2 = svc.submit(Arc::clone(&m));
+        let t1 = svc.submit(Request::new(Arc::clone(&m)));
+        let t2 = svc.submit(Request::new(Arc::clone(&m)));
         for t in [t1, t2] {
             assert!(matches!(t.wait().module.unwrap_err(), Error::Timeout(_)));
         }
         assert_eq!(svc.stats().coalesced, 1);
+    }
+
+    #[test]
+    fn admission_share_is_split_across_active_clients() {
+        let svc = front_service(ServiceConfig {
+            workers: 1,
+            shard_threshold: 100,
+            cache_capacity: 0,
+            queue_capacity: 4,
+            ..ServiceConfig::default()
+        });
+        let a = ClientId(1);
+        let b = ClientId(2);
+        let blocker = occupy_worker(&svc, Duration::from_millis(120));
+        // B enters the backlog first, so when A's submissions arrive there
+        // are two active clients and A's fair share is queue_capacity/2 = 2.
+        let b1 = svc.submit(Request::new(ByteModule::new(vec![10])).client(b));
+        let a1 = svc.submit(Request::new(ByteModule::new(vec![11])).client(a));
+        let a2 = svc.submit(Request::new(ByteModule::new(vec![12])).client(a));
+        let a3 = svc.submit(Request::new(ByteModule::new(vec![13])).client(a));
+        // The global queue (depth 3) still has room, so only the per-client
+        // share can explain the rejection.
+        let err = a3.wait().module.unwrap_err();
+        assert!(matches!(err, Error::Rejected { .. }), "unexpected: {err}");
+        assert!(err.is_shed());
+        // B is under its own share and is still admitted.
+        let b2 = svc.submit(Request::new(ByteModule::new(vec![14])).client(b));
+        for t in [blocker, b1, a1, a2, b2] {
+            assert!(t.wait().module.is_ok());
+        }
+        let stats = svc.stats();
+        assert_eq!(stats.rejected, 1);
+        let of = |id: u64| stats.clients.iter().find(|c| c.client == id).unwrap();
+        assert_eq!(of(1).completed, 2);
+        assert_eq!(of(1).shed, 1);
+        assert_eq!(of(2).completed, 2);
+        assert_eq!(of(2).shed, 0);
+        assert!(of(2).p99_latency >= of(2).p50_latency);
+    }
+
+    #[test]
+    fn interactive_preempts_inflight_bulk_shard_and_resumes_identically() {
+        let svc = front_service(ServiceConfig {
+            workers: 2,
+            shard_threshold: 4,
+            cache_capacity: 0,
+            ..ServiceConfig::default()
+        });
+        let bulk_mod = ByteModule::slow((0..12).collect(), Duration::from_millis(15));
+        let bulk = svc.submit(
+            Request::new(Arc::clone(&bulk_mod))
+                .priority(Priority::Bulk)
+                .client(ClientId(7)),
+        );
+        // Let both workers sink into the shard sweep (12 funcs x 15 ms over
+        // 2 workers = ~90 ms), then submit an interactive request: the sweep
+        // must pause at a function boundary, serve it, and resume.
+        std::thread::sleep(Duration::from_millis(40));
+        let inter = svc.compile(Request::new(ByteModule::new(vec![0xAB])).client(ClientId(8)));
+        assert!(inter.module.is_ok());
+        let rb = bulk.wait();
+        assert!(rb.timing.sharded);
+        assert!(rb.timing.preemptions >= 1, "bulk shard was never paused");
+        // The paused-and-resumed output is byte-identical to an undisturbed
+        // single-worker compile of the same module.
+        let reference = service(1, 100, 0).compile(Request::new(Arc::clone(&bulk_mod)));
+        crate::codebuf::assert_identical(
+            &reference.module.unwrap().buf,
+            &rb.module.unwrap().buf,
+            "preempted shard",
+        );
+        let stats = svc.stats();
+        assert!(stats.preemptions >= 1);
+        let c7 = stats.clients.iter().find(|c| c.client == 7).unwrap();
+        assert!(c7.preemptions >= 1);
+        assert_eq!(c7.completed, 1);
+    }
+
+    #[test]
+    fn condvar_wakeup_mode_serves_identically() {
+        let ring = service(2, 4, 0);
+        let cv = front_service(ServiceConfig {
+            workers: 2,
+            shard_threshold: 4,
+            cache_capacity: 0,
+            wakeup: WakeupMode::Condvar,
+            ..ServiceConfig::default()
+        });
+        for len in [1u8, 3, 20] {
+            let m = ByteModule::new((0..len).collect());
+            let a = ring.compile(Request::new(Arc::clone(&m))).module.unwrap();
+            let b = cv.compile(Request::new(Arc::clone(&m))).module.unwrap();
+            crate::codebuf::assert_identical(&a.buf, &b.buf, "condvar vs ring");
+        }
+        let stats = cv.stats();
+        assert_eq!(stats.completed, 3);
+        assert_eq!(
+            stats.ring_fallbacks, 0,
+            "condvar mode never touches the ring"
+        );
+    }
+
+    /// Pins the deprecated pre-`Request` surface: the shims must keep the
+    /// exact old semantics (priority + deadline via [`SubmitOptions`]) until
+    /// they are removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_option_shims_match_the_request_builder() {
+        let svc = service(1, 100, 0);
+        let m = ByteModule::new(vec![1, 2, 3]);
+        let via_request = svc
+            .compile(Request::new(Arc::clone(&m)).priority(Priority::Bulk))
+            .module
+            .unwrap();
+        let via_shim = svc.compile_with(Arc::clone(&m), SubmitOptions::bulk());
+        crate::codebuf::assert_identical(
+            &via_request.buf,
+            &via_shim.module.unwrap().buf,
+            "shim vs builder",
+        );
+        let t = svc.submit_with(Arc::clone(&m), SubmitOptions::interactive());
+        assert!(t.wait().module.is_ok());
+        // An already-expired deadline still sheds through the shim.
+        let late = svc.submit_with(
+            ByteModule::slow(vec![9], Duration::from_millis(30)).clone(),
+            SubmitOptions::bulk().with_deadline(Duration::ZERO),
+        );
+        assert!(late.wait().module.unwrap_err().is_shed());
     }
 }

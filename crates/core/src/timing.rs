@@ -1,6 +1,9 @@
 //! Lightweight per-pass timing used to reproduce the paper's Figure 6
-//! (time distribution between preparation, analysis and code generation).
+//! (time distribution between preparation, analysis and code generation),
+//! plus the service-side statistics types ([`ServiceStats`],
+//! [`ClientStats`]) and the lock-free [`Reservoir`] sampler backing them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Compilation phases the framework distinguishes for timing purposes.
@@ -114,6 +117,10 @@ pub struct RequestTiming {
     /// in-flight request (this request never occupied a worker; it shares
     /// the leader's compile byte for byte).
     pub coalesced: bool,
+    /// How many times a sharded bulk compile of this request was paused by
+    /// an interactive arrival and requeued before completing (zero for
+    /// batched, interactive or never-preempted requests).
+    pub preemptions: u32,
 }
 
 /// Aggregate request-level statistics of a
@@ -185,6 +192,38 @@ pub struct ServiceStats {
     /// Transient disk cache I/O errors absorbed by retrying (`EINTR`-like;
     /// each retry would previously have been treated as corruption).
     pub disk_retries: u64,
+    /// Times a running bulk shard job was cooperatively paused (and
+    /// requeued) so an interactive arrival could take its workers.
+    pub preemptions: u64,
+    /// Ring pushes that found the submission ring full (or were forced by
+    /// fault injection) and fell back to the mutex-guarded scheduler path.
+    pub ring_fallbacks: u64,
+    /// Per-client request statistics, one entry per [`crate::ClientId`]
+    /// observed on a completed (or shed) request, in ascending client-id
+    /// order. Tracked at completion time, so a client with only in-flight
+    /// requests has no entry yet.
+    pub clients: Vec<ClientStats>,
+}
+
+/// Per-client aggregate statistics, reported by
+/// [`ServiceStats::clients`]. All counters are completion-side: a request
+/// is attributed to its client when its ticket resolves.
+#[derive(Clone, Debug, Default)]
+pub struct ClientStats {
+    /// The client these counters belong to (raw [`crate::ClientId`] value).
+    pub client: u64,
+    /// Requests answered successfully (compiled, cached or coalesced).
+    pub completed: u64,
+    /// Requests answered with an error (shed, invalid, failed, timed out).
+    pub shed: u64,
+    /// Times a bulk shard job from this client was cooperatively paused.
+    pub preemptions: u64,
+    /// Median submission-to-response latency over this client's recent
+    /// completions (sliding window).
+    pub p50_latency: Duration,
+    /// Nearest-rank p99 submission-to-response latency over this client's
+    /// recent completions (sliding window).
+    pub p99_latency: Duration,
 }
 
 impl ServiceStats {
@@ -225,6 +264,84 @@ impl ServiceStats {
         } else {
             self.total_latency / self.completed as u32
         }
+    }
+}
+
+/// A fixed-size lock-free reservoir sampler over `u64` observations.
+///
+/// The first `capacity` observations are stored verbatim; after that each
+/// observation `i` replaces a uniformly chosen earlier sample with
+/// probability `capacity / (i + 1)` (classic Algorithm R), using a
+/// deterministic SplitMix64 hash of the observation index as the random
+/// source so replays are reproducible. Recording is a `fetch_add` plus at
+/// most one relaxed store — no lock, no allocation — so writers on the
+/// service hot path never contend with [`Reservoir::snapshot`] readers.
+///
+/// Concurrent writers can interleave on the same slot; the loser's sample
+/// is dropped. That bias is bounded by the write rate and acceptable for
+/// the percentile estimates this feeds.
+#[derive(Debug)]
+pub struct Reservoir {
+    count: AtomicU64,
+    slots: Box<[AtomicU64]>,
+}
+
+/// SplitMix64 finalizer: a cheap, well-distributed hash of a counter.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+impl Default for Reservoir {
+    /// A reservoir with the service's default sample capacity (512).
+    fn default() -> Reservoir {
+        Reservoir::new(512)
+    }
+}
+
+impl Reservoir {
+    /// Creates an empty reservoir holding at most `capacity` samples.
+    pub fn new(capacity: usize) -> Reservoir {
+        Reservoir {
+            count: AtomicU64::new(0),
+            slots: (0..capacity.max(1)).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&self, value: u64) {
+        let i = self.count.fetch_add(1, Ordering::Relaxed);
+        let n = self.slots.len() as u64;
+        if i < n {
+            self.slots[i as usize].store(value, Ordering::Relaxed);
+        } else {
+            let j = splitmix64(i) % (i + 1);
+            if j < n {
+                self.slots[j as usize].store(value, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total observations recorded (not capped at capacity).
+    pub fn len(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copies the currently held samples out (at most `capacity` values,
+    /// unsorted). Never blocks a concurrent writer.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let filled = (self.count.load(Ordering::Relaxed) as usize).min(self.slots.len());
+        self.slots[..filled]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
     }
 }
 
@@ -293,5 +410,64 @@ mod tests {
     fn empty_fraction_is_zero() {
         let t = PassTimings::new();
         assert_eq!(t.fraction(Phase::CodeGen), 0.0);
+    }
+
+    #[test]
+    fn reservoir_below_capacity_keeps_everything() {
+        let r = Reservoir::new(8);
+        for v in 1..=5u64 {
+            r.record(v * 10);
+        }
+        let mut s = r.snapshot();
+        s.sort_unstable();
+        assert_eq!(s, [10, 20, 30, 40, 50]);
+        assert_eq!(r.len(), 5);
+    }
+
+    #[test]
+    fn reservoir_over_capacity_stays_bounded_and_samples_the_stream() {
+        let r = Reservoir::new(16);
+        for v in 0..10_000u64 {
+            r.record(v);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.len(), 16);
+        assert_eq!(r.len(), 10_000);
+        // Algorithm R keeps a sample spread across the whole stream, not
+        // just the head: with 16 slots over 10k observations, at least one
+        // survivor should come from the later half.
+        assert!(s.iter().any(|&v| v >= 5_000), "{s:?}");
+    }
+
+    #[test]
+    fn reservoir_is_deterministic() {
+        let a = Reservoir::new(8);
+        let b = Reservoir::new(8);
+        for v in 0..1000u64 {
+            a.record(v);
+            b.record(v);
+        }
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn reservoir_concurrent_writers_never_lose_the_structure() {
+        use std::sync::Arc;
+        let r = Arc::new(Reservoir::new(32));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let r = Arc::clone(&r);
+                std::thread::spawn(move || {
+                    for v in 0..1000u64 {
+                        r.record(t * 10_000 + v);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(r.len(), 4000);
+        assert_eq!(r.snapshot().len(), 32);
     }
 }

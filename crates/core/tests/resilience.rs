@@ -17,7 +17,7 @@ use tpde_core::codegen::{CompileSession, CompileStats, CompiledModule};
 use tpde_core::diskcache::{DiskCache, DiskCacheConfig};
 use tpde_core::error::{Error, Result};
 use tpde_core::faultpoint::{arm, sites, FaultAction, FaultRule};
-use tpde_core::service::{CompileService, Fnv1a, ServiceBackend, ServiceConfig};
+use tpde_core::service::{CompileService, Fnv1a, Request, ServiceBackend, ServiceConfig};
 use tpde_core::timing::PassTimings;
 
 // --------------------------------------------------------------------------
@@ -304,13 +304,13 @@ fn injected_merge_panic_answers_the_ticket_and_the_pool_recovers() {
         ..ServiceConfig::default()
     });
     let m = toy((0..16).collect());
-    let r = svc.compile(Arc::clone(&m));
+    let r = svc.compile(Request::new(Arc::clone(&m)));
     let err = format!("{}", r.module.unwrap_err());
     assert!(err.contains("panicked"), "unexpected error: {err}");
     // The panic fired at the merge, past the per-shard catch regions: the
     // ticket still resolved, the collect mutex is unpoisoned, and the same
     // request now compiles correctly (the limit-1 rule is spent).
-    let again = svc.compile(Arc::clone(&m)).module.unwrap();
+    let again = svc.compile(Request::new(Arc::clone(&m))).module.unwrap();
     let reference = ToyBackend
         .compile_module(&m, &mut (), &mut CompileSession::new())
         .unwrap();
@@ -329,12 +329,17 @@ fn injected_shard_panic_at_chosen_function_is_contained() {
         ..ServiceConfig::default()
     });
     let m = toy((0..16).collect());
-    let err = format!("{}", svc.compile(Arc::clone(&m)).module.unwrap_err());
+    let err = format!(
+        "{}",
+        svc.compile(Request::new(Arc::clone(&m)))
+            .module
+            .unwrap_err()
+    );
     assert!(
         err.contains("panicked") && err.contains("service.func"),
         "unexpected error: {err}"
     );
-    let again = svc.compile(Arc::clone(&m)).module.unwrap();
+    let again = svc.compile(Request::new(Arc::clone(&m))).module.unwrap();
     let reference = ToyBackend
         .compile_module(&m, &mut (), &mut CompileSession::new())
         .unwrap();
@@ -361,11 +366,140 @@ fn injected_hang_is_condemned_by_the_watchdog() {
         hang_timeout: Some(Duration::from_millis(40)),
         ..ServiceConfig::default()
     });
-    let r = svc.compile(toy(vec![1, 2, 3]));
+    let r = svc.compile(Request::new(toy(vec![1, 2, 3])));
     assert!(matches!(r.module.unwrap_err(), Error::Timeout(_)));
     let stats = svc.stats();
     assert!(stats.watchdog_timeouts >= 1);
     assert!(stats.workers_respawned >= 1);
     // The respawned worker serves the next request normally.
-    assert!(svc.compile(toy(vec![4, 5, 6])).module.is_ok());
+    assert!(svc.compile(Request::new(toy(vec![4, 5, 6]))).module.is_ok());
+}
+
+// --------------------------------------------------------------------------
+// Submission ring under injected faults
+// --------------------------------------------------------------------------
+
+/// Shutdown under load with delayed ring publishes: `Drop` must drain the
+/// ring — including slots claimed but not yet published at close time — and
+/// answer every outstanding ticket instead of leaving waiters hung.
+#[test]
+fn drop_under_load_with_delayed_publishes_loses_no_ticket() {
+    let _g = arm(vec![
+        // Stretch the claim→publish window on every other push so shutdown
+        // races against slots that are claimed but not yet visible.
+        FaultRule::new(
+            sites::RING_PUBLISH,
+            FaultAction::Delay(Duration::from_micros(300)),
+        )
+        .every(2),
+        // Slow each compile enough that a deep backlog survives to Drop.
+        FaultRule::new(
+            sites::WORKER_JOB,
+            FaultAction::Delay(Duration::from_millis(10)),
+        ),
+    ]);
+    let svc = Arc::new(toy_service(ServiceConfig {
+        workers: 2,
+        shard_threshold: 100,
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    }));
+    const THREADS: usize = 4;
+    const PER_THREAD: usize = 8;
+    let (tx, rx) = std::sync::mpsc::channel();
+    for t in 0..THREADS {
+        let svc = Arc::clone(&svc);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            for i in 0..PER_THREAD {
+                // Payload unique per (thread, index): no two submissions
+                // coalesce, so the ring sees the full load.
+                let m = toy(vec![t as u8, i as u8, 0x5A]);
+                let ticket = svc.submit(Request::new(Arc::clone(&m)));
+                tx.send((m, ticket)).unwrap();
+            }
+            // Dropping this clone last runs the service's Drop while the
+            // backlog is still deep.
+            drop(svc);
+        });
+    }
+    drop(tx);
+    drop(svc);
+    let mut answered = 0usize;
+    for (m, t) in rx {
+        let r = t
+            .by_ref()
+            .wait_timeout(Duration::from_secs(30))
+            .expect("ticket lost across shutdown");
+        match r.module {
+            Ok(got) => {
+                let reference = ToyBackend
+                    .compile_module(&m, &mut (), &mut CompileSession::new())
+                    .unwrap();
+                assert_identical(&reference.buf, &got.buf, "drained under faults");
+            }
+            // A request cut off by shutdown must say so explicitly.
+            Err(e) => assert!(
+                format!("{e}").contains("shut down"),
+                "unexpected error class: {e}"
+            ),
+        }
+        answered += 1;
+    }
+    assert_eq!(answered, THREADS * PER_THREAD);
+}
+
+/// A full (or fault-failed) ring push must spill to the fallback mutex
+/// queue, not drop the request: every compile still completes identically
+/// and the spills are visible in the stats.
+#[test]
+fn ring_full_spills_to_fallback_queue() {
+    let _g = arm(vec![FaultRule::new(sites::RING_FULL, FaultAction::Fail)]);
+    let svc = toy_service(ServiceConfig {
+        workers: 2,
+        shard_threshold: 100,
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    for i in 0..8u8 {
+        let m = toy(vec![i, i.wrapping_add(1)]);
+        let got = svc.compile(Request::new(Arc::clone(&m))).module.unwrap();
+        let reference = ToyBackend
+            .compile_module(&m, &mut (), &mut CompileSession::new())
+            .unwrap();
+        assert_identical(&reference.buf, &got.buf, "spilled submission");
+    }
+    let stats = svc.stats();
+    assert_eq!(stats.completed, 8);
+    assert!(
+        stats.ring_fallbacks >= 8,
+        "expected every push to spill, saw {}",
+        stats.ring_fallbacks
+    );
+}
+
+/// A lost wakeup (the notify itself is swallowed) may add latency but not
+/// lose work: the parker's bounded park timeout picks the job up.
+#[test]
+fn lost_wakeups_are_bounded_by_the_park_timeout() {
+    let _g = arm(vec![FaultRule::new(sites::RING_WAKEUP, FaultAction::Fail)]);
+    let svc = toy_service(ServiceConfig {
+        workers: 1,
+        shard_threshold: 100,
+        cache_capacity: 0,
+        ..ServiceConfig::default()
+    });
+    for i in 0..4u8 {
+        let m = toy(vec![0xB0, i]);
+        let r = svc
+            .submit(Request::new(Arc::clone(&m)))
+            .by_ref()
+            .wait_timeout(Duration::from_secs(10))
+            .expect("lost wakeup must not lose the job");
+        let reference = ToyBackend
+            .compile_module(&m, &mut (), &mut CompileSession::new())
+            .unwrap();
+        assert_identical(&reference.buf, &r.module.unwrap().buf, "lost wakeup");
+    }
+    assert_eq!(svc.stats().completed, 4);
 }

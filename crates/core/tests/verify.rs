@@ -20,7 +20,7 @@ use tpde_core::codebuf::{CodeBuffer, SectionKind, SymbolBinding};
 use tpde_core::codegen::{CompileSession, CompileStats, CompiledModule};
 use tpde_core::error::{Error, Result};
 use tpde_core::regs::RegBank;
-use tpde_core::service::{CompileService, Fnv1a, ServiceBackend, ServiceConfig};
+use tpde_core::service::{CompileService, Fnv1a, Request, ServiceBackend, ServiceConfig};
 use tpde_core::timing::PassTimings;
 use tpde_core::verify::{Verifier, VerifyError};
 
@@ -267,7 +267,7 @@ fn assert_rejected(m: MockModule, expected: VerifyError) {
     // The service answers InvalidIr with the same message, without letting
     // any worker near the module.
     let svc = service();
-    let resp = svc.compile(Arc::new(m));
+    let resp = svc.compile(Request::new(Arc::new(m)));
     match resp.module {
         Err(Error::InvalidIr(msg)) => {
             assert_eq!(msg, expected.to_string(), "service error message");
@@ -284,7 +284,7 @@ fn assert_rejected(m: MockModule, expected: VerifyError) {
 #[test]
 fn well_formed_module_compiles() {
     let svc = service();
-    let resp = svc.compile(Arc::new(MockModule::well_formed()));
+    let resp = svc.compile(Request::new(Arc::new(MockModule::well_formed())));
     assert!(resp.module.is_ok());
     let stats = svc.stats();
     assert_eq!(stats.rejected_invalid, 0);

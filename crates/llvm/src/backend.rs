@@ -22,7 +22,9 @@ use tpde_core::codegen::{
 };
 use tpde_core::error::{Error, Result};
 use tpde_core::parallel::{ParallelDriver, WorkerPool};
-use tpde_core::service::{CompileService, Fnv1a, ServiceBackend, ServiceConfig, ServiceResponse};
+use tpde_core::service::{
+    CompileService, Fnv1a, Request, ServiceBackend, ServiceConfig, ServiceResponse,
+};
 use tpde_core::target::Target;
 use tpde_core::timing::PassTimings;
 use tpde_core::verify::Verifier;
@@ -896,11 +898,11 @@ pub fn compile_service_x64(
     module: &Arc<Module>,
     opts: &CompileOptions,
 ) -> ServiceResponse {
-    svc.compile(ModuleRequest {
+    svc.compile(Request::new(ModuleRequest {
         module: Arc::clone(module),
         backend: ServiceBackendKind::TpdeX64,
         opts: opts.clone(),
-    })
+    }))
 }
 
 /// Submits an AArch64 TPDE compile to a service and waits for the response;
@@ -910,9 +912,9 @@ pub fn compile_service_a64(
     module: &Arc<Module>,
     opts: &CompileOptions,
 ) -> ServiceResponse {
-    svc.compile(ModuleRequest {
+    svc.compile(Request::new(ModuleRequest {
         module: Arc::clone(module),
         backend: ServiceBackendKind::TpdeA64,
         opts: opts.clone(),
-    })
+    }))
 }

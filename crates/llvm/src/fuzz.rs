@@ -29,7 +29,7 @@ use tpde_core::codebuf::{CodeBuffer, SectionKind};
 use tpde_core::codegen::CompileOptions;
 use tpde_core::error::Error;
 use tpde_core::rng::Xoshiro256;
-use tpde_core::service::ServiceConfig;
+use tpde_core::service::{Request, ServiceConfig};
 use tpde_core::verify::{Verifier, VerifyError};
 
 use crate::adapter::LlvmAdapter;
@@ -898,7 +898,7 @@ pub fn run_fuzz(cfg: &FuzzConfig, exec: ExecFn<'_>) -> FuzzReport {
         let input = mseed & 0x3F;
         let mut reference: Option<(ServiceBackendKind, u64)> = None;
         for kind in ALL_KINDS {
-            let resp = svc.compile(ModuleRequest::new(Arc::clone(&arc), kind));
+            let resp = svc.compile(Request::new(ModuleRequest::new(Arc::clone(&arc), kind)));
             let served = match resp.module {
                 Ok(c) => c,
                 Err(e) => {
@@ -978,10 +978,10 @@ pub fn run_fuzz(cfg: &FuzzConfig, exec: ExecFn<'_>) -> FuzzReport {
                     ir: bad.dump(),
                 }),
             }
-            let resp = svc.compile(ModuleRequest::new(
+            let resp = svc.compile(Request::new(ModuleRequest::new(
                 Arc::new(bad),
                 ServiceBackendKind::TpdeX64,
-            ));
+            )));
             match resp.module {
                 Err(Error::InvalidIr(_)) => {}
                 other => rep.failures.push(FuzzFailure {

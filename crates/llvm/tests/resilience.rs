@@ -10,7 +10,7 @@ use tpde_core::codebuf::assert_identical;
 use tpde_core::codegen::CompileOptions;
 use tpde_core::error::Error;
 use tpde_core::faultpoint::{arm, sites, FaultAction, FaultRule};
-use tpde_core::service::ServiceConfig;
+use tpde_core::service::{Request, ServiceConfig};
 use tpde_llvm::workloads::{build_workload, spec_workloads, IrStyle, Workload};
 use tpde_llvm::{compile_service, compile_x64, ModuleRequest, ServiceBackendKind};
 
@@ -44,10 +44,10 @@ fn respawned_worker_rebuilds_warm_state_byte_identically() {
         hang_timeout: Some(Duration::from_millis(50)),
         ..ServiceConfig::default()
     });
-    let hung = svc.compile(ModuleRequest::new(
+    let hung = svc.compile(Request::new(ModuleRequest::new(
         Arc::clone(&module),
         ServiceBackendKind::TpdeX64,
-    ));
+    )));
     assert!(
         matches!(hung.module, Err(Error::Timeout(_))),
         "stalled job must be poisoned by the watchdog"
@@ -58,10 +58,10 @@ fn respawned_worker_rebuilds_warm_state_byte_identically() {
     // The replacement worker rebuilt its warm state (adapter tables, target
     // drivers) from scratch; its output must not differ in a single byte —
     // and must really recompile, since a poisoned result is never cached.
-    let again = svc.compile(ModuleRequest::new(
+    let again = svc.compile(Request::new(ModuleRequest::new(
         Arc::clone(&module),
         ServiceBackendKind::TpdeX64,
-    ));
+    )));
     assert!(
         !again.timing.cache_hit,
         "poisoned result must not be cached"
@@ -89,20 +89,20 @@ fn merge_panic_is_one_failed_request_not_a_wedged_pool() {
         cache_capacity: 8,
         ..ServiceConfig::default()
     });
-    let r = svc.compile(ModuleRequest::new(
+    let r = svc.compile(Request::new(ModuleRequest::new(
         Arc::clone(&module),
         ServiceBackendKind::TpdeX64,
-    ));
+    )));
     let err = format!("{}", r.module.expect_err("merge must panic"));
     assert!(err.contains("panicked"), "unexpected error: {err}");
     assert!(svc.stats().sharded >= 1, "panic must have hit a real merge");
     // Same request again: the merging worker was rebuilt after the panic
     // and the pool still produces the reference bytes.
     let again = svc
-        .compile(ModuleRequest::new(
+        .compile(Request::new(ModuleRequest::new(
             Arc::clone(&module),
             ServiceBackendKind::TpdeX64,
-        ))
+        )))
         .module
         .expect("pool must survive a merge panic");
     assert_identical(&want.buf, &again.buf, "after merge panic");
@@ -126,10 +126,10 @@ fn coalesced_waiters_get_byte_identical_modules() {
     const N: usize = 6;
     let tickets: Vec<_> = (0..N)
         .map(|_| {
-            svc.submit(ModuleRequest::new(
+            svc.submit(Request::new(ModuleRequest::new(
                 Arc::clone(&module),
                 ServiceBackendKind::TpdeX64,
-            ))
+            )))
         })
         .collect();
     for t in tickets {

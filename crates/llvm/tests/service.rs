@@ -6,10 +6,12 @@
 
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
+use std::time::Duration;
 use tpde_core::codebuf::assert_identical;
 use tpde_core::codegen::{CompileOptions, CompiledModule};
 use tpde_core::diskcache::DiskCacheConfig;
-use tpde_core::service::ServiceConfig;
+use tpde_core::faultpoint::{arm, sites, FaultAction, FaultRule};
+use tpde_core::service::{Request, ServiceConfig};
 use tpde_llvm::ir::Module;
 use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
 use tpde_llvm::{
@@ -156,7 +158,7 @@ fn heterogeneous_backends_share_one_pool() {
         for kind in kinds {
             let want = one_shot(&module, kind, &opts);
             let got = svc
-                .compile(ModuleRequest::new(Arc::clone(&module), kind))
+                .compile(Request::new(ModuleRequest::new(Arc::clone(&module), kind)))
                 .module
                 .unwrap();
             assert_identical(&want.buf, &got.buf, &format!("{} {kind:?}", w.name));
@@ -200,18 +202,26 @@ fn concurrent_stress_interleaves_small_and_large_modules() {
         }
     }
     // Submit everything up front (pipelined), then verify each response
-    // against the one-shot compiler. A sharded (slow) module goes first so
-    // the later submissions reliably overlap with in-flight work and the
-    // queue-depth assertion below cannot race a fast first compile.
+    // against the one-shot compiler. A sharded (slow) module goes first,
+    // and worker jobs are delayed for the duration of the submit loop so
+    // the queue verifiably builds up: on a single-CPU host an unpark can
+    // otherwise context-switch straight to a worker that finishes each
+    // small module before the next submit lands, never overlapping.
     let big_first = requests
         .iter()
         .position(|(what, _)| what.contains("x8"))
         .expect("an enlarged module");
     requests.swap(0, big_first);
+    let slow_workers = arm(vec![FaultRule::new(
+        sites::WORKER_JOB,
+        FaultAction::Delay(Duration::from_millis(5)),
+    )
+    .every(1)]);
     let tickets: Vec<_> = requests
         .iter()
-        .map(|(_, r)| svc.submit(r.clone()))
+        .map(|(_, r)| svc.submit(Request::new(r.clone())))
         .collect();
+    drop(slow_workers);
     for ((what, req), ticket) in requests.iter().zip(tickets) {
         let want = one_shot(&req.module, req.backend, &opts);
         let got = ticket.wait().module.expect(what);
@@ -348,7 +358,7 @@ fn restarted_process_answers_from_disk_byte_identically() {
     {
         let svc = disk_service(2, 8, &dir);
         for (m, &kind) in modules.iter().zip(&kinds) {
-            let r = svc.compile(ModuleRequest::new(Arc::clone(m), kind));
+            let r = svc.compile(Request::new(ModuleRequest::new(Arc::clone(m), kind)));
             assert!(!r.timing.disk_hit, "cold run must not hit disk");
             r.module.expect("cold compile");
         }
@@ -363,7 +373,7 @@ fn restarted_process_answers_from_disk_byte_identically() {
     // without invoking any backend compile path.
     let svc = disk_service(2, 8, &dir);
     for (m, &kind) in modules.iter().zip(&kinds) {
-        let r = svc.compile(ModuleRequest::new(Arc::clone(m), kind));
+        let r = svc.compile(Request::new(ModuleRequest::new(Arc::clone(m), kind)));
         let what = format!("{kind:?} after restart");
         assert!(r.timing.disk_hit, "{what}: must be served from disk");
         assert!(!r.timing.cache_hit, "{what}: memory cache starts empty");
@@ -383,7 +393,10 @@ fn restarted_process_answers_from_disk_byte_identically() {
     assert!(stats.disk_load_p99 >= stats.disk_load_p50);
 
     // Re-asking within the same process now hits the promoted memory entry.
-    let again = svc.compile(ModuleRequest::new(Arc::clone(&modules[0]), kinds[0]));
+    let again = svc.compile(Request::new(ModuleRequest::new(
+        Arc::clone(&modules[0]),
+        kinds[0],
+    )));
     assert!(again.timing.cache_hit);
     let _ = std::fs::remove_dir_all(&dir);
 }
@@ -401,10 +414,10 @@ fn disk_loaded_tiered_module_still_patches_and_executes() {
 
     {
         let svc = disk_service(2, 8, &dir);
-        svc.compile(ModuleRequest::new(
+        svc.compile(Request::new(ModuleRequest::new(
             Arc::clone(&module),
             ServiceBackendKind::CopyPatchTier0,
-        ))
+        )))
         .module
         .expect("cold tiered compile");
     }
@@ -412,10 +425,10 @@ fn disk_loaded_tiered_module_still_patches_and_executes() {
     // Restart; the tiered module comes back from disk with its counter and
     // call-slot tables intact, executes, and accepts call-slot patches.
     let svc = disk_service(2, 8, &dir);
-    let r = svc.compile(ModuleRequest::new(
+    let r = svc.compile(Request::new(ModuleRequest::new(
         Arc::clone(&module),
         ServiceBackendKind::CopyPatchTier0,
-    ));
+    )));
     assert!(r.timing.disk_hit);
     let t0 = r.module.unwrap().buf;
     let mut image = tpde_core::jit::link_in_memory(&t0, 0x40_0000, |_| None).unwrap();
@@ -451,10 +464,10 @@ fn teardown_drains_pipelined_requests() {
     let tickets: Vec<_> = modules
         .iter()
         .map(|m| {
-            svc.submit(ModuleRequest::new(
+            svc.submit(Request::new(ModuleRequest::new(
                 Arc::clone(m),
                 ServiceBackendKind::TpdeX64,
-            ))
+            )))
         })
         .collect();
     drop(svc); // must drain the queue, not abandon the tickets

@@ -9,7 +9,7 @@ use std::sync::Arc;
 use tpde_core::codebuf::{assert_identical, CodeBuffer, SectionKind, SymbolId};
 use tpde_core::codegen::CompileOptions;
 use tpde_core::jit::{link_in_memory, JitImage};
-use tpde_core::service::{ServiceConfig, TieringController};
+use tpde_core::service::{Request, ServiceConfig, TieringController};
 use tpde_llvm::ir::Module;
 use tpde_llvm::workloads::{build_workload, expected_result, spec_workloads, IrStyle, Workload};
 use tpde_llvm::{
@@ -190,10 +190,10 @@ fn tiered_compiles_are_deterministic_across_pipelines() {
             ..ServiceConfig::default()
         });
         let got = svc
-            .compile(ModuleRequest::new(
+            .compile(Request::new(ModuleRequest::new(
                 Arc::clone(&module),
                 ServiceBackendKind::CopyPatchTier0,
-            ))
+            )))
             .module
             .unwrap()
             .buf;
@@ -203,10 +203,10 @@ fn tiered_compiles_are_deterministic_across_pipelines() {
             &format!("service tiered copy-patch threshold={shard_threshold}"),
         );
         let got = svc
-            .compile(ModuleRequest::new(
+            .compile(Request::new(ModuleRequest::new(
                 Arc::clone(&module),
                 ServiceBackendKind::TpdeX64Tier0,
-            ))
+            )))
             .module
             .unwrap()
             .buf;
@@ -246,10 +246,10 @@ fn tier1_recompiles_are_byte_identical_per_function() {
         ..ServiceConfig::default()
     });
     let recompiled = svc
-        .compile(ModuleRequest::new(
+        .compile(Request::new(ModuleRequest::new(
             Arc::clone(&module),
             ServiceBackendKind::BaselineO1,
-        ))
+        )))
         .module
         .unwrap()
         .buf;
